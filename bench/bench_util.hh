@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared presentation helpers for the per-figure benchmark binaries.
+ *
+ * Every binary in bench/ regenerates one table or figure of the paper
+ * (see DESIGN.md's experiment index): it runs the relevant designs
+ * over the relevant workloads through the memoising Runner, prints the
+ * same rows/series the paper reports, and restates the paper's claim
+ * next to the measured values so EXPERIMENTS.md can be assembled from
+ * the raw output.
+ */
+
+#ifndef BEAR_BENCH_BENCH_UTIL_HH
+#define BEAR_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+namespace bear::bench
+{
+
+/** Per-workload normalised speedups plus RATE/MIX/ALL geomeans. */
+inline void
+printSpeedupTable(const Comparison &cmp)
+{
+    std::vector<std::string> headers{"workload"};
+    for (const auto &d : cmp.designs)
+        headers.push_back(d);
+    Table table(std::move(headers));
+    for (const auto &row : cmp.rows) {
+        std::vector<std::string> cells{row.workload};
+        for (double s : row.speedups)
+            cells.push_back(Table::num(s, 3));
+        table.addRow(std::move(cells));
+    }
+    auto aggregate = [&](const char *name, auto fn) {
+        std::vector<std::string> cells{name};
+        for (std::size_t d = 0; d < cmp.designs.size(); ++d)
+            cells.push_back(Table::num(fn(d), 3));
+        table.addRow(std::move(cells));
+    };
+    bool has_rate = false, has_mix = false;
+    for (const auto &row : cmp.rows) {
+        has_rate |= !row.isMix;
+        has_mix |= row.isMix;
+    }
+    if (has_rate)
+        aggregate("GEOMEAN-RATE",
+                  [&](std::size_t d) { return cmp.rateGeomean(d); });
+    if (has_mix)
+        aggregate("GEOMEAN-MIX",
+                  [&](std::size_t d) { return cmp.mixGeomean(d); });
+    aggregate("GEOMEAN-ALL",
+              [&](std::size_t d) { return cmp.allGeomean(d); });
+    std::printf("%s\n", table.render().c_str());
+}
+
+/** Average a SystemStats field over a set of runs. */
+template <typename Getter>
+double
+averageOver(const std::vector<ComparisonRow> &rows, int design_idx,
+            Getter getter)
+{
+    double sum = 0.0;
+    for (const auto &row : rows) {
+        const RunResult &r =
+            design_idx < 0 ? row.baseline : row.runs[design_idx];
+        sum += getter(r);
+    }
+    return rows.empty() ? 0.0 : sum / static_cast<double>(rows.size());
+}
+
+/** Bandwidth-sensitive subset for the sensitivity sweeps: the eight
+ *  most memory-intensive rate benchmarks (Table 2's top rows). */
+inline std::vector<RunJob>
+sensitivityJobs(DesignKind design)
+{
+    const char *names[] = {"mcf", "lbm", "soplex", "milc", "libquantum",
+                           "omnetpp", "bwaves", "gcc"};
+    std::vector<RunJob> jobs;
+    for (const char *name : names) {
+        RunJob job;
+        job.design = design;
+        job.rateBenchmark = name;
+        jobs.push_back(job);
+    }
+    return jobs;
+}
+
+} // namespace bear::bench
+
+#endif // BEAR_BENCH_BENCH_UTIL_HH

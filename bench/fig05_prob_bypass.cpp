@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 5: naive Probabilistic Bypass at P=50% and P=90% — reduction
+ * in cache hit latency, change in hit rate, and speedup, per rate-mode
+ * workload.
+ *
+ * Paper findings: P=90% cuts hit latency ~12% on average but collapses
+ * the hit rate of reuse-heavy workloads (GemsFDTD, zeusmp), so the net
+ * speedup of naive bypass is negligible.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace bear;
+using namespace bear::bench;
+
+int
+main()
+{
+    RunnerOptions options = RunnerOptions::fromEnv();
+    Runner runner(options);
+    printExperimentHeader(
+        "Figure 5", "Probabilistic Bypass P=50% / P=90%",
+        "P=90 reduces hit latency ~12% avg but degrades hit rate badly "
+        "for GemsFDTD/zeusmp; net speedup negligible",
+        options);
+
+    const auto jobs = rateJobs(DesignKind::Alloy);
+    const Comparison cmp = compareDesigns(
+        runner, jobs, DesignKind::Alloy,
+        {DesignKind::ProbBypass50, DesignKind::ProbBypass90});
+
+    Table table({"workload", "dHitLat%P50", "dHitLat%P90", "dHitRateP50",
+                 "dHitRateP90", "speedupP50", "speedupP90"});
+    for (const auto &row : cmp.rows) {
+        const double base_lat = row.baseline.stats.l4HitLatency;
+        const double base_hr = row.baseline.stats.l4HitRate;
+        auto lat_cut = [&](int d) {
+            return 100.0 * (base_lat - row.runs[d].stats.l4HitLatency)
+                / base_lat;
+        };
+        auto hr_delta = [&](int d) {
+            return row.runs[d].stats.l4HitRate - base_hr;
+        };
+        table.addRow({row.workload, Table::num(lat_cut(0), 1),
+                      Table::num(lat_cut(1), 1),
+                      Table::num(hr_delta(0), 3),
+                      Table::num(hr_delta(1), 3),
+                      Table::num(row.speedups[0], 3),
+                      Table::num(row.speedups[1], 3)});
+    }
+    table.addRow({"GEOMEAN", "-", "-", "-", "-",
+                  Table::num(cmp.rateGeomean(0), 3),
+                  Table::num(cmp.rateGeomean(1), 3)});
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

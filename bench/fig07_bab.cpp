@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 7: speedup from Bandwidth-Aware Bypass over the baseline
+ * Alloy Cache, per rate-mode workload.
+ *
+ * Paper: +5.1% on average (up to +15%) with no workload degraded, at
+ * the cost of ~2% hit rate.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace bear;
+using namespace bear::bench;
+
+int
+main()
+{
+    RunnerOptions options = RunnerOptions::fromEnv();
+    Runner runner(options);
+    printExperimentHeader(
+        "Figure 7", "Speedup from Bandwidth-Aware Bypass",
+        "BAB: +5.1% average, up to +15%, no degradation; hit rate 63% "
+        "-> 61%",
+        options);
+
+    const auto jobs = rateJobs(DesignKind::Alloy);
+    const Comparison cmp =
+        compareDesigns(runner, jobs, DesignKind::Alloy, {DesignKind::Bab});
+    printSpeedupTable(cmp);
+
+    const double base_hr = averageOver(
+        cmp.rows, -1, [](const RunResult &r) { return r.stats.l4HitRate; });
+    const double bab_hr = averageOver(
+        cmp.rows, 0, [](const RunResult &r) { return r.stats.l4HitRate; });
+    std::printf("Hit rate: Alloy %.1f%% -> BAB %.1f%% "
+                "(paper: 63%% -> 61%%)\n",
+                100 * base_hr, 100 * bab_hr);
+    return 0;
+}

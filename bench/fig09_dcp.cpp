@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 9: DRAM Cache Presence on top of BAB, per rate-mode workload.
+ *
+ * Paper: DCP adds ~4% over BAB (up to +12.8% on omnetpp and +11.3% on
+ * gcc, the workloads with the highest writeback hit rates).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace bear;
+using namespace bear::bench;
+
+int
+main()
+{
+    RunnerOptions options = RunnerOptions::fromEnv();
+    Runner runner(options);
+    printExperimentHeader(
+        "Figure 9", "BAB vs BAB + DRAM Cache Presence",
+        "DCP adds ~4% over BAB; biggest gains on high-writeback-hit "
+        "workloads (omnetpp +12.8%, gcc +11.3%)",
+        options);
+
+    const auto jobs = rateJobs(DesignKind::Alloy);
+    const Comparison cmp = compareDesigns(
+        runner, jobs, DesignKind::Alloy,
+        {DesignKind::Bab, DesignKind::BabDcp});
+    printSpeedupTable(cmp);
+
+    std::printf("DCP increment over BAB (geomean): %.3fx\n",
+                cmp.rateGeomean(1) / cmp.rateGeomean(0));
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 11: the Neighboring Tag Cache on top of BAB + DCP, per
+ * rate-mode workload.
+ *
+ * Paper: NTC adds ~2%, from avoided Miss Probes and from squashing the
+ * MAP-I predictor's useless parallel memory accesses.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace bear;
+using namespace bear::bench;
+
+int
+main()
+{
+    RunnerOptions options = RunnerOptions::fromEnv();
+    Runner runner(options);
+    printExperimentHeader(
+        "Figure 11", "BAB vs BAB+DCP vs BAB+DCP+NTC (= BEAR)",
+        "NTC adds ~2% on top of BAB+DCP",
+        options);
+
+    const auto jobs = rateJobs(DesignKind::Alloy);
+    const Comparison cmp = compareDesigns(
+        runner, jobs, DesignKind::Alloy,
+        {DesignKind::Bab, DesignKind::BabDcp, DesignKind::Bear});
+    printSpeedupTable(cmp);
+
+    std::printf("NTC increment over BAB+DCP (geomean): %.3fx\n",
+                cmp.rateGeomean(2) / cmp.rateGeomean(1));
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 14: sensitivity of BEAR's speedup to (a) DRAM-cache bandwidth
+ * (4x / 8x / 16x of the off-chip DRAM, varied via channel count) and
+ * (b) DRAM-cache capacity (0.5 / 1 / 2 GB).
+ *
+ * Paper: BEAR holds a >10% advantage over Alloy across all bandwidth
+ * and capacity points (each point normalised to Alloy at the same
+ * configuration).
+ *
+ * Sweeps run on the eight most memory-intensive rate benchmarks.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace bear;
+using namespace bear::bench;
+
+int
+main()
+{
+    RunnerOptions options = RunnerOptions::fromEnv();
+    Runner runner(options);
+    printExperimentHeader(
+        "Figure 14", "Sensitivity to DRAM-cache bandwidth and capacity",
+        "BEAR stays >10% over Alloy at 4x/8x/16x bandwidth and at "
+        "0.5/1/2 GB capacity",
+        options);
+
+    Table bw_table({"bandwidth", "BEAR speedup vs Alloy"});
+    for (const std::uint32_t ratio : {4u, 8u, 16u}) {
+        auto jobs = sensitivityJobs(DesignKind::Alloy);
+        for (auto &job : jobs)
+            job.bandwidthRatio = ratio;
+        const Comparison cmp = compareDesigns(
+            runner, jobs, DesignKind::Alloy, {DesignKind::Bear});
+        bw_table.addRow({std::to_string(ratio) + "x",
+                         Table::num(cmp.rateGeomean(0), 3)});
+    }
+    std::printf("(a) Bandwidth sweep (normalised per configuration)\n%s\n",
+                bw_table.render().c_str());
+
+    Table cap_table({"capacity", "BEAR speedup vs Alloy"});
+    const std::uint64_t GB = 1ULL << 30;
+    for (const std::uint64_t capacity : {GB / 2, GB, 2 * GB}) {
+        auto jobs = sensitivityJobs(DesignKind::Alloy);
+        for (auto &job : jobs)
+            job.cacheCapacityBytes = capacity;
+        const Comparison cmp = compareDesigns(
+            runner, jobs, DesignKind::Alloy, {DesignKind::Bear});
+        cap_table.addRow(
+            {Table::num(static_cast<double>(capacity) / GB, 1) + " GB",
+             Table::num(cmp.rateGeomean(0), 3)});
+    }
+    std::printf("(b) Capacity sweep (normalised per configuration)\n%s\n",
+                cap_table.render().c_str());
+    return 0;
+}

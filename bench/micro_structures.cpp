@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the simulator's hot
+ * structures: NTC lookup, SRAM cache access, DRAM channel scheduling,
+ * the gap-filling bus timeline, and workload generation.  These guard
+ * the simulation throughput that makes the scaled reproduction
+ * practical on one core.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/sram_cache.hh"
+#include "common/rng.hh"
+#include "dramcache/alloy_cache.hh"
+#include "dramcache/ntc.hh"
+#include "mem/dram_system.hh"
+#include "vm/page_mapper.hh"
+#include "workloads/workload.hh"
+
+using namespace bear;
+
+namespace
+{
+
+void
+BM_NtcLookup(benchmark::State &state)
+{
+    NeighboringTagCache ntc(64, 8);
+    Rng rng(1);
+    for (int i = 0; i < 512; ++i)
+        ntc.record(i % 64, rng.below(4096), rng.below(64), true, false);
+    std::uint64_t set = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ntc.lookup(static_cast<std::uint32_t>(set % 64), set % 4096,
+                       set % 64));
+        ++set;
+    }
+}
+BENCHMARK(BM_NtcLookup);
+
+void
+BM_SramCacheAccess(benchmark::State &state)
+{
+    SramCacheConfig config;
+    config.capacityBytes = 1ULL << 20;
+    config.ways = 16;
+    SramCache cache(config);
+    Rng rng(2);
+    for (int i = 0; i < 20000; ++i)
+        cache.fill(rng.below(1 << 16), false, false);
+    LineAddr line = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(line % (1 << 16), false));
+        line += 97;
+    }
+}
+BENCHMARK(BM_SramCacheAccess);
+
+void
+BM_DramChannelRead(benchmark::State &state)
+{
+    DramSystem dram("l4", DramTiming{}, makeCacheGeometry());
+    Rng rng(3);
+    Cycle t = 0;
+    for (auto _ : state) {
+        DramCoord coord;
+        coord.channel = static_cast<std::uint32_t>(rng.below(4));
+        coord.bank = static_cast<std::uint32_t>(rng.below(16));
+        coord.row = rng.below(1 << 14);
+        benchmark::DoNotOptimize(dram.read(t, coord, 80));
+        t += 7;
+    }
+}
+BENCHMARK(BM_DramChannelRead);
+
+void
+BM_AlloyCacheRead(benchmark::State &state)
+{
+    DramSystem dram("l4", DramTiming{}, makeCacheGeometry());
+    DramSystem memory("ddr", DramTiming{}, makeMemoryGeometry());
+    BloatTracker bloat;
+    AlloyConfig config;
+    config.capacityBytes = 64ULL << 20;
+    AlloyCache cache(config, dram, memory, bloat);
+    Rng rng(4);
+    Cycle t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.read(t, rng.below(1 << 22), 0x400000, 0));
+        t += 11;
+    }
+}
+BENCHMARK(BM_AlloyCacheRead);
+
+void
+BM_WorkloadStreamNext(benchmark::State &state)
+{
+    WorkloadStream stream(profileByName("soplex"), 5, 0.0625);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stream.next());
+}
+BENCHMARK(BM_WorkloadStreamNext);
+
+void
+BM_PageMapperTranslate(benchmark::State &state)
+{
+    PageMapper mapper;
+    Rng rng(6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mapper.translate(static_cast<std::uint32_t>(rng.below(8)),
+                             rng.below(1ULL << 30)));
+    }
+}
+BENCHMARK(BM_PageMapperTranslate);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table 4: DRAM-cache hit rate and latency, Alloy vs BEAR.
+ *
+ * Paper values: hit rate 63.2% -> 61.0%; hit latency 239 -> 182
+ * cycles (-24%); miss latency 391 -> 356; average 326 -> 282.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace bear;
+using namespace bear::bench;
+
+int
+main()
+{
+    RunnerOptions options = RunnerOptions::fromEnv();
+    Runner runner(options);
+    printExperimentHeader(
+        "Table 4", "DRAM-cache hit rate and latency: Alloy vs BEAR",
+        "hit rate 63.2%->61.0%; hit latency 239->182 (-24%); miss "
+        "391->356; average 326->282",
+        options);
+
+    const auto jobs = allJobs(DesignKind::Alloy);
+    const Comparison cmp =
+        compareDesigns(runner, jobs, DesignKind::Alloy, {DesignKind::Bear});
+
+    Table table({"design", "HitRate%", "HitLat", "MissLat", "AvgLat"});
+    auto row = [&](const char *name, int d) {
+        table.addRow(
+            {name,
+             Table::num(averageOver(cmp.rows, d,
+                                    [](const RunResult &r) {
+                                        return 100 * r.stats.l4HitRate;
+                                    }),
+                        1),
+             Table::num(averageOver(cmp.rows, d,
+                                    [](const RunResult &r) {
+                                        return r.stats.l4HitLatency;
+                                    }),
+                        0),
+             Table::num(averageOver(cmp.rows, d,
+                                    [](const RunResult &r) {
+                                        return r.stats.l4MissLatency;
+                                    }),
+                        0),
+             Table::num(averageOver(cmp.rows, d,
+                                    [](const RunResult &r) {
+                                        return r.stats.l4AvgLatency;
+                                    }),
+                        0)});
+    };
+    row("Alloy", -1);
+    row("BEAR", 0);
+    std::printf("%s\n", table.render().c_str());
+
+    const double alloy_lat = averageOver(
+        cmp.rows, -1,
+        [](const RunResult &r) { return r.stats.l4HitLatency; });
+    const double bear_lat = averageOver(
+        cmp.rows, 0,
+        [](const RunResult &r) { return r.stats.l4HitLatency; });
+    std::printf("Hit latency reduction: %.1f%% (paper: 24%%)\n",
+                100.0 * (alloy_lat - bear_lat) / alloy_lat);
+    return 0;
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Extending the library: implement a *new* DRAM-cache policy against
+ * the public DramCache interface and evaluate it with the stock
+ * system, workloads and metrics.
+ *
+ * The toy policy here is "WriteThroughAlloy": a direct-mapped TAD
+ * cache that keeps itself entirely clean by writing dirty LLC victims
+ * to both the cache and main memory.  Writeback Probes disappear (a
+ * clean cache never needs them for correctness if updates are
+ * write-through) at the price of extra main-memory write traffic —
+ * a different point in the paper's design space.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/table.hh"
+#include "dramcache/alloy_cache.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+using namespace bear;
+
+namespace
+{
+
+/** Always-clean Alloy variant: write-through writebacks. */
+class WriteThroughAlloy : public DramCache
+{
+  public:
+    WriteThroughAlloy(std::uint64_t capacity, DramSystem &dram,
+                      DramSystem &memory, BloatTracker &bloat)
+        : DramCache(dram, memory, bloat), sets_(capacity / kLineSize),
+          layout_(sets_, dram.geometry()), tads_(sets_)
+    {
+    }
+
+    DramCacheReadOutcome
+    read(Cycle at, LineAddr line, Pc, CoreId) override
+    {
+        const std::uint64_t set = line % sets_;
+        const std::uint64_t tag = line / sets_;
+        Tad &tad = tads_[set];
+        const DramCoord coord = layout_.coordOf(set);
+
+        DramCacheReadOutcome outcome;
+        const DramResult probe = dram_.read(at, coord, kTadTransfer);
+        if (tad.valid && tad.tag == tag) {
+            ++demand_hits_;
+            bloat_.note(BloatCategory::HitProbe, kTadTransfer);
+            bloat_.noteUseful();
+            outcome.hit = true;
+            outcome.presentAfter = true;
+            outcome.dataReady = probe.dataReady;
+            return outcome;
+        }
+        ++demand_misses_;
+        bloat_.note(BloatCategory::MissProbe, kTadTransfer);
+        const DramResult mem = memory_.readLine(probe.dataReady, line);
+        outcome.dataReady = mem.dataReady;
+        // The cache is always clean: the victim needs no rescue.
+        if (tad.valid)
+            notifyEviction(tad.tag * sets_ + set);
+        tad.tag = tag;
+        tad.valid = true;
+        dram_.write(mem.dataReady, coord, kTadTransfer);
+        bloat_.note(BloatCategory::MissFill, kTadTransfer);
+        outcome.presentAfter = true;
+        return outcome;
+    }
+
+    void
+    writeback(Cycle at, LineAddr line, bool) override
+    {
+        // Write-through: main memory always gets the data, and a
+        // present line is refreshed without any probe (updating a
+        // stale line is harmless when memory is the source of truth —
+        // but a *mismatched* line must not be clobbered, so the update
+        // is dropped unless the tag matches, which the controller
+        // knows only from this cheap in-SRAM mirror in this toy).
+        const std::uint64_t set = line % sets_;
+        Tad &tad = tads_[set];
+        memory_.writeLine(at, line);
+        if (tad.valid && tad.tag == line / sets_) {
+            ++writeback_hits_;
+            dram_.write(at, layout_.coordOf(set), kTadTransfer);
+            bloat_.note(BloatCategory::WritebackUpdate, kTadTransfer);
+        } else {
+            ++writeback_misses_;
+        }
+    }
+
+    std::string name() const override { return "WriteThroughAlloy"; }
+
+  private:
+    struct Tad
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t sets_;
+    TadLayout layout_;
+    std::vector<Tad> tads_;
+};
+
+SystemStats
+runBaseline(const std::string &workload)
+{
+    SystemConfig config;
+    config.design = DesignKind::Alloy;
+    std::vector<std::unique_ptr<RefStream>> streams;
+    for (std::uint32_t c = 0; c < config.cores; ++c) {
+        streams.push_back(std::make_unique<WorkloadStream>(
+            profileByName(workload), 42 + c, config.scale));
+    }
+    System sys(config, std::move(streams));
+    sys.run(300000);
+    sys.resetStats();
+    sys.run(120000);
+    return sys.stats();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "lbm";
+    std::printf("Custom-policy example on %s: baseline Alloy vs a "
+                "write-through variant\n\n",
+                workload.c_str());
+
+    // Baseline through the stock system.
+    const SystemStats alloy = runBaseline(workload);
+
+    // The custom design drives the same substrates directly.
+    DramSystem dram("l4", DramTiming{}, makeCacheGeometry());
+    DramSystem memory("ddr", DramTiming{}, makeMemoryGeometry());
+    BloatTracker bloat;
+    WriteThroughAlloy custom(64ULL << 20, dram, memory, bloat);
+
+    WorkloadStream stream(profileByName(workload), 42, 0.0625);
+    Cycle t = 0;
+    std::uint64_t hits = 0, accesses = 0;
+    for (int i = 0; i < 400000; ++i) {
+        const MemRef ref = stream.next();
+        const auto out = custom.read(t, lineOf(ref.vaddr), ref.pc, 0);
+        hits += out.hit;
+        ++accesses;
+        if (ref.isWrite)
+            custom.writeback(out.dataReady, lineOf(ref.vaddr), false);
+        t += 8 + ref.instGap / 2;
+    }
+
+    Table table({"metric", "Alloy (full system)", "WriteThrough (raw)"});
+    table.addRow({"hit rate",
+                  Table::num(100 * alloy.l4HitRate, 1) + "%",
+                  Table::num(100.0 * hits / accesses, 1) + "%"});
+    table.addRow({"bloat factor", Table::num(alloy.bloatFactor, 2),
+                  Table::num(bloat.bloatFactor(), 2)});
+    table.addRow({"WbProbe bloat",
+                  Table::num(alloy.bloatBreakdown[static_cast<int>(
+                                 BloatCategory::WritebackProbe)],
+                             2),
+                  Table::num(bloat.categoryFactor(
+                                 BloatCategory::WritebackProbe),
+                             2)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("The write-through variant eliminates Writeback Probes "
+                "entirely;\nits cost is doubled main-memory write "
+                "traffic (%llu line writes).\n",
+                static_cast<unsigned long long>(memory.totalWrites()));
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Design shoot-out: run one workload across every DRAM-cache design in
+ * the library and rank them — the paper's Figures 3, 16 and 17
+ * condensed into a single command.
+ *
+ *   ./design_compare [workload]
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table.hh"
+#include "sim/runner.hh"
+
+using namespace bear;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "milc";
+
+    RunnerOptions options = RunnerOptions::fromEnv();
+    Runner runner(options);
+
+    const DesignKind kinds[] = {
+        DesignKind::NoCache,    DesignKind::LohHill,
+        DesignKind::MostlyClean, DesignKind::Alloy,
+        DesignKind::InclusiveAlloy, DesignKind::Bab,
+        DesignKind::BabDcp,     DesignKind::Bear,
+        DesignKind::TagsInSram, DesignKind::SectorCache,
+        DesignKind::BwOptimized,
+    };
+
+    std::printf("Design comparison on %s (8 copies, rate mode)\n\n",
+                workload.c_str());
+
+    const RunResult base = runner.runRate(DesignKind::NoCache, workload);
+
+    struct Row
+    {
+        std::string name;
+        double speedup;
+        SystemStats stats;
+    };
+    std::vector<Row> rows;
+    for (const DesignKind kind : kinds) {
+        const RunResult r = runner.runRate(kind, workload);
+        rows.push_back({designName(kind), normalizedSpeedup(base, r),
+                        r.stats});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) {
+                  return a.speedup > b.speedup;
+              });
+
+    Table table({"design", "speedup vs no-cache", "hit%", "bloat",
+                 "hitLat", "SRAM bytes"});
+    for (const Row &row : rows) {
+        table.addRow({row.name, Table::num(row.speedup, 3),
+                      Table::num(100 * row.stats.l4HitRate, 1),
+                      Table::num(row.stats.bloatFactor, 2),
+                      Table::num(row.stats.l4HitLatency, 0),
+                      std::to_string(row.stats.sramOverheadBytes)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,107 @@
+#include "cache/replacement.hh"
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+LruPolicy::LruPolicy(std::uint64_t sets, std::uint32_t ways)
+    : ways_(ways), lastTouch_(sets * ways, 0)
+{
+}
+
+void
+LruPolicy::touch(std::uint64_t set, std::uint32_t way)
+{
+    lastTouch_[set * ways_ + way] = tick_++;
+}
+
+std::uint32_t
+LruPolicy::victim(std::uint64_t set)
+{
+    std::uint32_t best = 0;
+    std::uint64_t oldest = ~0ULL;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const std::uint64_t t = lastTouch_[set * ways_ + w];
+        if (t < oldest) {
+            oldest = t;
+            best = w;
+        }
+    }
+    return best;
+}
+
+void
+LruPolicy::invalidate(std::uint64_t set, std::uint32_t way)
+{
+    lastTouch_[set * ways_ + way] = 0;
+}
+
+RandomPolicy::RandomPolicy(std::uint64_t sets, std::uint32_t ways,
+                           std::uint64_t seed)
+    : ways_(ways), rng_(seed)
+{
+    (void)sets;
+}
+
+void
+RandomPolicy::touch(std::uint64_t, std::uint32_t)
+{
+}
+
+std::uint32_t
+RandomPolicy::victim(std::uint64_t)
+{
+    return static_cast<std::uint32_t>(rng_.below(ways_));
+}
+
+void
+RandomPolicy::invalidate(std::uint64_t, std::uint32_t)
+{
+}
+
+NruPolicy::NruPolicy(std::uint64_t sets, std::uint32_t ways)
+    : ways_(ways), referenced_(sets * ways, 0)
+{
+}
+
+void
+NruPolicy::touch(std::uint64_t set, std::uint32_t way)
+{
+    referenced_[set * ways_ + way] = 1;
+}
+
+std::uint32_t
+NruPolicy::victim(std::uint64_t set)
+{
+    // Clock sweep: first unreferenced way; if all referenced, clear the
+    // set's bits and take way 0.
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        if (!referenced_[set * ways_ + w])
+            return w;
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        referenced_[set * ways_ + w] = 0;
+    return 0;
+}
+
+void
+NruPolicy::invalidate(std::uint64_t set, std::uint32_t way)
+{
+    referenced_[set * ways_ + way] = 0;
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(ReplacementKind kind, std::uint64_t sets, std::uint32_t ways)
+{
+    switch (kind) {
+      case ReplacementKind::LRU:
+        return std::make_unique<LruPolicy>(sets, ways);
+      case ReplacementKind::Random:
+        return std::make_unique<RandomPolicy>(sets, ways);
+      case ReplacementKind::NRU:
+        return std::make_unique<NruPolicy>(sets, ways);
+    }
+    bear_panic("unknown replacement kind");
+}
+
+} // namespace bear

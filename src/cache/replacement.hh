@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Replacement policies for the set-associative SRAM caches.
+ *
+ * The policy operates on way indices within a set; the cache owns the
+ * tag state and asks the policy for a victim among the currently valid
+ * ways.  LRU is the paper's policy for the on-chip hierarchy; Random
+ * and NRU are provided for the test suite and ablations.
+ */
+
+#ifndef BEAR_CACHE_REPLACEMENT_HH
+#define BEAR_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bear
+{
+
+/** Per-set replacement state interface. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Note a hit or fill touching (@p set, @p way). */
+    virtual void touch(std::uint64_t set, std::uint32_t way) = 0;
+
+    /** Choose a victim way in @p set (all ways valid). */
+    virtual std::uint32_t victim(std::uint64_t set) = 0;
+
+    /** Reset state for @p set, @p way (invalidation). */
+    virtual void invalidate(std::uint64_t set, std::uint32_t way) = 0;
+};
+
+/** True LRU via per-line last-touch timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint64_t sets, std::uint32_t ways);
+
+    void touch(std::uint64_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint64_t set) override;
+    void invalidate(std::uint64_t set, std::uint32_t way) override;
+
+  private:
+    std::uint32_t ways_;
+    std::uint64_t tick_ = 1;
+    std::vector<std::uint64_t> lastTouch_; ///< [set * ways + way]
+};
+
+/** Random replacement (deterministic seed). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::uint64_t sets, std::uint32_t ways,
+                 std::uint64_t seed = 1);
+
+    void touch(std::uint64_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint64_t set) override;
+    void invalidate(std::uint64_t set, std::uint32_t way) override;
+
+  private:
+    std::uint32_t ways_;
+    Rng rng_;
+};
+
+/** Not-recently-used: one reference bit per line, clock-style victim. */
+class NruPolicy : public ReplacementPolicy
+{
+  public:
+    NruPolicy(std::uint64_t sets, std::uint32_t ways);
+
+    void touch(std::uint64_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint64_t set) override;
+    void invalidate(std::uint64_t set, std::uint32_t way) override;
+
+  private:
+    std::uint32_t ways_;
+    std::vector<std::uint8_t> referenced_; ///< [set * ways + way]
+};
+
+enum class ReplacementKind { LRU, Random, NRU };
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(ReplacementKind kind, std::uint64_t sets,
+                std::uint32_t ways);
+
+} // namespace bear
+
+#endif // BEAR_CACHE_REPLACEMENT_HH

@@ -1,0 +1,163 @@
+#include "cache/sram_cache.hh"
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+SramCache::SramCache(const SramCacheConfig &config) : config_(config)
+{
+    bear_assert(config.ways > 0, config.name, ": needs at least one way");
+    const std::uint64_t lines = config.capacityBytes / kLineSize;
+    bear_assert(lines % config.ways == 0, config.name,
+                ": capacity not divisible by associativity");
+    sets_ = lines / config.ways;
+    bear_assert(sets_ > 0, config.name, ": zero sets");
+    ways_.resize(lines);
+    policy_ = makeReplacement(config.replacement, sets_, config.ways);
+}
+
+std::uint32_t
+SramCache::findWay(std::uint64_t set, std::uint64_t tag) const
+{
+    const std::uint64_t base = set * config_.ways;
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        const Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag)
+            return w;
+    }
+    return config_.ways;
+}
+
+SramAccessResult
+SramCache::access(LineAddr line, bool is_write)
+{
+    const std::uint64_t set = setOf(line);
+    const std::uint64_t tag = tagOf(line);
+    const std::uint32_t w = findWay(set, tag);
+
+    SramAccessResult result;
+    if (w == config_.ways) {
+        ++misses_;
+        return result;
+    }
+    ++hits_;
+    Way &way = ways_[set * config_.ways + w];
+    if (is_write)
+        way.dirty = true;
+    policy_->touch(set, w);
+    result.hit = true;
+    result.dcp = way.dcp;
+    return result;
+}
+
+bool
+SramCache::contains(LineAddr line) const
+{
+    return findWay(setOf(line), tagOf(line)) != config_.ways;
+}
+
+SramEviction
+SramCache::fill(LineAddr line, bool dirty, bool dcp)
+{
+    const std::uint64_t set = setOf(line);
+    const std::uint64_t tag = tagOf(line);
+    const std::uint64_t base = set * config_.ways;
+
+    // Prefer an invalid way; otherwise ask the policy for a victim.
+    std::uint32_t w = config_.ways;
+    for (std::uint32_t i = 0; i < config_.ways; ++i) {
+        if (!ways_[base + i].valid) {
+            w = i;
+            break;
+        }
+    }
+
+    SramEviction evicted;
+    if (w == config_.ways) {
+        w = policy_->victim(set);
+        Way &victim = ways_[base + w];
+        bear_assert(victim.valid, config_.name, ": victim must be valid");
+        evicted.valid = true;
+        evicted.line = victim.tag * sets_ + set;
+        evicted.dirty = victim.dirty;
+        evicted.dcp = victim.dcp;
+        ++evictions_;
+        if (victim.dirty)
+            ++dirty_evictions_;
+    }
+
+    Way &way = ways_[base + w];
+    way.tag = tag;
+    way.valid = true;
+    way.dirty = dirty;
+    way.dcp = dcp;
+    policy_->touch(set, w);
+    return evicted;
+}
+
+SramEviction
+SramCache::invalidate(LineAddr line)
+{
+    const std::uint64_t set = setOf(line);
+    const std::uint32_t w = findWay(set, tagOf(line));
+    SramEviction evicted;
+    if (w == config_.ways)
+        return evicted;
+    Way &way = ways_[set * config_.ways + w];
+    evicted.valid = true;
+    evicted.line = line;
+    evicted.dirty = way.dirty;
+    evicted.dcp = way.dcp;
+    way.valid = false;
+    way.dirty = false;
+    way.dcp = false;
+    policy_->invalidate(set, w);
+    return evicted;
+}
+
+void
+SramCache::clearPresence(LineAddr line)
+{
+    const std::uint64_t set = setOf(line);
+    const std::uint32_t w = findWay(set, tagOf(line));
+    if (w != config_.ways)
+        ways_[set * config_.ways + w].dcp = false;
+}
+
+void
+SramCache::setPresence(LineAddr line)
+{
+    const std::uint64_t set = setOf(line);
+    const std::uint32_t w = findWay(set, tagOf(line));
+    if (w != config_.ways)
+        ways_[set * config_.ways + w].dcp = true;
+}
+
+bool
+SramCache::presence(LineAddr line) const
+{
+    const std::uint64_t set = setOf(line);
+    const std::uint32_t w = findWay(set, tagOf(line));
+    return w != config_.ways && ways_[set * config_.ways + w].dcp;
+}
+
+std::uint64_t
+SramCache::linesValid() const
+{
+    std::uint64_t n = 0;
+    for (const auto &w : ways_)
+        n += w.valid ? 1 : 0;
+    return n;
+}
+
+void
+SramCache::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+    dirty_evictions_ = 0;
+}
+
+} // namespace bear

@@ -1,0 +1,197 @@
+#include "common/json.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+JsonWriter::JsonWriter() = default;
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty())
+        return;
+    if (stack_.back() == Scope::Object) {
+        bear_assert(pending_key_,
+                    "JSON: value inside an object requires a key");
+        pending_key_ = false;
+        return;
+    }
+    bear_assert(!pending_key_, "JSON: key inside an array");
+    if (has_items_.back())
+        out_ << ',';
+    has_items_.back() = true;
+}
+
+void
+JsonWriter::rawKey(const std::string &k)
+{
+    bear_assert(!stack_.empty() && stack_.back() == Scope::Object,
+                "JSON: key outside an object");
+    bear_assert(!pending_key_, "JSON: two keys in a row");
+    if (has_items_.back())
+        out_ << ',';
+    has_items_.back() = true;
+    out_ << '"' << escape(k) << "\":";
+    pending_key_ = true;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    rawKey(k);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ << '{';
+    stack_.push_back(Scope::Object);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject(const std::string &k)
+{
+    rawKey(k);
+    return beginObject();
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    bear_assert(!stack_.empty() && stack_.back() == Scope::Object,
+                "JSON: endObject without object");
+    bear_assert(!pending_key_, "JSON: dangling key at endObject");
+    out_ << '}';
+    stack_.pop_back();
+    has_items_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ << '[';
+    stack_.push_back(Scope::Array);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray(const std::string &k)
+{
+    rawKey(k);
+    return beginArray();
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    bear_assert(!stack_.empty() && stack_.back() == Scope::Array,
+                "JSON: endArray without array");
+    out_ << ']';
+    stack_.pop_back();
+    has_items_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeValue();
+    out_ << '"' << escape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    out_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ << (v ? "true" : "false");
+    return *this;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonWriter::str() const
+{
+    bear_assert(stack_.empty(), "JSON: unbalanced nesting at str()");
+    return out_.str();
+}
+
+} // namespace bear

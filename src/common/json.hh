@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal JSON writer for machine-readable experiment output.
+ *
+ * The bench binaries print human-readable tables; downstream plotting
+ * wants structured data.  JsonWriter emits well-formed JSON with a
+ * push interface: objects and arrays open/close, keyed or plain values
+ * in between.  Strings are escaped; doubles use round-trippable
+ * formatting.  The writer panics on misuse (value without a key inside
+ * an object, key inside an array) so malformed output is impossible.
+ */
+
+#ifndef BEAR_COMMON_JSON_HH
+#define BEAR_COMMON_JSON_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bear
+{
+
+/** Streaming JSON document builder. */
+class JsonWriter
+{
+  public:
+    JsonWriter();
+
+    JsonWriter &beginObject();
+    JsonWriter &beginObject(const std::string &key);
+    JsonWriter &endObject();
+
+    JsonWriter &beginArray();
+    JsonWriter &beginArray(const std::string &key);
+    JsonWriter &endArray();
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(bool v);
+
+    JsonWriter &key(const std::string &k);
+
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** Finish and return the document; panics on unbalanced nesting. */
+    std::string str() const;
+
+  private:
+    enum class Scope { Object, Array };
+
+    void beforeValue();
+    void rawKey(const std::string &k);
+    static std::string escape(const std::string &s);
+
+    std::ostringstream out_;
+    std::vector<Scope> stack_;
+    std::vector<bool> has_items_;
+    bool pending_key_ = false;
+};
+
+} // namespace bear
+
+#endif // BEAR_COMMON_JSON_HH

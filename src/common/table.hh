@@ -1,0 +1,40 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harnesses.
+ *
+ * Each bench binary regenerates one table or figure from the paper;
+ * Table gives them a uniform, aligned textual presentation.
+ */
+
+#ifndef BEAR_COMMON_TABLE_HH
+#define BEAR_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace bear
+{
+
+/** Column-aligned ASCII table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render with padding and a separator under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace bear
+
+#endif // BEAR_COMMON_TABLE_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fundamental types and constants shared by every subsystem.
+ *
+ * All addresses are byte addresses in a flat 64-bit physical or virtual
+ * space.  Time is measured in CPU cycles of the 3.2 GHz core clock
+ * (paper Table 1); DRAM timing parameters are expressed in the same
+ * unit so that no clock-domain conversion is needed in the hot path.
+ */
+
+#ifndef BEAR_COMMON_TYPES_HH
+#define BEAR_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace bear
+{
+
+/** Byte address (virtual or physical, 64-bit flat). */
+using Addr = std::uint64_t;
+
+/** Cache-line-granular address (byte address >> 6). */
+using LineAddr = std::uint64_t;
+
+/** Time in CPU cycles (3.2 GHz core clock). */
+using Cycle = std::uint64_t;
+
+/** Program counter of the instruction issuing a memory reference. */
+using Pc = std::uint64_t;
+
+/** Identifier of a core in the simulated system. */
+using CoreId = std::uint32_t;
+
+/** Cache line size used throughout the hierarchy (paper Section 3.1). */
+constexpr std::uint64_t kLineSize = 64;
+constexpr std::uint64_t kLineShift = 6;
+
+/** 4 KB pages for the virtual memory system. */
+constexpr std::uint64_t kPageSize = 4096;
+constexpr std::uint64_t kPageShift = 12;
+
+/** Alloy Cache Tag-And-Data entry: 8 B tag + 64 B data (paper Sec 6.1). */
+constexpr std::uint64_t kTadSize = 72;
+
+/**
+ * Bytes actually moved on the bus per TAD access: the 128-bit bus
+ * transfers the 72-byte TAD in five 16-byte beats = 80 bytes
+ * (paper Figure 10).
+ */
+constexpr std::uint64_t kTadTransfer = 80;
+
+/** Convert a byte address to a line address. */
+constexpr LineAddr
+lineOf(Addr addr)
+{
+    return addr >> kLineShift;
+}
+
+/** Convert a line address back to the base byte address of the line. */
+constexpr Addr
+addrOf(LineAddr line)
+{
+    return line << kLineShift;
+}
+
+} // namespace bear
+
+#endif // BEAR_COMMON_TYPES_HH

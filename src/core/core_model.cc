@@ -1,0 +1,3 @@
+// CoreModel is header-only; this translation unit anchors it in the
+// library.
+#include "core/core_model.hh"

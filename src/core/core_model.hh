@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Timing model of one 2-wide out-of-order core (paper Table 1).
+ *
+ * Instructions that are not LLC misses retire at the core's base CPI
+ * (0.5 for a 2-wide machine).  LLC misses are non-blocking: up to
+ * kMshrs misses may be outstanding, so independent misses overlap
+ * (memory-level parallelism); a *dependent* miss — one whose value
+ * feeds the immediately following computation, typical of pointer
+ * chasing — stalls the core until its data returns.  The interaction
+ * of this window with DRAM-cache queueing delay is exactly the
+ * feedback loop through which bandwidth bloat costs performance.
+ */
+
+#ifndef BEAR_CORE_CORE_MODEL_HH
+#define BEAR_CORE_CORE_MODEL_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace bear
+{
+
+/** Per-core cycle/instruction accounting with an MSHR window. */
+class CoreModel
+{
+  public:
+    static constexpr std::uint32_t kMshrs = 8;
+
+    explicit CoreModel(CoreId id, double base_cpi = 0.5)
+        : id_(id), base_cpi_(base_cpi)
+    {
+        outstanding_.fill(0);
+    }
+
+    CoreId id() const { return id_; }
+    Cycle cycle() const { return cycle_; }
+    std::uint64_t instructions() const { return instructions_; }
+
+    /** When the core can present its next reference to the hierarchy. */
+    Cycle nextReady() const { return cycle_; }
+
+    /** Retire @p count non-memory instructions. */
+    void
+    advanceInstructions(std::uint32_t count)
+    {
+        instructions_ += count;
+        accumulated_cpi_ += base_cpi_ * count;
+        const auto whole = static_cast<Cycle>(accumulated_cpi_);
+        cycle_ += whole;
+        accumulated_cpi_ -= static_cast<double>(whole);
+    }
+
+    /** An on-chip access completed with @p latency; @p dependent loads
+     *  expose the latency, independent ones retire in a cycle. */
+    void
+    completeOnChip(Cycle latency, bool dependent)
+    {
+        ++instructions_;
+        cycle_ += dependent ? latency : 1;
+    }
+
+    /**
+     * An LLC miss completing at absolute time @p data_ready.
+     * Dependent misses stall the core; independent misses take an
+     * MSHR and only stall when the window is full.
+     */
+    void
+    completeMiss(Cycle data_ready, bool dependent)
+    {
+        ++instructions_;
+        if (dependent) {
+            cycle_ = data_ready > cycle_ ? data_ready : cycle_;
+            return;
+        }
+        // Claim the MSHR with the earliest completion; if it is still
+        // in flight the core stalls until it frees.
+        std::uint32_t slot = 0;
+        Cycle earliest = outstanding_[0];
+        for (std::uint32_t i = 1; i < kMshrs; ++i) {
+            if (outstanding_[i] < earliest) {
+                earliest = outstanding_[i];
+                slot = i;
+            }
+        }
+        if (earliest > cycle_)
+            cycle_ = earliest;
+        outstanding_[slot] = data_ready;
+        cycle_ += 1;
+    }
+
+    /** Snapshot counters at the warm-up boundary. */
+    void
+    markEpoch()
+    {
+        epoch_cycle_ = cycle_;
+        epoch_instructions_ = instructions_;
+    }
+
+    Cycle cyclesSinceEpoch() const { return cycle_ - epoch_cycle_; }
+
+    std::uint64_t
+    instructionsSinceEpoch() const
+    {
+        return instructions_ - epoch_instructions_;
+    }
+
+    double
+    ipcSinceEpoch() const
+    {
+        const Cycle c = cyclesSinceEpoch();
+        return c ? static_cast<double>(instructionsSinceEpoch())
+                / static_cast<double>(c)
+            : 0.0;
+    }
+
+  private:
+    CoreId id_;
+    double base_cpi_;
+    Cycle cycle_ = 0;
+    double accumulated_cpi_ = 0.0;
+    std::uint64_t instructions_ = 0;
+    std::array<Cycle, kMshrs> outstanding_;
+
+    Cycle epoch_cycle_ = 0;
+    std::uint64_t epoch_instructions_ = 0;
+};
+
+} // namespace bear
+
+#endif // BEAR_CORE_CORE_MODEL_HH

@@ -1,0 +1,399 @@
+#include "dramcache/alloy_cache.hh"
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+AlloyCache::AlloyCache(const AlloyConfig &config, DramSystem &dram,
+                       DramSystem &memory, BloatTracker &bloat)
+    : DramCache(dram, memory, bloat), config_(config),
+      sets_(config.capacityBytes / kLineSize),
+      layout_(sets_, dram.geometry()), tads_(sets_),
+      fill_rng_(config.seed)
+{
+    bear_assert(sets_ > 0, "Alloy cache needs capacity");
+    if (config_.inclusive) {
+        bear_assert(config_.fillPolicy == FillPolicy::Always,
+                    "an inclusive DRAM cache cannot bypass fills "
+                    "(paper Section 5.1)");
+        bear_assert(!config_.useDcp,
+                    "DCP is redundant under inclusion: writebacks are "
+                    "guaranteed to hit");
+    }
+    if (config_.useMapI)
+        mapi_ = std::make_unique<MapIPredictor>(config.cores);
+    if (config_.fillPolicy == FillPolicy::BandwidthAware) {
+        BabConfig bab = config_.bab;
+        bab.bypassProbability = config_.bypassProbability;
+        bab_ = std::make_unique<BandwidthAwareBypass>(sets_, bab,
+                                                      config.seed ^ 0xBAB);
+    }
+    if (config_.useNtc) {
+        ntc_ = std::make_unique<NeighboringTagCache>(
+            dram.geometry().totalBanks(), config.ntcEntriesPerBank);
+    }
+    if (config_.useTtc) {
+        // One logical "bank": a global LRU pool over recent sets.
+        ttc_ = std::make_unique<NeighboringTagCache>(1,
+                                                     config.ttcEntries);
+    }
+}
+
+std::uint32_t
+AlloyCache::bankIdOf(const DramCoord &coord) const
+{
+    return coord.channel * dram_.geometry().banksPerChannel + coord.bank;
+}
+
+bool
+AlloyCache::decideBypass(std::uint64_t set)
+{
+    switch (config_.fillPolicy) {
+      case FillPolicy::Always:
+        return false;
+      case FillPolicy::Probabilistic:
+        return fill_rng_.chance(config_.bypassProbability);
+      case FillPolicy::BandwidthAware:
+        return bab_->shouldBypass(set);
+    }
+    bear_panic("bad fill policy");
+}
+
+void
+AlloyCache::recordTemporal(std::uint64_t set)
+{
+    if (!ttc_)
+        return;
+    const Tad &tad = tads_[set];
+    ttc_->record(0, set, tad.tag, tad.valid, tad.dirty);
+}
+
+void
+AlloyCache::captureNeighbor(std::uint64_t set, const DramCoord &coord)
+{
+    if (!ntc_)
+        return;
+    const std::uint64_t neighbor = layout_.neighborOf(set);
+    if (neighbor == sets_)
+        return;
+    const Tad &tad = tads_[neighbor];
+    // The neighbour shares the row, hence the bank, with @p set.
+    ntc_->record(bankIdOf(coord), neighbor, tad.tag, tad.valid, tad.dirty);
+}
+
+void
+AlloyCache::install(Cycle at, std::uint64_t set, LineAddr line,
+                    const DramCoord &coord, bool victim_known)
+{
+    Tad &tad = tads_[set];
+    if (tad.valid) {
+        if (tad.dirty) {
+            if (!victim_known) {
+                // No probe fetched the victim: read it out before
+                // overwriting (Dirty Eviction bandwidth, Section 8).
+                dram_.read(at, coord, kTadTransfer);
+                bloat_.note(BloatCategory::DirtyEviction, kTadTransfer);
+            }
+            memory_.writeLine(at, tad.tag * sets_ + set);
+        }
+        const LineAddr victim_line = tad.tag * sets_ + set;
+        if (notifyEviction(victim_line)) {
+            // Inclusive flow: a dirty on-chip copy was dropped by the
+            // back-invalidation; its data goes to main memory.
+            memory_.writeLine(at, victim_line);
+        }
+    }
+    tad.tag = tagOf(line);
+    tad.valid = true;
+    tad.dirty = false;
+    dram_.write(at, coord, kTadTransfer);
+    bloat_.note(BloatCategory::MissFill, kTadTransfer);
+    if (ntc_)
+        ntc_->updateIfCached(bankIdOf(coord), set, tad.tag, true, false);
+    if (ttc_)
+        ttc_->updateIfCached(0, set, tad.tag, true, false);
+}
+
+DramCacheReadOutcome
+AlloyCache::read(Cycle at, LineAddr line, Pc pc, CoreId core)
+{
+    const std::uint64_t set = setOf(line);
+    const std::uint64_t tag = tagOf(line);
+    const DramCoord coord = layout_.coordOf(set);
+    const Tad &tad = tads_[set];
+    const bool actual_hit = tad.valid && tad.tag == tag;
+
+    DramCacheReadOutcome outcome;
+
+    bool parallel_mem = false;
+    if (mapi_) {
+        const bool predicted_hit = mapi_->predictHit(core, pc);
+        parallel_mem = !predicted_hit;
+    }
+
+    NtcVerdict verdict = NtcVerdict::NoInfo;
+    bool verdict_from_ttc = false;
+    if (ntc_)
+        verdict = ntc_->lookup(bankIdOf(coord), set, tag);
+    if (verdict == NtcVerdict::NoInfo && ttc_) {
+        verdict = ttc_->lookup(0, set, tag);
+        verdict_from_ttc = verdict != NtcVerdict::NoInfo;
+    }
+
+    if (verdict == NtcVerdict::Present) {
+        bear_assert(actual_hit, "NTC presence guarantee violated");
+        if (parallel_mem) {
+            // Side benefit (Section 6.2): squash the useless parallel
+            // memory access the miss predictor would have issued.
+            parallel_mem = false;
+            ++parallel_squashed_;
+        }
+    }
+    const bool guaranteed_miss = verdict == NtcVerdict::AbsentClean
+        || verdict == NtcVerdict::AbsentDirty;
+    if (guaranteed_miss)
+        bear_assert(!actual_hit, "NTC absence guarantee violated");
+
+    if (bab_)
+        bab_->recordAccess(set, actual_hit);
+
+    if (guaranteed_miss) {
+        // Miss Probe avoided: go straight to main memory.
+        if (verdict_from_ttc) {
+            ttc_->noteProbeAvoided();
+            ++ttc_probes_avoided_;
+        } else {
+            ntc_->noteProbeAvoided();
+            ++probes_avoided_;
+        }
+        ++demand_misses_;
+        if (mapi_)
+            mapi_->update(core, pc, false);
+
+        const DramResult mem = memory_.readLine(at, line);
+        outcome.dataReady = mem.dataReady;
+        miss_latency_.sample(static_cast<double>(mem.dataReady - at));
+
+        if (!decideBypass(set)) {
+            if (verdict == NtcVerdict::AbsentDirty) {
+                // Filling over a dirty victim still requires the probe
+                // read, for correctness (Section 6.1).
+                dram_.read(at, coord, kTadTransfer);
+                bloat_.note(BloatCategory::MissProbe, kTadTransfer);
+            }
+            install(at, set, line, coord, /*victim_known=*/true);
+            outcome.presentAfter = true;
+        } else {
+            ++fills_bypassed_;
+        }
+        recordTemporal(set);
+        return outcome;
+    }
+
+    // Normal path: probe the TAD (this read services hits directly).
+    const DramResult probe = dram_.read(at, coord, kTadTransfer);
+    captureNeighbor(set, coord);
+
+    if (parallel_mem) {
+        // Speculative parallel access to main memory.
+        const DramResult mem = memory_.readLine(at, line);
+        if (actual_hit) {
+            ++parallel_wasted_;
+            (void)mem;
+        } else {
+            // The prediction paid off: data comes from memory without
+            // waiting for the probe to confirm the miss.
+            outcome.dataReady = std::max(mem.dataReady, probe.dataReady);
+        }
+    }
+
+    if (mapi_)
+        mapi_->update(core, pc, actual_hit);
+
+    if (actual_hit) {
+        ++demand_hits_;
+        bloat_.note(BloatCategory::HitProbe, kTadTransfer);
+        bloat_.noteUseful();
+        outcome.hit = true;
+        outcome.presentAfter = true;
+        outcome.dataReady = probe.dataReady;
+        hit_latency_.sample(static_cast<double>(probe.dataReady - at));
+        recordTemporal(set);
+        return outcome;
+    }
+
+    // Actual miss through the probe path.
+    ++demand_misses_;
+    bloat_.note(BloatCategory::MissProbe, kTadTransfer);
+    if (!parallel_mem) {
+        // Predicted hit but missed: memory access serialises behind
+        // the probe.
+        const DramResult mem = memory_.readLine(probe.dataReady, line);
+        outcome.dataReady = mem.dataReady;
+    }
+    miss_latency_.sample(static_cast<double>(outcome.dataReady - at));
+
+    if (!decideBypass(set)) {
+        install(probe.dataReady, set, line, coord, /*victim_known=*/true);
+        outcome.presentAfter = true;
+    } else {
+        ++fills_bypassed_;
+    }
+    recordTemporal(set);
+    return outcome;
+}
+
+void
+AlloyCache::writeback(Cycle at, LineAddr line, bool dcp)
+{
+    const std::uint64_t set = setOf(line);
+    const std::uint64_t tag = tagOf(line);
+    const DramCoord coord = layout_.coordOf(set);
+    Tad &tad = tads_[set];
+    const bool present = tad.valid && tad.tag == tag;
+
+    auto do_update = [&](Cycle when) {
+        tad.dirty = true;
+        dram_.write(when, coord, kTadTransfer);
+        bloat_.note(BloatCategory::WritebackUpdate, kTadTransfer);
+        if (ntc_)
+            ntc_->updateIfCached(bankIdOf(coord), set, tad.tag, true, true);
+        if (ttc_)
+            ttc_->updateIfCached(0, set, tad.tag, true, true);
+        ++writeback_hits_;
+    };
+
+    if (config_.inclusive) {
+        // Inclusion guarantees residence for any line the LLC holds;
+        // a writeback can still race with a concurrent DRAM-cache
+        // eviction of the same line (the back-invalidation and the
+        // in-flight writeback cross).  The dirty data then goes to
+        // main memory, as the hardware flow would route it.
+        ++wb_probes_avoided_;
+        if (present) {
+            do_update(at);
+        } else {
+            ++wb_races_;
+            ++writeback_misses_;
+            memory_.writeLine(at, line);
+        }
+        return;
+    }
+
+    if (config_.useDcp) {
+        ++wb_probes_avoided_;
+        if (dcp && present) {
+            // The common case: guaranteed resident, update in place.
+            do_update(at);
+        } else if (!dcp && !present) {
+            // Guaranteed absent under the no-allocate writeback
+            // policy: send the dirty data straight to main memory.
+            ++writeback_misses_;
+            memory_.writeLine(at, line);
+        } else {
+            // In-flight race: the presence bit was captured at LLC
+            // eviction time and the DRAM cache changed underneath
+            // (eviction notification or demand fill crossing this
+            // writeback).  Resolve by the actual state.
+            ++wb_races_;
+            if (present) {
+                do_update(at);
+            } else {
+                ++writeback_misses_;
+                memory_.writeLine(at, line);
+            }
+        }
+        return;
+    }
+
+    // Baseline: Writeback Probe, then update or forward to memory.
+    const DramResult probe = dram_.read(at, coord, kTadTransfer);
+    bloat_.note(BloatCategory::WritebackProbe, kTadTransfer);
+    if (ntc_)
+        captureNeighbor(set, coord);
+    if (present) {
+        do_update(probe.dataReady);
+        return;
+    }
+    ++writeback_misses_;
+    if (!config_.writebackAllocate) {
+        memory_.writeLine(probe.dataReady, line);
+        return;
+    }
+    // Writeback-allocate ablation: install the dirty line, replacing
+    // the resident victim (the probe already fetched it, so a dirty
+    // victim costs no extra read — paper footnote 4).
+    if (tad.valid) {
+        if (tad.dirty)
+            memory_.writeLine(probe.dataReady, tad.tag * sets_ + set);
+        if (notifyEviction(tad.tag * sets_ + set))
+            memory_.writeLine(probe.dataReady, tad.tag * sets_ + set);
+    }
+    tad.tag = tag;
+    tad.valid = true;
+    tad.dirty = true;
+    dram_.write(probe.dataReady, coord, kTadTransfer);
+    bloat_.note(BloatCategory::WritebackFill, kTadTransfer);
+    if (ntc_)
+        ntc_->updateIfCached(bankIdOf(coord), set, tag, true, true);
+    if (ttc_)
+        ttc_->updateIfCached(0, set, tag, true, true);
+}
+
+bool
+AlloyCache::contains(LineAddr line) const
+{
+    const Tad &tad = tads_[setOf(line)];
+    return tad.valid && tad.tag == tagOf(line);
+}
+
+bool
+AlloyCache::isDirty(LineAddr line) const
+{
+    const Tad &tad = tads_[setOf(line)];
+    return tad.valid && tad.tag == tagOf(line) && tad.dirty;
+}
+
+std::uint64_t
+AlloyCache::sramOverheadBytes() const
+{
+    std::uint64_t bits = 0;
+    if (mapi_)
+        bits += mapi_->storageBits();
+    if (bab_)
+        bits += bab_->storageBits();
+    std::uint64_t bytes = (bits + 7) / 8;
+    if (ntc_)
+        bytes += ntc_->storageBytes();
+    if (ttc_) {
+        // ~6 bytes per entry: set index + tag + valid/dirty bits.
+        bytes += static_cast<std::uint64_t>(config_.ttcEntries) * 6;
+    }
+    return bytes;
+}
+
+void
+AlloyCache::resetStats()
+{
+    DramCache::resetStats();
+    hit_latency_.reset();
+    miss_latency_.reset();
+    fills_bypassed_ = 0;
+    wb_races_ = 0;
+    probes_avoided_ = 0;
+    ttc_probes_avoided_ = 0;
+    wb_probes_avoided_ = 0;
+    parallel_squashed_ = 0;
+    parallel_wasted_ = 0;
+    if (mapi_)
+        mapi_->resetStats();
+    if (bab_)
+        bab_->resetStats();
+    if (ntc_)
+        ntc_->resetStats();
+    if (ttc_)
+        ttc_->resetStats();
+}
+
+} // namespace bear

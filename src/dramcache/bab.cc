@@ -1,0 +1,113 @@
+#include "dramcache/bab.hh"
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+BandwidthAwareBypass::BandwidthAwareBypass(std::uint64_t sets,
+                                           const BabConfig &config,
+                                           std::uint64_t seed)
+    : sets_(sets), config_(config), rng_(seed)
+{
+    bear_assert(sets >= config.samplingRatio,
+                "too few sets for the sampling monitors");
+    bear_assert(config.bypassProbability >= 0.0
+                && config.bypassProbability <= 1.0,
+                "bypass probability must be in [0,1]");
+}
+
+BandwidthAwareBypass::SetRole
+BandwidthAwareBypass::roleOf(std::uint64_t set) const
+{
+    // Spread the monitor sets across the cache with a cheap hash of the
+    // set index so that region-local workloads still sample both
+    // monitors.
+    const std::uint64_t mixed = (set * 0x9E3779B97F4A7C15ULL) >> 32;
+    const std::uint64_t slot = mixed % config_.samplingRatio;
+    if (slot == 0)
+        return SetRole::FollowPb;
+    if (slot == 1)
+        return SetRole::FollowBaseline;
+    return SetRole::Follower;
+}
+
+bool
+BandwidthAwareBypass::shouldBypass(std::uint64_t set)
+{
+    bool bypass = false;
+    switch (roleOf(set)) {
+      case SetRole::FollowPb:
+        bypass = rng_.chance(config_.bypassProbability);
+        break;
+      case SetRole::FollowBaseline:
+        bypass = false;
+        break;
+      case SetRole::Follower:
+        bypass = pb_mode_ && rng_.chance(config_.bypassProbability);
+        break;
+    }
+    if (bypass)
+        ++bypasses_;
+    return bypass;
+}
+
+void
+BandwidthAwareBypass::recordAccess(std::uint64_t set, bool hit)
+{
+    switch (roleOf(set)) {
+      case SetRole::FollowPb:
+        ++pb_accesses_;
+        if (!hit)
+            ++pb_misses_;
+        break;
+      case SetRole::FollowBaseline:
+        ++base_accesses_;
+        if (!hit)
+            ++base_misses_;
+        break;
+      case SetRole::Follower:
+        return;
+    }
+    maybeReevaluate();
+}
+
+double
+BandwidthAwareBypass::pbMissRate() const
+{
+    return pb_accesses_
+        ? static_cast<double>(pb_misses_)
+            / static_cast<double>(pb_accesses_)
+        : 0.0;
+}
+
+double
+BandwidthAwareBypass::baselineMissRate() const
+{
+    return base_accesses_
+        ? static_cast<double>(base_misses_)
+            / static_cast<double>(base_accesses_)
+        : 0.0;
+}
+
+void
+BandwidthAwareBypass::maybeReevaluate()
+{
+    if (pb_accesses_ < config_.counterMax
+        && base_accesses_ < config_.counterMax) {
+        return;
+    }
+    // Mode decision at the saturation epoch (paper Section 4.2): keep
+    // PB while its miss-rate penalty stays below Delta = hit_rate/16.
+    const double base_miss = baselineMissRate();
+    const double delta =
+        (1.0 - base_miss) * (1.0 - config_.hitRateRetention);
+    pb_mode_ = (pbMissRate() - base_miss) < delta;
+
+    pb_accesses_ >>= 1;
+    pb_misses_ >>= 1;
+    base_accesses_ >>= 1;
+    base_misses_ >>= 1;
+}
+
+} // namespace bear

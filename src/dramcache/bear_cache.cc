@@ -1,0 +1,135 @@
+#include "dramcache/bear_cache.hh"
+
+#include "common/log.hh"
+#include "dramcache/bwopt_cache.hh"
+#include "dramcache/loh_hill_cache.hh"
+#include "dramcache/mc_cache.hh"
+#include "dramcache/no_cache.hh"
+#include "dramcache/sector_cache.hh"
+#include "dramcache/tis_cache.hh"
+
+namespace bear
+{
+
+const char *
+designName(DesignKind kind)
+{
+    switch (kind) {
+      case DesignKind::Alloy:
+        return "Alloy";
+      case DesignKind::ProbBypass50:
+        return "PB50";
+      case DesignKind::ProbBypass90:
+        return "PB90";
+      case DesignKind::Bab:
+        return "BAB";
+      case DesignKind::BabDcp:
+        return "BAB+DCP";
+      case DesignKind::Bear:
+        return "BEAR";
+      case DesignKind::InclusiveAlloy:
+        return "Incl-Alloy";
+      case DesignKind::LohHill:
+        return "LH";
+      case DesignKind::MostlyClean:
+        return "MC";
+      case DesignKind::TagsInSram:
+        return "TIS";
+      case DesignKind::SectorCache:
+        return "SC";
+      case DesignKind::FootprintCache:
+        return "FC";
+      case DesignKind::BwOptimized:
+        return "BW-Opt";
+      case DesignKind::NoCache:
+        return "NoDRAMCache";
+    }
+    bear_panic("bad design kind");
+}
+
+AlloyConfig
+makeAlloyConfig(DesignKind kind, const DesignParams &params)
+{
+    AlloyConfig config;
+    config.name = designName(kind);
+    config.capacityBytes = params.capacityBytes;
+    config.cores = params.cores;
+    config.seed = params.seed;
+
+    switch (kind) {
+      case DesignKind::Alloy:
+        break;
+      case DesignKind::ProbBypass50:
+        config.fillPolicy = FillPolicy::Probabilistic;
+        config.bypassProbability = 0.5;
+        break;
+      case DesignKind::ProbBypass90:
+        config.fillPolicy = FillPolicy::Probabilistic;
+        config.bypassProbability = 0.9;
+        break;
+      case DesignKind::Bab:
+        config.fillPolicy = FillPolicy::BandwidthAware;
+        break;
+      case DesignKind::BabDcp:
+        config.fillPolicy = FillPolicy::BandwidthAware;
+        config.useDcp = true;
+        break;
+      case DesignKind::Bear:
+        config.fillPolicy = FillPolicy::BandwidthAware;
+        config.useDcp = true;
+        config.useNtc = true;
+        break;
+      case DesignKind::InclusiveAlloy:
+        config.inclusive = true;
+        break;
+      default:
+        bear_panic("not an Alloy-family design: ", designName(kind));
+    }
+    return config;
+}
+
+std::unique_ptr<DramCache>
+makeDesign(DesignKind kind, const DesignParams &params, DramSystem &dram,
+           DramSystem &memory, BloatTracker &bloat)
+{
+    switch (kind) {
+      case DesignKind::Alloy:
+      case DesignKind::ProbBypass50:
+      case DesignKind::ProbBypass90:
+      case DesignKind::Bab:
+      case DesignKind::BabDcp:
+      case DesignKind::Bear:
+      case DesignKind::InclusiveAlloy:
+        return std::make_unique<AlloyCache>(makeAlloyConfig(kind, params),
+                                            dram, memory, bloat);
+      case DesignKind::LohHill:
+        return std::make_unique<LohHillCache>(
+            makeLohHillConfig(params.capacityBytes), dram, memory, bloat);
+      case DesignKind::MostlyClean:
+        return std::make_unique<LohHillCache>(
+            makeMostlyCleanConfig(params.capacityBytes), dram, memory,
+            bloat);
+      case DesignKind::TagsInSram:
+        return std::make_unique<TisCache>(params.capacityBytes, dram,
+                                          memory, bloat);
+      case DesignKind::SectorCache:
+        return std::make_unique<SectorCache>(params.capacityBytes, dram,
+                                             memory, bloat);
+      case DesignKind::FootprintCache: {
+        SectorCacheConfig config;
+        config.name = "FC";
+        config.capacityBytes = params.capacityBytes;
+        config.footprintPrefetch = true;
+        return std::make_unique<SectorCache>(config, dram, memory,
+                                             bloat);
+      }
+      case DesignKind::BwOptimized:
+        return std::make_unique<BwOptCache>(params.capacityBytes, dram,
+                                            memory, bloat);
+      case DesignKind::NoCache:
+        return std::make_unique<NoCache>(dram, memory, bloat);
+    }
+    bear_panic("bad design kind");
+}
+
+} // namespace bear

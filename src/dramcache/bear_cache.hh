@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Factories for the named DRAM-cache configurations of the paper.
+ *
+ * Every design evaluated in the paper is constructible here by name:
+ *
+ *   Alloy       - baseline Alloy Cache with MAP-I (Section 3.1)
+ *   PB50 / PB90 - probabilistic bypass (Figure 5)
+ *   BAB         - Alloy + Bandwidth-Aware Bypass (Figure 7)
+ *   BAB+DCP     - + DRAM-Cache Presence (Figure 9)
+ *   BEAR        - BAB + DCP + NTC (Figures 11-13)
+ *   Incl-Alloy  - inclusive Alloy (Section 7.5)
+ *   LH          - Loh-Hill 29-way cache with MissMap (Section 2.1)
+ *   MC          - Mostly-Clean cache (Section 7.5)
+ *   TIS         - idealised Tags-In-SRAM 32-way cache (Section 8)
+ *   SC          - Sector Cache, 4 KB sectors (Section 8)
+ *   FC          - Footprint Cache: SC + footprint prefetch (Sec 9.1)
+ *   BW-Opt      - idealised bandwidth-optimised cache (Section 2.2)
+ *   None        - no DRAM cache (Figure 17 normalisation)
+ */
+
+#ifndef BEAR_DRAMCACHE_BEAR_CACHE_HH
+#define BEAR_DRAMCACHE_BEAR_CACHE_HH
+
+#include <memory>
+#include <string>
+
+#include "dramcache/alloy_cache.hh"
+#include "dramcache/dram_cache.hh"
+
+namespace bear
+{
+
+/** Enumerates every design the benchmark harnesses instantiate. */
+enum class DesignKind
+{
+    Alloy,
+    ProbBypass50,
+    ProbBypass90,
+    Bab,
+    BabDcp,
+    Bear,
+    InclusiveAlloy,
+    LohHill,
+    MostlyClean,
+    TagsInSram,
+    SectorCache,
+    FootprintCache,
+    BwOptimized,
+    NoCache
+};
+
+/** Parse/format helpers for CLI-facing tools. */
+const char *designName(DesignKind kind);
+
+/** Knobs shared by the factory functions. */
+struct DesignParams
+{
+    std::uint64_t capacityBytes = 1ULL << 30;
+    std::uint32_t cores = 8;
+    std::uint64_t seed = 0xA110C;
+};
+
+/** Build the Alloy-family config for @p kind (Alloy..Incl-Alloy). */
+AlloyConfig makeAlloyConfig(DesignKind kind, const DesignParams &params);
+
+/** Instantiate any design. */
+std::unique_ptr<DramCache> makeDesign(DesignKind kind,
+                                      const DesignParams &params,
+                                      DramSystem &dram, DramSystem &memory,
+                                      BloatTracker &bloat);
+
+} // namespace bear
+
+#endif // BEAR_DRAMCACHE_BEAR_CACHE_HH

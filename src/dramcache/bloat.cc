@@ -1,0 +1,83 @@
+#include "dramcache/bloat.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+const char *
+bloatCategoryName(BloatCategory c)
+{
+    switch (c) {
+      case BloatCategory::HitProbe:
+        return "Hit";
+      case BloatCategory::MissProbe:
+        return "MissProbe";
+      case BloatCategory::MissFill:
+        return "MissFill";
+      case BloatCategory::WritebackProbe:
+        return "WbProbe";
+      case BloatCategory::WritebackUpdate:
+        return "WbUpdate";
+      case BloatCategory::WritebackFill:
+        return "WbFill";
+      case BloatCategory::DirtyEviction:
+        return "DirtyEvict";
+      case BloatCategory::NumCategories:
+        break;
+    }
+    bear_panic("bad bloat category");
+}
+
+std::uint64_t
+BloatTracker::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (auto b : bytes_)
+        total += b;
+    return total;
+}
+
+double
+BloatTracker::bloatFactor() const
+{
+    if (useful_bytes_ == 0)
+        return 0.0;
+    return static_cast<double>(totalBytes())
+        / static_cast<double>(useful_bytes_);
+}
+
+double
+BloatTracker::categoryFactor(BloatCategory category) const
+{
+    if (useful_bytes_ == 0)
+        return 0.0;
+    return static_cast<double>(bytes(category))
+        / static_cast<double>(useful_bytes_);
+}
+
+void
+BloatTracker::reset()
+{
+    bytes_.fill(0);
+    useful_bytes_ = 0;
+}
+
+std::string
+BloatTracker::render() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < kCategories; ++i) {
+        const auto c = static_cast<BloatCategory>(i);
+        if (bytes(c) == 0)
+            continue;
+        os << bloatCategoryName(c) << ": " << categoryFactor(c) << "x ("
+           << bytes(c) << " bytes)\n";
+    }
+    os << "BloatFactor: " << bloatFactor() << "x\n";
+    return os.str();
+}
+
+} // namespace bear

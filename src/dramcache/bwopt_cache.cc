@@ -1,0 +1,88 @@
+#include "dramcache/bwopt_cache.hh"
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+BwOptCache::BwOptCache(std::uint64_t capacity_bytes, DramSystem &dram,
+                       DramSystem &memory, BloatTracker &bloat)
+    : DramCache(dram, memory, bloat), sets_(capacity_bytes / kLineSize),
+      layout_(sets_, dram.geometry()), tads_(sets_)
+{
+    bear_assert(sets_ > 0, "BW-Opt cache needs capacity");
+}
+
+DramCacheReadOutcome
+BwOptCache::read(Cycle at, LineAddr line, Pc, CoreId)
+{
+    const std::uint64_t set = setOf(line);
+    const std::uint64_t tag = tagOf(line);
+    Tad &tad = tads_[set];
+
+    DramCacheReadOutcome outcome;
+    if (tad.valid && tad.tag == tag) {
+        // The single physical operation: move the demand line.
+        const DramResult res =
+            dram_.read(at, layout_.coordOf(set), kLineSize);
+        bloat_.note(BloatCategory::HitProbe, kLineSize);
+        bloat_.noteUseful();
+        ++demand_hits_;
+        outcome.hit = true;
+        outcome.presentAfter = true;
+        outcome.dataReady = res.dataReady;
+        hit_latency_.sample(static_cast<double>(res.dataReady - at));
+        return outcome;
+    }
+
+    // Miss detection is free and instantaneous.
+    ++demand_misses_;
+    const DramResult mem = memory_.readLine(at, line);
+    outcome.dataReady = mem.dataReady;
+    miss_latency_.sample(static_cast<double>(mem.dataReady - at));
+
+    // Logical fill: no DRAM-cache bus traffic.  A dirty victim's data
+    // still has to reach main memory (that is main-memory bandwidth).
+    if (tad.valid) {
+        if (tad.dirty)
+            memory_.writeLine(at, tad.tag * sets_ + set);
+        notifyEviction(tad.tag * sets_ + set);
+    }
+    tad.tag = tag;
+    tad.valid = true;
+    tad.dirty = false;
+    outcome.presentAfter = true;
+    return outcome;
+}
+
+void
+BwOptCache::writeback(Cycle at, LineAddr line, bool)
+{
+    const std::uint64_t set = setOf(line);
+    Tad &tad = tads_[set];
+    if (tad.valid && tad.tag == tagOf(line)) {
+        // Logical update: free.
+        tad.dirty = true;
+        ++writeback_hits_;
+    } else {
+        ++writeback_misses_;
+        memory_.writeLine(at, line);
+    }
+}
+
+bool
+BwOptCache::contains(LineAddr line) const
+{
+    const Tad &tad = tads_[setOf(line)];
+    return tad.valid && tad.tag == tagOf(line);
+}
+
+void
+BwOptCache::resetStats()
+{
+    DramCache::resetStats();
+    hit_latency_.reset();
+    miss_latency_.reset();
+}
+
+} // namespace bear

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The idealised Bandwidth-Optimised (BW-Opt) DRAM cache (paper
+ * Section 2.2).
+ *
+ * BW-Opt performs "all the secondary cache operations logically,
+ * without using any of the physical resources": hit/miss detection,
+ * fills, writeback probes and updates are free.  The only DRAM-cache
+ * bus traffic is the 64-byte data transfer of each demand hit, so its
+ * Bloat Factor is exactly 1.  Tag organisation and fill policy match
+ * the baseline Alloy Cache so that the hit rate is identical.
+ */
+
+#ifndef BEAR_DRAMCACHE_BWOPT_CACHE_HH
+#define BEAR_DRAMCACHE_BWOPT_CACHE_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "dramcache/dram_cache.hh"
+
+namespace bear
+{
+
+/** Idealised cache: secondary operations are free (Bloat Factor 1). */
+class BwOptCache : public DramCache
+{
+  public:
+    BwOptCache(std::uint64_t capacity_bytes, DramSystem &dram,
+               DramSystem &memory, BloatTracker &bloat);
+
+    DramCacheReadOutcome read(Cycle at, LineAddr line, Pc pc,
+                              CoreId core) override;
+    void writeback(Cycle at, LineAddr line, bool dcp) override;
+    std::string name() const override { return "BW-Opt"; }
+    void resetStats() override;
+
+    bool contains(LineAddr line) const;
+
+    bool holdsDirty(LineAddr line) const override
+    {
+        const Tad &tad = tads_[setOf(line)];
+        return tad.valid && tad.tag == tagOf(line) && tad.dirty;
+    }
+
+    double avgHitLatency() const { return hit_latency_.mean(); }
+    double avgMissLatency() const { return miss_latency_.mean(); }
+
+  private:
+    struct Tad
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t setOf(LineAddr line) const { return line % sets_; }
+    std::uint64_t tagOf(LineAddr line) const { return line / sets_; }
+
+    std::uint64_t sets_;
+    TadLayout layout_;
+    std::vector<Tad> tads_;
+    Average hit_latency_;
+    Average miss_latency_;
+};
+
+} // namespace bear
+
+#endif // BEAR_DRAMCACHE_BWOPT_CACHE_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Common interface of every DRAM-cache (L4) design.
+ *
+ * A design owns its tag organisation and policies; it borrows the
+ * stacked-DRAM array and the off-chip main memory (both DramSystem
+ * instances) from the system.  Demand reads return completion timing
+ * so the core model can account latency; writebacks are posted.
+ *
+ * The eviction listener is how a design tells the on-chip hierarchy
+ * that a line left the DRAM cache: the DCP flow clears presence bits,
+ * and inclusive designs back-invalidate.  The listener returns true if
+ * a *dirty on-chip copy* was dropped and its data must be forwarded to
+ * main memory by the design (only inclusive designs ever return true).
+ */
+
+#ifndef BEAR_DRAMCACHE_DRAM_CACHE_HH
+#define BEAR_DRAMCACHE_DRAM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hh"
+#include "dramcache/bloat.hh"
+#include "mem/dram_system.hh"
+
+namespace bear
+{
+
+/** Result of a demand (LLC-miss) read. */
+struct DramCacheReadOutcome
+{
+    bool hit = false;       ///< serviced by the DRAM cache
+    Cycle dataReady = 0;    ///< cycle at which the demand data arrives
+    bool presentAfter = false; ///< line resides in the L4 afterwards (DCP)
+};
+
+/** Notification that the DRAM cache evicted/invalidated a line. */
+using EvictionListener = std::function<bool(LineAddr)>;
+
+/** Abstract gigascale DRAM cache. */
+class DramCache
+{
+  public:
+    /**
+     * @param dram   the stacked high-bandwidth array backing the cache
+     * @param memory off-chip main memory for misses and dirty victims
+     * @param bloat  shared bandwidth accounting
+     */
+    DramCache(DramSystem &dram, DramSystem &memory, BloatTracker &bloat)
+        : dram_(dram), memory_(memory), bloat_(bloat)
+    {
+    }
+
+    virtual ~DramCache() = default;
+
+    /**
+     * Service an LLC demand miss for @p line issued at @p at.  @p pc
+     * and @p core feed PC-indexed predictors (MAP-I).
+     */
+    virtual DramCacheReadOutcome read(Cycle at, LineAddr line, Pc pc,
+                                      CoreId core) = 0;
+
+    /**
+     * Handle a dirty eviction from the LLC.  @p dcp is the victim's
+     * DRAM-cache-presence bit (meaningful only to BEAR's DCP scheme;
+     * other designs ignore it).
+     */
+    virtual void writeback(Cycle at, LineAddr line, bool dcp) = 0;
+
+    /** Design name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Functional probe used by the correctness checker: does the cache
+     * currently hold a dirty copy of @p line (i.e. the only up-to-date
+     * copy in the off-chip world)?
+     */
+    virtual bool holdsDirty(LineAddr) const { return false; }
+
+    /** Bytes of on-chip SRAM the design requires (Table 5 / Section 8). */
+    virtual std::uint64_t sramOverheadBytes() const { return 0; }
+
+    void setEvictionListener(EvictionListener listener)
+    {
+        eviction_listener_ = std::move(listener);
+    }
+
+    std::uint64_t demandHits() const { return demand_hits_; }
+    std::uint64_t demandMisses() const { return demand_misses_; }
+    std::uint64_t writebackHits() const { return writeback_hits_; }
+    std::uint64_t writebackMisses() const { return writeback_misses_; }
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = demand_hits_ + demand_misses_;
+        return total ? static_cast<double>(demand_hits_)
+                / static_cast<double>(total)
+            : 0.0;
+    }
+
+    virtual void
+    resetStats()
+    {
+        demand_hits_ = 0;
+        demand_misses_ = 0;
+        writeback_hits_ = 0;
+        writeback_misses_ = 0;
+    }
+
+  protected:
+    /** Tell the hierarchy a line left the cache; true => dirty on-chip
+     *  copy dropped (inclusive designs must push it to memory). */
+    bool
+    notifyEviction(LineAddr line)
+    {
+        return eviction_listener_ && eviction_listener_(line);
+    }
+
+    DramSystem &dram_;
+    DramSystem &memory_;
+    BloatTracker &bloat_;
+
+    std::uint64_t demand_hits_ = 0;
+    std::uint64_t demand_misses_ = 0;
+    std::uint64_t writeback_hits_ = 0;
+    std::uint64_t writeback_misses_ = 0;
+
+  private:
+    EvictionListener eviction_listener_;
+};
+
+/**
+ * Physical layout of a direct-mapped TAD array (paper Figure 10):
+ * 28 consecutive TADs share one 2 KB row; rows interleave across
+ * channels, then banks.
+ */
+class TadLayout
+{
+  public:
+    TadLayout(std::uint64_t sets, const DramGeometry &geometry)
+        : tads_per_row_(geometry.rowBytes / kTadSize),
+          channels_(geometry.channels), banks_(geometry.banksPerChannel),
+          sets_(sets)
+    {
+    }
+
+    DramCoord
+    coordOf(std::uint64_t set) const
+    {
+        const std::uint64_t row_id = set / tads_per_row_;
+        DramCoord coord;
+        coord.channel = static_cast<std::uint32_t>(row_id % channels_);
+        const std::uint64_t rest = row_id / channels_;
+        coord.bank = static_cast<std::uint32_t>(rest % banks_);
+        coord.row = rest / banks_;
+        return coord;
+    }
+
+    std::uint64_t tadsPerRow() const { return tads_per_row_; }
+    std::uint64_t sets() const { return sets_; }
+
+    /** The set whose tag rides along on an access to @p set (the next
+     *  TAD in the row, paper Figure 10); sets_ if none does. */
+    std::uint64_t
+    neighborOf(std::uint64_t set) const
+    {
+        const std::uint64_t next = set + 1;
+        if (next >= sets_ || next / tads_per_row_ != set / tads_per_row_)
+            return sets_;
+        return next;
+    }
+
+  private:
+    std::uint64_t tads_per_row_;
+    std::uint64_t channels_;
+    std::uint64_t banks_;
+    std::uint64_t sets_;
+};
+
+} // namespace bear
+
+#endif // BEAR_DRAMCACHE_DRAM_CACHE_HH

@@ -1,0 +1,185 @@
+#include "dramcache/loh_hill_cache.hh"
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+LohHillCache::LohHillCache(const LohHillConfig &config, DramSystem &dram,
+                           DramSystem &memory, BloatTracker &bloat)
+    : DramCache(dram, memory, bloat), config_(config)
+{
+    // One 2 KB row per set: 3 tag lines + 29 data lines.
+    sets_ = config.capacityBytes / dram.geometry().rowBytes;
+    bear_assert(sets_ > 0, "Loh-Hill cache needs capacity");
+    ways_.resize(sets_ * kWays);
+    lru_.resize(sets_ * kWays, 0);
+}
+
+DramCoord
+LohHillCache::coordOf(std::uint64_t set) const
+{
+    DramCoord coord;
+    const DramGeometry &g = dram_.geometry();
+    coord.channel = static_cast<std::uint32_t>(set % g.channels);
+    const std::uint64_t rest = set / g.channels;
+    coord.bank = static_cast<std::uint32_t>(rest % g.banksPerChannel);
+    coord.row = rest / g.banksPerChannel;
+    return coord;
+}
+
+std::uint32_t
+LohHillCache::findWay(std::uint64_t set, std::uint64_t tag) const
+{
+    const std::uint64_t base = set * kWays;
+    for (std::uint32_t w = 0; w < kWays; ++w) {
+        const WayState &ws = ways_[base + w];
+        if (ws.valid && ws.tag == tag)
+            return w;
+    }
+    return kWays;
+}
+
+std::uint32_t
+LohHillCache::victimWay(std::uint64_t set) const
+{
+    const std::uint64_t base = set * kWays;
+    std::uint32_t best = 0;
+    std::uint64_t oldest = ~0ULL;
+    for (std::uint32_t w = 0; w < kWays; ++w) {
+        if (!ways_[base + w].valid)
+            return w;
+        if (lru_[base + w] < oldest) {
+            oldest = lru_[base + w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+void
+LohHillCache::touch(std::uint64_t set, std::uint32_t way)
+{
+    lru_[set * kWays + way] = tick_++;
+}
+
+void
+LohHillCache::install(Cycle at, std::uint64_t set, LineAddr line)
+{
+    const std::uint32_t victim = victimWay(set);
+    WayState &ws = ways_[set * kWays + victim];
+    const DramCoord coord = coordOf(set);
+    if (ws.valid) {
+        if (ws.dirty) {
+            // Read the dirty victim's data out for writeback to memory.
+            dram_.read(at, coord, kLineSize);
+            bloat_.note(BloatCategory::DirtyEviction, kLineSize);
+            memory_.writeLine(at, ws.tag * sets_ + set);
+        }
+        notifyEviction(ws.tag * sets_ + set);
+    }
+    ws.tag = tagOf(line);
+    ws.valid = true;
+    ws.dirty = false;
+    touch(set, victim);
+    // New data line plus the tag line holding this way's tag.
+    dram_.write(at, coord, kLineSize + kLineSize);
+    bloat_.note(BloatCategory::MissFill, kLineSize + kLineSize);
+}
+
+DramCacheReadOutcome
+LohHillCache::read(Cycle at, LineAddr line, Pc, CoreId)
+{
+    const std::uint64_t set = setOf(line);
+    const std::uint64_t tag = tagOf(line);
+    const std::uint32_t way = findWay(set, tag);
+    const bool hit = way != kWays;
+    const DramCoord coord = coordOf(set);
+
+    // Every request consults the MissMap (LH) before dispatch; the MC
+    // variant replaces it with a zero-latency perfect predictor.
+    const Cycle dispatch = at + config_.missMapLatency;
+
+    DramCacheReadOutcome outcome;
+    if (hit) {
+        ++demand_hits_;
+        // Read the 3 tag lines, then the data line from the open row.
+        const DramResult tag_read = dram_.read(dispatch, coord, kTagBytes);
+        const DramResult data_read =
+            dram_.read(tag_read.dataReady, coord, kLineSize);
+        bloat_.note(BloatCategory::HitProbe, kTagBytes + kLineSize);
+        bloat_.noteUseful();
+        // LRU promotion rewrites one tag line (paper footnote 3).
+        dram_.write(data_read.dataReady, coord, kLineSize);
+        bloat_.note(BloatCategory::HitProbe, kLineSize);
+        touch(set, way);
+        outcome.hit = true;
+        outcome.presentAfter = true;
+        outcome.dataReady = data_read.dataReady;
+        hit_latency_.sample(static_cast<double>(outcome.dataReady - at));
+        return outcome;
+    }
+
+    ++demand_misses_;
+    // MissMap/predictor filters the miss: no Miss Probe is issued.
+    const Cycle mem_issue =
+        config_.perfectPredictor ? at : dispatch;
+    const DramResult mem = memory_.readLine(mem_issue, line);
+    outcome.dataReady = mem.dataReady;
+    miss_latency_.sample(static_cast<double>(mem.dataReady - at));
+
+    install(mem.dataReady, set, line);
+    outcome.presentAfter = true;
+    return outcome;
+}
+
+void
+LohHillCache::writeback(Cycle at, LineAddr line, bool)
+{
+    const std::uint64_t set = setOf(line);
+    const std::uint64_t tag = tagOf(line);
+    const DramCoord coord = coordOf(set);
+
+    // Neither LH nor MC reduces Writeback Probes (Section 7.5): the
+    // tag lines are read to locate the way.
+    const DramResult probe = dram_.read(at, coord, kTagBytes);
+    bloat_.note(BloatCategory::WritebackProbe, kTagBytes);
+
+    const std::uint32_t way = findWay(set, tag);
+    if (way != kWays) {
+        ++writeback_hits_;
+        WayState &ws = ways_[set * kWays + way];
+        ws.dirty = true;
+        touch(set, way);
+        // New data plus the updated tag line.
+        dram_.write(probe.dataReady, coord, kLineSize + kLineSize);
+        bloat_.note(BloatCategory::WritebackUpdate, kLineSize + kLineSize);
+    } else {
+        ++writeback_misses_;
+        memory_.writeLine(probe.dataReady, line);
+    }
+}
+
+bool
+LohHillCache::contains(LineAddr line) const
+{
+    return findWay(setOf(line), tagOf(line)) != kWays;
+}
+
+bool
+LohHillCache::holdsDirty(LineAddr line) const
+{
+    const std::uint64_t set = setOf(line);
+    const std::uint32_t way = findWay(set, tagOf(line));
+    return way != kWays && ways_[set * kWays + way].dirty;
+}
+
+void
+LohHillCache::resetStats()
+{
+    DramCache::resetStats();
+    hit_latency_.reset();
+    miss_latency_.reset();
+}
+
+} // namespace bear

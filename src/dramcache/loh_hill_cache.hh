@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The Loh-Hill DRAM cache (MICRO 2011) and its Mostly-Clean variant
+ * (MICRO 2012), as modelled in the paper (Sections 2.1 and 7.5).
+ *
+ * Organisation: each 2 KB DRAM row is one 29-way set — the first three
+ * 64-byte lines hold the 29 tags (plus replacement state), the
+ * remaining 29 lines hold data (Figure 2a).  Servicing a hit reads the
+ * three tag lines (192 B) and then one data line (64 B) from the open
+ * row; LRU replacement state is written back (64 B), which is the
+ * extra bloat source the paper's footnote 3 calls out.
+ *
+ * Miss handling depends on the variant:
+ *  - LH-cache: a MissMap, assumed perfect and as fast as the LLC
+ *    (24 cycles), is consulted by *every* request before the cache, so
+ *    misses skip the Miss Probe but all requests pay the extra
+ *    latency.
+ *  - MC-cache: a perfect hit/miss predictor replaces the MissMap;
+ *    predicted misses go straight to off-chip memory with no latency
+ *    penalty (self-balancing dispatch is not separately modelled, per
+ *    the paper's description).
+ *
+ * Neither variant reduces Miss Fill or Writeback Probe traffic
+ * (Section 7.5).
+ */
+
+#ifndef BEAR_DRAMCACHE_LOH_HILL_CACHE_HH
+#define BEAR_DRAMCACHE_LOH_HILL_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dramcache/dram_cache.hh"
+
+namespace bear
+{
+
+/** Variant selector for the 29-way row-as-set design. */
+struct LohHillConfig
+{
+    std::string name = "LH";
+    std::uint64_t capacityBytes = 1ULL << 30;
+    /** Added to every request (perfect MissMap lookup); 0 for MC. */
+    Cycle missMapLatency = 24;
+    /** MC-cache: misses bypass the cache with no added latency. */
+    bool perfectPredictor = false;
+};
+
+/** 29-way set-per-row tags-in-DRAM cache (LH / MC). */
+class LohHillCache : public DramCache
+{
+  public:
+    static constexpr std::uint32_t kWays = 29;
+    static constexpr std::uint32_t kTagBytes = 192; ///< 3 tag lines
+
+    LohHillCache(const LohHillConfig &config, DramSystem &dram,
+                 DramSystem &memory, BloatTracker &bloat);
+
+    DramCacheReadOutcome read(Cycle at, LineAddr line, Pc pc,
+                              CoreId core) override;
+    void writeback(Cycle at, LineAddr line, bool dcp) override;
+    std::string name() const override { return config_.name; }
+    void resetStats() override;
+
+    bool contains(LineAddr line) const;
+    bool holdsDirty(LineAddr line) const override;
+    std::uint64_t sets() const { return sets_; }
+    double avgHitLatency() const { return hit_latency_.mean(); }
+    double avgMissLatency() const { return miss_latency_.mean(); }
+
+  private:
+    struct WayState
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t setOf(LineAddr line) const { return line % sets_; }
+    std::uint64_t tagOf(LineAddr line) const { return line / sets_; }
+    DramCoord coordOf(std::uint64_t set) const;
+
+    /** Way of @p tag in @p set, or kWays. */
+    std::uint32_t findWay(std::uint64_t set, std::uint64_t tag) const;
+
+    /** LRU victim of @p set (all ways valid) or first invalid way. */
+    std::uint32_t victimWay(std::uint64_t set) const;
+
+    void touch(std::uint64_t set, std::uint32_t way);
+
+    /** Install @p line at @p at; returns nothing, accounts MissFill and
+     *  dirty-eviction traffic. */
+    void install(Cycle at, std::uint64_t set, LineAddr line);
+
+    LohHillConfig config_;
+    std::uint64_t sets_;
+    std::vector<WayState> ways_;      ///< [set * kWays + way]
+    std::vector<std::uint64_t> lru_;  ///< [set * kWays + way]
+    std::uint64_t tick_ = 1;
+
+    Average hit_latency_;
+    Average miss_latency_;
+};
+
+} // namespace bear
+
+#endif // BEAR_DRAMCACHE_LOH_HILL_CACHE_HH

@@ -1,0 +1,39 @@
+#include "dramcache/map_i.hh"
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+MapIPredictor::MapIPredictor(std::uint32_t cores)
+    : cores_(cores),
+      counters_(static_cast<std::size_t>(cores) * kEntriesPerCore,
+                kHitThreshold)
+{
+    bear_assert(cores > 0, "MAP-I needs at least one core");
+}
+
+bool
+MapIPredictor::predictHit(CoreId core, Pc pc) const
+{
+    ++predictions_;
+    return counters_[indexOf(core, pc)] >= kHitThreshold;
+}
+
+void
+MapIPredictor::update(CoreId core, Pc pc, bool was_hit)
+{
+    std::uint8_t &counter = counters_[indexOf(core, pc)];
+    const bool predicted_hit = counter >= kHitThreshold;
+    if (predicted_hit == was_hit)
+        ++correct_;
+    if (was_hit) {
+        if (counter < kCounterMax)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+} // namespace bear

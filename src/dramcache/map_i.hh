@@ -1,0 +1,86 @@
+/**
+ * @file
+ * MAP-I: the instruction-based Memory Access Predictor of the Alloy
+ * Cache proposal (Qureshi & Loh, MICRO 2012), used by the baseline of
+ * this paper (Section 3.1) "to overcome the tag lookup latency for
+ * cache misses".
+ *
+ * Each core owns a small table of 3-bit saturating counters indexed by
+ * a hash of the missing load's PC.  A counter in the upper half
+ * predicts "hit": the request goes to the DRAM cache alone.  A counter
+ * in the lower half predicts "miss": the request is sent to the DRAM
+ * cache and main memory in parallel, trading main-memory bandwidth for
+ * miss latency.
+ */
+
+#ifndef BEAR_DRAMCACHE_MAP_I_HH
+#define BEAR_DRAMCACHE_MAP_I_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bear
+{
+
+/** Instruction-address-indexed hit/miss predictor (MAP-I). */
+class MapIPredictor
+{
+  public:
+    static constexpr std::uint32_t kEntriesPerCore = 256;
+    static constexpr std::uint8_t kCounterMax = 7;
+    static constexpr std::uint8_t kHitThreshold = 4;
+
+    explicit MapIPredictor(std::uint32_t cores);
+
+    /** Predict whether the access of @p pc on @p core hits the cache. */
+    bool predictHit(CoreId core, Pc pc) const;
+
+    /** Train with the actual outcome. */
+    void update(CoreId core, Pc pc, bool was_hit);
+
+    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t correct() const { return correct_; }
+
+    double
+    accuracy() const
+    {
+        return predictions_
+            ? static_cast<double>(correct_)
+                / static_cast<double>(predictions_)
+            : 0.0;
+    }
+
+    void
+    resetStats()
+    {
+        predictions_ = 0;
+        correct_ = 0;
+    }
+
+    /** SRAM cost: 3 bits per entry per core. */
+    std::uint64_t
+    storageBits() const
+    {
+        return static_cast<std::uint64_t>(cores_) * kEntriesPerCore * 3;
+    }
+
+  private:
+    std::size_t
+    indexOf(CoreId core, Pc pc) const
+    {
+        const std::uint64_t h = (pc >> 2) * 0x9E3779B97F4A7C15ULL;
+        return core * kEntriesPerCore
+            + static_cast<std::size_t>(h >> 56) % kEntriesPerCore;
+    }
+
+    std::uint32_t cores_;
+    std::vector<std::uint8_t> counters_;
+    mutable std::uint64_t predictions_ = 0;
+    std::uint64_t correct_ = 0;
+};
+
+} // namespace bear
+
+#endif // BEAR_DRAMCACHE_MAP_I_HH

@@ -1,0 +1,28 @@
+#include "dramcache/mc_cache.hh"
+
+namespace bear
+{
+
+LohHillConfig
+makeMostlyCleanConfig(std::uint64_t capacity_bytes)
+{
+    LohHillConfig config;
+    config.name = "MC";
+    config.capacityBytes = capacity_bytes;
+    config.missMapLatency = 0;
+    config.perfectPredictor = true;
+    return config;
+}
+
+LohHillConfig
+makeLohHillConfig(std::uint64_t capacity_bytes)
+{
+    LohHillConfig config;
+    config.name = "LH";
+    config.capacityBytes = capacity_bytes;
+    config.missMapLatency = 24;
+    config.perfectPredictor = false;
+    return config;
+}
+
+} // namespace bear

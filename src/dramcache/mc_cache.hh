@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The Mostly-Clean cache (Sim et al., MICRO 2012) as modelled in the
+ * paper's Section 7.5: the Loh-Hill organisation with a perfect
+ * hit/miss predictor instead of a MissMap, so predicted misses are
+ * serviced by off-chip memory immediately and no request pays the
+ * 24-cycle MissMap lookup.
+ */
+
+#ifndef BEAR_DRAMCACHE_MC_CACHE_HH
+#define BEAR_DRAMCACHE_MC_CACHE_HH
+
+#include "dramcache/loh_hill_cache.hh"
+
+namespace bear
+{
+
+/** Build the MC-cache configuration of Section 7.5. */
+LohHillConfig makeMostlyCleanConfig(std::uint64_t capacity_bytes);
+
+/** Build the plain LH-cache configuration. */
+LohHillConfig makeLohHillConfig(std::uint64_t capacity_bytes);
+
+} // namespace bear
+
+#endif // BEAR_DRAMCACHE_MC_CACHE_HH

@@ -1,0 +1,3 @@
+// NoCache is header-only; this translation unit anchors it in the
+// library so every design has a consistent build footprint.
+#include "dramcache/no_cache.hh"

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The no-DRAM-cache configuration: every LLC miss and writeback goes
+ * straight to off-chip main memory.  Used as the normalisation
+ * baseline of the paper's Figure 17.
+ */
+
+#ifndef BEAR_DRAMCACHE_NO_CACHE_HH
+#define BEAR_DRAMCACHE_NO_CACHE_HH
+
+#include "common/stats.hh"
+#include "dramcache/dram_cache.hh"
+
+namespace bear
+{
+
+/** Pass-through to main memory. */
+class NoCache : public DramCache
+{
+  public:
+    NoCache(DramSystem &dram, DramSystem &memory, BloatTracker &bloat)
+        : DramCache(dram, memory, bloat)
+    {
+    }
+
+    DramCacheReadOutcome
+    read(Cycle at, LineAddr line, Pc, CoreId) override
+    {
+        ++demand_misses_;
+        DramCacheReadOutcome outcome;
+        outcome.dataReady = memory_.readLine(at, line).dataReady;
+        miss_latency_.sample(static_cast<double>(outcome.dataReady - at));
+        return outcome;
+    }
+
+    void
+    writeback(Cycle at, LineAddr line, bool) override
+    {
+        ++writeback_misses_;
+        memory_.writeLine(at, line);
+    }
+
+    std::string name() const override { return "NoDRAMCache"; }
+    double avgMissLatency() const { return miss_latency_.mean(); }
+
+    void
+    resetStats() override
+    {
+        DramCache::resetStats();
+        miss_latency_.reset();
+    }
+
+  private:
+    Average miss_latency_;
+};
+
+} // namespace bear
+
+#endif // BEAR_DRAMCACHE_NO_CACHE_HH

@@ -1,0 +1,92 @@
+#include "dramcache/ntc.hh"
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+NeighboringTagCache::NeighboringTagCache(std::uint32_t banks,
+                                         std::uint32_t entriesPerBank)
+    : banks_(banks), entries_per_bank_(entriesPerBank),
+      entries_(static_cast<std::size_t>(banks) * entriesPerBank)
+{
+    bear_assert(banks > 0 && entriesPerBank > 0,
+                "NTC needs banks and entries");
+}
+
+NeighboringTagCache::Entry *
+NeighboringTagCache::find(std::uint32_t bank, std::uint64_t set)
+{
+    bear_assert(bank < banks_, "NTC bank out of range");
+    const std::size_t base =
+        static_cast<std::size_t>(bank) * entries_per_bank_;
+    for (std::uint32_t i = 0; i < entries_per_bank_; ++i) {
+        Entry &e = entries_[base + i];
+        if (e.valid && e.set == set)
+            return &e;
+    }
+    return nullptr;
+}
+
+NtcVerdict
+NeighboringTagCache::lookup(std::uint32_t bank, std::uint64_t set,
+                            std::uint64_t tag)
+{
+    Entry *e = find(bank, set);
+    if (!e)
+        return NtcVerdict::NoInfo;
+    ++hits_;
+    e->lastTouch = tick_++;
+    if (e->lineValid && e->tag == tag)
+        return NtcVerdict::Present;
+    if (e->lineValid && e->lineDirty)
+        return NtcVerdict::AbsentDirty;
+    return NtcVerdict::AbsentClean;
+}
+
+void
+NeighboringTagCache::record(std::uint32_t bank, std::uint64_t set,
+                            std::uint64_t tag, bool line_valid,
+                            bool line_dirty)
+{
+    if (Entry *e = find(bank, set)) {
+        e->tag = tag;
+        e->lineValid = line_valid;
+        e->lineDirty = line_dirty;
+        e->lastTouch = tick_++;
+        return;
+    }
+    // Allocate, evicting the LRU entry of the bank.
+    const std::size_t base =
+        static_cast<std::size_t>(bank) * entries_per_bank_;
+    Entry *victim = &entries_[base];
+    for (std::uint32_t i = 0; i < entries_per_bank_; ++i) {
+        Entry &e = entries_[base + i];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastTouch < victim->lastTouch)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->set = set;
+    victim->tag = tag;
+    victim->lineValid = line_valid;
+    victim->lineDirty = line_dirty;
+    victim->lastTouch = tick_++;
+}
+
+void
+NeighboringTagCache::updateIfCached(std::uint32_t bank, std::uint64_t set,
+                                    std::uint64_t tag, bool line_valid,
+                                    bool line_dirty)
+{
+    if (Entry *e = find(bank, set)) {
+        e->tag = tag;
+        e->lineValid = line_valid;
+        e->lineDirty = line_dirty;
+    }
+}
+
+} // namespace bear

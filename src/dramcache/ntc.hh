@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Neighboring Tag Cache (paper Section 6).
+ *
+ * Every Alloy-Cache access moves 80 bytes (five 16-byte bus beats) for
+ * a 72-byte TAD, so the 8-byte tag of the *next* cache set in the same
+ * row arrives for free (Figure 10).  The NTC is a small set of
+ * per-bank fully-associative buffers that retain these neighbour tags.
+ *
+ * On an LLC miss the NTC is consulted before issuing a Miss Probe:
+ *  - set match + tag match   => the line is guaranteed present,
+ *  - set match + tag mismatch => the line is guaranteed absent; the
+ *    Miss Probe can be skipped *unless* the resident TAD is dirty (a
+ *    fill would then need the victim's data for writeback to memory),
+ *  - no set match            => no guarantee, probe normally.
+ *
+ * The NTC must observe every update to a cached set (fills, writeback
+ * updates, evictions) to keep its snapshots exact — its guarantees are
+ * architectural, not predictions.
+ */
+
+#ifndef BEAR_DRAMCACHE_NTC_HH
+#define BEAR_DRAMCACHE_NTC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bear
+{
+
+/** What the NTC knows about a set. */
+enum class NtcVerdict : std::uint8_t
+{
+    NoInfo,      ///< set not cached: no guarantee
+    Present,     ///< requested tag resides in the set
+    AbsentClean, ///< requested tag absent; resident TAD clean/empty
+    AbsentDirty  ///< requested tag absent; resident TAD dirty
+};
+
+/** Per-bank neighbour-tag buffers. */
+class NeighboringTagCache
+{
+  public:
+    /**
+     * @param banks          total DRAM-cache banks (channels x per-channel)
+     * @param entriesPerBank paper default 8
+     */
+    NeighboringTagCache(std::uint32_t banks,
+                        std::uint32_t entriesPerBank = 8);
+
+    /** Consult the NTC for (@p set, @p tag) mapped to @p bank. */
+    NtcVerdict lookup(std::uint32_t bank, std::uint64_t set,
+                      std::uint64_t tag);
+
+    /**
+     * Record the snapshot of @p set's TAD observed on the bus
+     * (neighbour prefetch) or changed by this controller (fill,
+     * writeback update, eviction).  @p line_valid false means the set
+     * is empty.
+     */
+    void record(std::uint32_t bank, std::uint64_t set, std::uint64_t tag,
+                bool line_valid, bool line_dirty);
+
+    /**
+     * A set's content changed: refresh the snapshot *if cached*,
+     * otherwise do nothing (we never allocate on updates; allocation
+     * happens only for tags that travelled on the bus).
+     */
+    void updateIfCached(std::uint32_t bank, std::uint64_t set,
+                        std::uint64_t tag, bool line_valid,
+                        bool line_dirty);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t probesAvoided() const { return probes_avoided_; }
+    void noteProbeAvoided() { ++probes_avoided_; }
+
+    /** SRAM cost: 44 bytes per bank (paper Table 5). */
+    std::uint64_t
+    storageBytes() const
+    {
+        return static_cast<std::uint64_t>(banks_) * 44;
+    }
+
+    void
+    resetStats()
+    {
+        hits_ = 0;
+        probes_avoided_ = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t set = 0;
+        std::uint64_t tag = 0;
+        std::uint64_t lastTouch = 0;
+        bool valid = false;     ///< entry allocated
+        bool lineValid = false; ///< the snapshotted TAD holds a line
+        bool lineDirty = false;
+    };
+
+    Entry *find(std::uint32_t bank, std::uint64_t set);
+
+    std::uint32_t banks_;
+    std::uint32_t entries_per_bank_;
+    std::vector<Entry> entries_; ///< [bank * entries_per_bank + i]
+    std::uint64_t tick_ = 1;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t probes_avoided_ = 0;
+};
+
+} // namespace bear
+
+#endif // BEAR_DRAMCACHE_NTC_HH

@@ -1,0 +1,254 @@
+#include "dramcache/sector_cache.hh"
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+SectorCache::SectorCache(std::uint64_t capacity_bytes, DramSystem &dram,
+                         DramSystem &memory, BloatTracker &bloat)
+    : SectorCache(SectorCacheConfig{"SC", capacity_bytes, false}, dram,
+                  memory, bloat)
+{
+}
+
+SectorCache::SectorCache(const SectorCacheConfig &config,
+                         DramSystem &dram, DramSystem &memory,
+                         BloatTracker &bloat)
+    : DramCache(dram, memory, bloat), config_(config),
+      sets_(config.capacityBytes / kSectorBytes / kWays)
+{
+    bear_assert(sets_ > 0, "sector cache needs capacity");
+    sectors_.resize(sets_ * kWays);
+    lru_.resize(sets_ * kWays, 0);
+}
+
+DramCoord
+SectorCache::coordOf(std::uint64_t set, std::uint32_t way,
+                     std::uint32_t block) const
+{
+    // A sector occupies two consecutive 2 KB rows in one bank so that
+    // streaming through a sector enjoys row-buffer hits.
+    const DramGeometry &g = dram_.geometry();
+    const std::uint64_t rows_per_sector = kSectorBytes / g.rowBytes;
+    const std::uint64_t blocks_per_row = g.rowBytes / kLineSize;
+    const std::uint64_t sector_id = set * kWays + way;
+    DramCoord coord;
+    coord.channel = static_cast<std::uint32_t>(sector_id % g.channels);
+    const std::uint64_t rest = sector_id / g.channels;
+    coord.bank = static_cast<std::uint32_t>(rest % g.banksPerChannel);
+    coord.row = (rest / g.banksPerChannel) * rows_per_sector
+        + block / blocks_per_row;
+    return coord;
+}
+
+std::uint32_t
+SectorCache::findWay(std::uint64_t set, std::uint64_t tag) const
+{
+    const std::uint64_t base = set * kWays;
+    for (std::uint32_t w = 0; w < kWays; ++w) {
+        const Sector &s = sectors_[base + w];
+        if (s.valid && s.tag == tag)
+            return w;
+    }
+    return kWays;
+}
+
+std::uint32_t
+SectorCache::victimWay(std::uint64_t set) const
+{
+    const std::uint64_t base = set * kWays;
+    std::uint32_t best = 0;
+    std::uint64_t oldest = ~0ULL;
+    for (std::uint32_t w = 0; w < kWays; ++w) {
+        if (!sectors_[base + w].valid)
+            return w;
+        if (lru_[base + w] < oldest) {
+            oldest = lru_[base + w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+void
+SectorCache::touch(std::uint64_t set, std::uint32_t way)
+{
+    lru_[set * kWays + way] = tick_++;
+}
+
+void
+SectorCache::evictSector(Cycle at, std::uint64_t set, std::uint32_t way)
+{
+    Sector &s = sectors_[set * kWays + way];
+    bear_assert(s.valid, "evicting an invalid sector");
+    ++sector_evictions_;
+    const std::uint64_t sector_addr = s.tag * sets_ + set;
+    if (config_.footprintPrefetch)
+        footprints_[sector_addr] = s.blockValid;
+    for (std::uint32_t b = 0; b < kBlocksPerSector; ++b) {
+        if (!s.blockValid[b])
+            continue;
+        const LineAddr line = sector_addr * kBlocksPerSector + b;
+        if (s.blockDirty[b]) {
+            // The dirty-replacement penalty: read every dirty block out
+            // of the DRAM cache and push it to main memory.
+            dram_.read(at, coordOf(set, way, b), kLineSize);
+            bloat_.note(BloatCategory::DirtyEviction, kLineSize);
+            memory_.writeLine(at, line);
+            ++dirty_flushed_;
+        }
+        notifyEviction(line);
+    }
+    s.valid = false;
+    s.blockValid.reset();
+    s.blockDirty.reset();
+}
+
+DramCacheReadOutcome
+SectorCache::read(Cycle at, LineAddr line, Pc, CoreId)
+{
+    const std::uint64_t sector = sectorOf(line);
+    const std::uint64_t set = setOf(sector);
+    const std::uint64_t tag = tagOf(sector);
+    const std::uint32_t block = blockOf(line);
+    std::uint32_t way = findWay(set, tag);
+
+    DramCacheReadOutcome outcome;
+    if (way != kWays && sectors_[set * kWays + way].blockValid[block]) {
+        ++demand_hits_;
+        const DramResult res =
+            dram_.read(at, coordOf(set, way, block), kLineSize);
+        bloat_.note(BloatCategory::HitProbe, kLineSize);
+        bloat_.noteUseful();
+        touch(set, way);
+        outcome.hit = true;
+        outcome.presentAfter = true;
+        outcome.dataReady = res.dataReady;
+        hit_latency_.sample(static_cast<double>(res.dataReady - at));
+        return outcome;
+    }
+
+    ++demand_misses_;
+    const DramResult mem = memory_.readLine(at, line);
+    outcome.dataReady = mem.dataReady;
+    miss_latency_.sample(static_cast<double>(mem.dataReady - at));
+
+    if (way == kWays) {
+        // Allocate the sector, evicting an LRU victim if needed.
+        way = victimWay(set);
+        Sector &victim = sectors_[set * kWays + way];
+        if (victim.valid)
+            evictSector(at, set, way);
+        victim.tag = tag;
+        victim.valid = true;
+        if (config_.footprintPrefetch)
+            prefetchFootprint(at, sector, set, way, block);
+    }
+    Sector &s = sectors_[set * kWays + way];
+    s.blockValid[block] = true;
+    s.blockDirty[block] = false;
+    touch(set, way);
+    dram_.write(at, coordOf(set, way, block), kLineSize);
+    bloat_.note(BloatCategory::MissFill, kLineSize);
+    outcome.presentAfter = true;
+    return outcome;
+}
+
+void
+SectorCache::writeback(Cycle at, LineAddr line, bool)
+{
+    const std::uint64_t sector = sectorOf(line);
+    const std::uint64_t set = setOf(sector);
+    const std::uint32_t block = blockOf(line);
+    const std::uint32_t way = findWay(set, tagOf(sector));
+
+    if (way == kWays) {
+        // Sector absent: writeback-miss no-allocate, as in the baseline.
+        ++writeback_misses_;
+        memory_.writeLine(at, line);
+        return;
+    }
+
+    Sector &s = sectors_[set * kWays + way];
+    touch(set, way);
+    if (s.blockValid[block]) {
+        ++writeback_hits_;
+        s.blockDirty[block] = true;
+        dram_.write(at, coordOf(set, way, block), kLineSize);
+        bloat_.note(BloatCategory::WritebackUpdate, kLineSize);
+    } else {
+        // Space is reserved in the resident sector: install the dirty
+        // block (Writeback Fill traffic).
+        ++writeback_hits_;
+        s.blockValid[block] = true;
+        s.blockDirty[block] = true;
+        dram_.write(at, coordOf(set, way, block), kLineSize);
+        bloat_.note(BloatCategory::WritebackFill, kLineSize);
+    }
+}
+
+bool
+SectorCache::contains(LineAddr line) const
+{
+    const std::uint64_t sector = sectorOf(line);
+    const std::uint64_t set = setOf(sector);
+    const std::uint32_t way = findWay(set, tagOf(sector));
+    return way != kWays
+        && sectors_[set * kWays + way].blockValid[blockOf(line)];
+}
+
+bool
+SectorCache::holdsDirty(LineAddr line) const
+{
+    const std::uint64_t sector = sectorOf(line);
+    const std::uint64_t set = setOf(sector);
+    const std::uint32_t way = findWay(set, tagOf(sector));
+    return way != kWays
+        && sectors_[set * kWays + way].blockDirty[blockOf(line)];
+}
+
+void
+SectorCache::prefetchFootprint(Cycle at, std::uint64_t sector,
+                               std::uint64_t set, std::uint32_t way,
+                               std::uint32_t demand_block)
+{
+    const auto it = footprints_.find(sector);
+    if (it == footprints_.end())
+        return;
+    Sector &s = sectors_[set * kWays + way];
+    for (std::uint32_t b = 0; b < kBlocksPerSector; ++b) {
+        if (!it->second[b] || s.blockValid[b] || b == demand_block)
+            continue;
+        // Each prefetched block costs a main-memory read plus a
+        // DRAM-cache fill -- the "extra bandwidth consumed by
+        // inaccurate prefetches" of the paper's Section 9.1.
+        memory_.readLine(at, sector * kBlocksPerSector + b);
+        dram_.write(at, coordOf(set, way, b), kLineSize);
+        bloat_.note(BloatCategory::MissFill, kLineSize);
+        s.blockValid[b] = true;
+        s.blockDirty[b] = false;
+        ++blocks_prefetched_;
+    }
+}
+
+std::uint64_t
+SectorCache::sramOverheadBytes() const
+{
+    // Per sector: ~4 B tag + 64 valid + 64 dirty bits = 20 B; the paper
+    // quotes 6 MB for 256K sectors of a 1 GB cache.
+    return sets_ * kWays * (4 + 2 * kBlocksPerSector / 8);
+}
+
+void
+SectorCache::resetStats()
+{
+    DramCache::resetStats();
+    hit_latency_.reset();
+    miss_latency_.reset();
+    sector_evictions_ = 0;
+    dirty_flushed_ = 0;
+    blocks_prefetched_ = 0;
+}
+
+} // namespace bear

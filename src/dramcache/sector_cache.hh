@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The Sector Cache (SC) design of the paper's Section 8.
+ *
+ * Tags are kept per 4 KB sector in on-chip SRAM (6 MB for a 1 GB
+ * cache), with per-64-byte-block valid and dirty bits; the cache is
+ * 32-way set associative over sectors.  A demand miss to a resident
+ * sector fills only the missing block; a miss to an absent sector
+ * allocates the sector (evicting an LRU victim sector) and fills the
+ * requested block.  The design's weakness, which the paper identifies
+ * as decisive, is the dirty-replacement penalty: evicting a sector can
+ * flush up to 64 dirty blocks, each costing a DRAM-cache read plus a
+ * main-memory write.
+ */
+
+#ifndef BEAR_DRAMCACHE_SECTOR_CACHE_HH
+#define BEAR_DRAMCACHE_SECTOR_CACHE_HH
+
+#include <bitset>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dramcache/dram_cache.hh"
+
+namespace bear
+{
+
+/** Knobs for the sector cache and its Footprint-Cache extension. */
+struct SectorCacheConfig
+{
+    std::string name = "SC";
+    std::uint64_t capacityBytes = 1ULL << 30;
+
+    /**
+     * Footprint prefetching (paper Section 9.1, after Jevdjic et al.):
+     * remember which blocks of a sector were touched during its last
+     * residency and fetch that footprint eagerly when the sector is
+     * re-allocated.  Raises the hit rate of spatially-reused sectors —
+     * and, as the paper warns, "might exacerbate the bandwidth bloat
+     * problem ... due to the extra bandwidth consumed by inaccurate
+     * prefetches".
+     */
+    bool footprintPrefetch = false;
+};
+
+/** 32-way sector cache with 4 KB sectors and tags in SRAM. */
+class SectorCache : public DramCache
+{
+  public:
+    static constexpr std::uint32_t kWays = 32;
+    static constexpr std::uint64_t kSectorBytes = 4096;
+    static constexpr std::uint32_t kBlocksPerSector =
+        kSectorBytes / kLineSize; // 64
+
+    SectorCache(std::uint64_t capacity_bytes, DramSystem &dram,
+                DramSystem &memory, BloatTracker &bloat);
+
+    SectorCache(const SectorCacheConfig &config, DramSystem &dram,
+                DramSystem &memory, BloatTracker &bloat);
+
+    DramCacheReadOutcome read(Cycle at, LineAddr line, Pc pc,
+                              CoreId core) override;
+    void writeback(Cycle at, LineAddr line, bool dcp) override;
+    std::string name() const override { return config_.name; }
+    std::uint64_t sramOverheadBytes() const override;
+    void resetStats() override;
+
+    bool contains(LineAddr line) const;
+    bool holdsDirty(LineAddr line) const override;
+    std::uint64_t sets() const { return sets_; }
+    double avgHitLatency() const { return hit_latency_.mean(); }
+    double avgMissLatency() const { return miss_latency_.mean(); }
+    std::uint64_t sectorEvictions() const { return sector_evictions_; }
+    std::uint64_t dirtyBlocksFlushed() const { return dirty_flushed_; }
+    std::uint64_t blocksPrefetched() const { return blocks_prefetched_; }
+
+  private:
+    struct Sector
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        std::bitset<kBlocksPerSector> blockValid;
+        std::bitset<kBlocksPerSector> blockDirty;
+    };
+
+    /** Sector-granular address of a line. */
+    std::uint64_t sectorOf(LineAddr line) const
+    {
+        return line / kBlocksPerSector;
+    }
+
+    std::uint32_t blockOf(LineAddr line) const
+    {
+        return static_cast<std::uint32_t>(line % kBlocksPerSector);
+    }
+
+    std::uint64_t setOf(std::uint64_t sector) const
+    {
+        return sector % sets_;
+    }
+
+    std::uint64_t tagOf(std::uint64_t sector) const
+    {
+        return sector / sets_;
+    }
+
+    DramCoord coordOf(std::uint64_t set, std::uint32_t way,
+                      std::uint32_t block) const;
+
+    std::uint32_t findWay(std::uint64_t set, std::uint64_t tag) const;
+    std::uint32_t victimWay(std::uint64_t set) const;
+    void touch(std::uint64_t set, std::uint32_t way);
+
+    /** Flush a victim sector: dirty blocks to memory, notifications. */
+    void evictSector(Cycle at, std::uint64_t set, std::uint32_t way);
+
+    /** Fetch the sector's remembered footprint on allocation; the
+     *  demand block that triggered the allocation fills normally. */
+    void prefetchFootprint(Cycle at, std::uint64_t sector,
+                           std::uint64_t set, std::uint32_t way,
+                           std::uint32_t demand_block);
+
+    SectorCacheConfig config_;
+    std::uint64_t sets_;
+    std::vector<Sector> sectors_; ///< [set * kWays + way]
+    std::vector<std::uint64_t> lru_;
+    std::uint64_t tick_ = 1;
+
+    /** Footprint history: blocks touched in the last residency. */
+    std::unordered_map<std::uint64_t, std::bitset<kBlocksPerSector>>
+        footprints_;
+
+    Average hit_latency_;
+    Average miss_latency_;
+    std::uint64_t sector_evictions_ = 0;
+    std::uint64_t dirty_flushed_ = 0;
+    std::uint64_t blocks_prefetched_ = 0;
+};
+
+} // namespace bear
+
+#endif // BEAR_DRAMCACHE_SECTOR_CACHE_HH

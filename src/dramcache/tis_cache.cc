@@ -1,0 +1,166 @@
+#include "dramcache/tis_cache.hh"
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+TisCache::TisCache(std::uint64_t capacity_bytes, DramSystem &dram,
+                   DramSystem &memory, BloatTracker &bloat)
+    : DramCache(dram, memory, bloat),
+      sets_(capacity_bytes / kLineSize / kWays)
+{
+    bear_assert(sets_ > 0, "TIS cache needs capacity");
+    ways_.resize(sets_ * kWays);
+    lru_.resize(sets_ * kWays, 0);
+}
+
+DramCoord
+TisCache::coordOf(std::uint64_t set, std::uint32_t way) const
+{
+    // The data array is a flat sequence of 64-byte slots; one set's 32
+    // ways fill one 2 KB row, giving row-buffer locality to victim
+    // reads and fills of the same set.
+    const std::uint64_t slot = set * kWays + way;
+    const DramGeometry &g = dram_.geometry();
+    const std::uint64_t slots_per_row = g.rowBytes / kLineSize;
+    const std::uint64_t row_id = slot / slots_per_row;
+    DramCoord coord;
+    coord.channel = static_cast<std::uint32_t>(row_id % g.channels);
+    const std::uint64_t rest = row_id / g.channels;
+    coord.bank = static_cast<std::uint32_t>(rest % g.banksPerChannel);
+    coord.row = rest / g.banksPerChannel;
+    return coord;
+}
+
+std::uint32_t
+TisCache::findWay(std::uint64_t set, std::uint64_t tag) const
+{
+    const std::uint64_t base = set * kWays;
+    for (std::uint32_t w = 0; w < kWays; ++w) {
+        const WayState &ws = ways_[base + w];
+        if (ws.valid && ws.tag == tag)
+            return w;
+    }
+    return kWays;
+}
+
+std::uint32_t
+TisCache::victimWay(std::uint64_t set) const
+{
+    const std::uint64_t base = set * kWays;
+    std::uint32_t best = 0;
+    std::uint64_t oldest = ~0ULL;
+    for (std::uint32_t w = 0; w < kWays; ++w) {
+        if (!ways_[base + w].valid)
+            return w;
+        if (lru_[base + w] < oldest) {
+            oldest = lru_[base + w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+void
+TisCache::touch(std::uint64_t set, std::uint32_t way)
+{
+    lru_[set * kWays + way] = tick_++;
+}
+
+DramCacheReadOutcome
+TisCache::read(Cycle at, LineAddr line, Pc, CoreId)
+{
+    const std::uint64_t set = setOf(line);
+    const std::uint64_t tag = tagOf(line);
+    const std::uint32_t way = findWay(set, tag);
+
+    DramCacheReadOutcome outcome;
+    if (way != kWays) {
+        ++demand_hits_;
+        // Tags are on chip: the DRAM access moves only the data line.
+        const DramResult res = dram_.read(at, coordOf(set, way), kLineSize);
+        bloat_.note(BloatCategory::HitProbe, kLineSize);
+        bloat_.noteUseful();
+        touch(set, way);
+        outcome.hit = true;
+        outcome.presentAfter = true;
+        outcome.dataReady = res.dataReady;
+        hit_latency_.sample(static_cast<double>(res.dataReady - at));
+        return outcome;
+    }
+
+    ++demand_misses_;
+    const DramResult mem = memory_.readLine(at, line);
+    outcome.dataReady = mem.dataReady;
+    miss_latency_.sample(static_cast<double>(mem.dataReady - at));
+
+    // Fill, evicting the LRU way.
+    const std::uint32_t victim = victimWay(set);
+    WayState &ws = ways_[set * kWays + victim];
+    if (ws.valid) {
+        if (ws.dirty) {
+            // No probe ever read this line: pay a Dirty-Eviction read.
+            dram_.read(at, coordOf(set, victim), kLineSize);
+            bloat_.note(BloatCategory::DirtyEviction, kLineSize);
+            memory_.writeLine(at, ws.tag * sets_ + set);
+        }
+        notifyEviction(ws.tag * sets_ + set);
+    }
+    ws.tag = tag;
+    ws.valid = true;
+    ws.dirty = false;
+    touch(set, victim);
+    dram_.write(at, coordOf(set, victim), kLineSize);
+    bloat_.note(BloatCategory::MissFill, kLineSize);
+    outcome.presentAfter = true;
+    return outcome;
+}
+
+void
+TisCache::writeback(Cycle at, LineAddr line, bool)
+{
+    const std::uint64_t set = setOf(line);
+    const std::uint32_t way = findWay(set, tagOf(line));
+    if (way != kWays) {
+        ++writeback_hits_;
+        WayState &ws = ways_[set * kWays + way];
+        ws.dirty = true;
+        touch(set, way);
+        dram_.write(at, coordOf(set, way), kLineSize);
+        bloat_.note(BloatCategory::WritebackUpdate, kLineSize);
+    } else {
+        ++writeback_misses_;
+        memory_.writeLine(at, line);
+    }
+}
+
+bool
+TisCache::contains(LineAddr line) const
+{
+    return findWay(setOf(line), tagOf(line)) != kWays;
+}
+
+bool
+TisCache::holdsDirty(LineAddr line) const
+{
+    const std::uint64_t set = setOf(line);
+    const std::uint32_t way = findWay(set, tagOf(line));
+    return way != kWays && ways_[set * kWays + way].dirty;
+}
+
+std::uint64_t
+TisCache::sramOverheadBytes() const
+{
+    return sets_ * kWays * kTagBytesPerLine;
+}
+
+void
+TisCache::resetStats()
+{
+    DramCache::resetStats();
+    hit_latency_.reset();
+    miss_latency_.reset();
+}
+
+} // namespace bear

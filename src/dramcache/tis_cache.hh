@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The idealised Tags-In-SRAM (TIS) DRAM cache (paper Section 8).
+ *
+ * All tags live in an on-chip SRAM structure that would cost 64 MB at
+ * four bytes per line for a 1 GB cache; the paper (and this model)
+ * does not penalise TIS for that storage or for the tag-access
+ * latency.  The design is 32-way set associative with LRU.  Because
+ * presence is always known on chip, TIS never issues Miss Probes or
+ * Writeback Probes; its remaining DRAM-cache traffic is demand data
+ * reads, Miss Fills, Writeback Updates, and Dirty-Eviction reads
+ * (a dirty victim must be read out of DRAM before being overwritten —
+ * the Alloy designs get that read for free from their probes).
+ */
+
+#ifndef BEAR_DRAMCACHE_TIS_CACHE_HH
+#define BEAR_DRAMCACHE_TIS_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dramcache/dram_cache.hh"
+
+namespace bear
+{
+
+/** 32-way set-associative data-in-DRAM, tags-in-SRAM cache. */
+class TisCache : public DramCache
+{
+  public:
+    static constexpr std::uint32_t kWays = 32;
+    static constexpr std::uint32_t kTagBytesPerLine = 4;
+
+    TisCache(std::uint64_t capacity_bytes, DramSystem &dram,
+             DramSystem &memory, BloatTracker &bloat);
+
+    DramCacheReadOutcome read(Cycle at, LineAddr line, Pc pc,
+                              CoreId core) override;
+    void writeback(Cycle at, LineAddr line, bool dcp) override;
+    std::string name() const override { return "TIS"; }
+    std::uint64_t sramOverheadBytes() const override;
+    void resetStats() override;
+
+    bool contains(LineAddr line) const;
+    bool holdsDirty(LineAddr line) const override;
+    std::uint64_t sets() const { return sets_; }
+    double avgHitLatency() const { return hit_latency_.mean(); }
+    double avgMissLatency() const { return miss_latency_.mean(); }
+
+  private:
+    struct WayState
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t setOf(LineAddr line) const { return line % sets_; }
+    std::uint64_t tagOf(LineAddr line) const { return line / sets_; }
+
+    /** DRAM placement of (set, way): line-interleaved data array. */
+    DramCoord coordOf(std::uint64_t set, std::uint32_t way) const;
+
+    std::uint32_t findWay(std::uint64_t set, std::uint64_t tag) const;
+    std::uint32_t victimWay(std::uint64_t set) const;
+    void touch(std::uint64_t set, std::uint32_t way);
+
+    std::uint64_t sets_;
+    std::vector<WayState> ways_;
+    std::vector<std::uint64_t> lru_;
+    std::uint64_t tick_ = 1;
+
+    Average hit_latency_;
+    Average miss_latency_;
+};
+
+} // namespace bear
+
+#endif // BEAR_DRAMCACHE_TIS_CACHE_HH

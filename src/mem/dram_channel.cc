@@ -1,0 +1,214 @@
+#include "mem/dram_channel.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+Cycle
+BusTimeline::reserve(Cycle earliest, Cycle duration)
+{
+    // Slide the pruning watermark forward and drop intervals that no
+    // future arrival can interact with.
+    if (earliest > watermark_)
+        watermark_ = earliest;
+    const Cycle horizon =
+        watermark_ > kSkewWindow ? watermark_ - kSkewWindow : 0;
+    std::size_t dead = 0;
+    while (dead < busy_.size() && busy_[dead].end < horizon)
+        ++dead;
+    if (dead > 0)
+        busy_.erase(busy_.begin(), busy_.begin() + dead);
+
+    // First-fit gap search, starting at the first interval that can
+    // interact with `earliest` (binary search on the sorted starts).
+    Cycle candidate = earliest;
+    std::size_t pos = std::lower_bound(
+                          busy_.begin(), busy_.end(), earliest,
+                          [](const Interval &iv, Cycle t) {
+                              return iv.end <= t;
+                          })
+        - busy_.begin();
+    for (; pos < busy_.size(); ++pos) {
+        if (candidate + duration <= busy_[pos].start)
+            break;
+        if (busy_[pos].end > candidate)
+            candidate = busy_[pos].end;
+    }
+
+    // Insert [candidate, candidate+duration).  Neighbouring gaps too
+    // small for the shortest possible burst are absorbed so that the
+    // timeline stays compact (they could never be reserved anyway).
+    const Cycle end = candidate + duration;
+    const bool touch_prev =
+        pos > 0 && candidate <= busy_[pos - 1].end + kUselessGap;
+    const bool touch_next =
+        pos < busy_.size() && busy_[pos].start <= end + kUselessGap;
+    if (touch_prev && touch_next) {
+        busy_[pos - 1].end = busy_[pos].end;
+        busy_.erase(busy_.begin() + pos);
+    } else if (touch_prev) {
+        busy_[pos - 1].end = end;
+    } else if (touch_next) {
+        busy_[pos].start = candidate;
+    } else {
+        busy_.insert(busy_.begin() + pos, Interval{candidate, end});
+    }
+    return candidate;
+}
+
+DramChannel::DramChannel(const DramTiming &timing,
+                         const DramGeometry &geometry,
+                         const WriteQueuePolicy &wq)
+    : timing_(timing), geometry_(geometry), wq_policy_(wq),
+      banks_(geometry.banksPerChannel)
+{
+    bear_assert(geometry.banksPerChannel > 0, "channel needs banks");
+    bear_assert(geometry.busBytesPerCycle > 0, "bus must move data");
+    write_queue_.reserve(wq.drainHigh + 1);
+}
+
+Cycle
+DramChannel::burstCycles(std::uint32_t bytes) const
+{
+    // Round up to whole bus beats; e.g. a 72-byte TAD on a 16 B/cycle
+    // bus occupies 5 cycles (80 bytes of bus time, paper Figure 10).
+    return (bytes + geometry_.busBytesPerCycle - 1)
+        / geometry_.busBytesPerCycle;
+}
+
+DramResult
+DramChannel::service(Cycle at, std::uint32_t bank_idx, std::uint64_t row,
+                     std::uint32_t bytes, bool account_bytes)
+{
+    bear_assert(bank_idx < banks_.size(), "bank ", bank_idx, " out of range");
+    Bank &bank = banks_[bank_idx];
+
+    const Cycle start = std::max(at, bank.ready);
+    Cycle array_latency;
+    bool row_hit = false;
+    if (bank.rowOpen && bank.openRow == row) {
+        array_latency = timing_.tCAS;
+        row_hit = true;
+    } else if (bank.rowOpen) {
+        // Row conflict: precharge (respecting tRAS since the previous
+        // activate), activate the new row, then CAS.
+        const Cycle precharge_start =
+            std::max(start, bank.lastActivate + timing_.tRAS);
+        array_latency = (precharge_start - start) + timing_.tRP
+            + timing_.tRCD + timing_.tCAS;
+        bank.lastActivate = precharge_start + timing_.tRP;
+        bank.openRow = row;
+    } else {
+        array_latency = timing_.tRCD + timing_.tCAS;
+        bank.lastActivate = start;
+        bank.openRow = row;
+        bank.rowOpen = true;
+    }
+
+    const Cycle burst = burstCycles(bytes);
+    const Cycle data_start = bus_.reserve(start + array_latency, burst);
+    const Cycle data_end = data_start + burst;
+
+    // Row hits pipeline: the bank can accept the next CAS while the
+    // data burst drains (the shared bus is the limiter).  Activations
+    // and precharges occupy the bank until the transfer completes,
+    // which is what makes bank conflicts expensive (paper Section 7.4).
+    bank.ready = row_hit ? data_start : data_end;
+
+    if (account_bytes)
+        bytes_transferred_ += bytes;
+    bus_busy_cycles_ += burst;
+    if (row_hit)
+        ++row_hits_;
+
+    DramResult result;
+    result.dataReady = data_end;
+    // Queueing delay: any time not explained by array latency + burst.
+    result.queueDelay = data_end - at - array_latency - burst;
+    result.rowHit = row_hit;
+    return result;
+}
+
+DramResult
+DramChannel::read(Cycle at, std::uint32_t bank, std::uint64_t row,
+                  std::uint32_t bytes)
+{
+    // Writes are posted with the timestamp of the operation that
+    // produced them, which can lie in this read's future (a fill
+    // happens when the miss data returns).  Only writes that have
+    // actually arrived by now may delay this read; a large backlog of
+    // arrived writes forces a drain ahead of the read (the read-
+    // priority scheduler can no longer defer them).
+    if (arrivedWrites(at) >= wq_policy_.drainHigh)
+        drainWrites(at, wq_policy_.drainLow);
+    ++reads_;
+    const DramResult result = service(at, bank, row, bytes);
+    read_queue_delay_.sample(static_cast<double>(result.queueDelay));
+    read_latency_.sample(static_cast<double>(result.dataReady - at));
+    return result;
+}
+
+std::uint32_t
+DramChannel::arrivedWrites(Cycle at) const
+{
+    // The queue is sorted by arrival time.
+    std::uint32_t n = 0;
+    for (const auto &w : write_queue_) {
+        if (w.arrival > at)
+            break;
+        ++n;
+    }
+    return n;
+}
+
+void
+DramChannel::write(Cycle at, std::uint32_t bank, std::uint64_t row,
+                   std::uint32_t bytes)
+{
+    ++writes_;
+    // Posted writes are accounted when they enter the queue so that
+    // byte counters line up with the bloat tracker's post-time view
+    // (the data burst itself happens at drain time).
+    bytes_transferred_ += bytes;
+    // Keep the queue sorted by arrival (writes are posted nearly in
+    // order; the insertion scan is short).
+    PendingWrite w{at, bank, row, bytes};
+    auto it = write_queue_.end();
+    while (it != write_queue_.begin() && (it - 1)->arrival > at)
+        --it;
+    write_queue_.insert(it, w);
+
+    // Backstop: never let the physical queue structure overflow even
+    // if no read arrives to trigger a drain.
+    if (write_queue_.size() >= 4 * wq_policy_.drainHigh)
+        drainWrites(write_queue_.back().arrival, wq_policy_.drainLow);
+}
+
+void
+DramChannel::drainWrites(Cycle at, std::uint32_t target)
+{
+    // Drain arrived writes, oldest first, down to the target level.
+    while (arrivedWrites(at) > target) {
+        const PendingWrite w = write_queue_.front();
+        write_queue_.erase(write_queue_.begin());
+        service(std::max(at, w.arrival), w.bank, w.row, w.bytes,
+                /*account_bytes=*/false);
+    }
+}
+
+void
+DramChannel::resetStats()
+{
+    bytes_transferred_ = 0;
+    read_queue_delay_.reset();
+    read_latency_.reset();
+    reads_ = 0;
+    writes_ = 0;
+    row_hits_ = 0;
+    bus_busy_cycles_ = 0;
+}
+
+} // namespace bear

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Reservation-based timing model of one DRAM channel.
+ *
+ * Instead of a full event-driven controller, each bank and the shared
+ * data bus are modelled as resources with "next free" timestamps.  A
+ * read computes its start time as the maximum of its arrival, the
+ * bank's availability and the bus availability, pays the appropriate
+ * row-buffer latency (hit / closed / conflict), and pushes the
+ * timestamps forward.  Queueing delay — the quantity bandwidth bloat
+ * inflates (paper Section 2.2) — therefore emerges naturally from
+ * contention on the bus and bank timestamps.
+ *
+ * Writes follow the paper's controller policy: they are buffered in a
+ * per-channel write queue and drained in batches once the queue
+ * reaches a high-water mark, so reads are prioritised until a drain
+ * forces them to wait behind the write burst.
+ */
+
+#ifndef BEAR_MEM_DRAM_CHANNEL_HH
+#define BEAR_MEM_DRAM_CHANNEL_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/dram_config.hh"
+
+namespace bear
+{
+
+/** Timing outcome of one DRAM access. */
+struct DramResult
+{
+    Cycle dataReady = 0;  ///< cycle at which the last data beat arrives
+    Cycle queueDelay = 0; ///< cycles spent waiting for bank/bus resources
+    bool rowHit = false;  ///< serviced from an open row buffer
+};
+
+/**
+ * Gap-filling reservation timeline for the shared data bus.
+ *
+ * Requests reach the controller slightly out of time order (a
+ * serialised miss issues its memory access when its probe completes,
+ * in the future of other cores' clocks).  A single "bus free at T"
+ * timestamp would make every earlier request queue behind the latest
+ * reservation; instead the timeline keeps the set of busy intervals in
+ * a sliding window and lets a request claim the first gap after its
+ * ready time — which is exactly what an out-of-order memory controller
+ * does with its command queue.
+ */
+class BusTimeline
+{
+  public:
+    /** Reserve @p duration cycles no earlier than @p earliest;
+     *  returns the scheduled start. */
+    Cycle reserve(Cycle earliest, Cycle duration);
+
+    std::size_t intervals() const { return busy_.size(); }
+
+  private:
+    struct Interval
+    {
+        Cycle start;
+        Cycle end;
+    };
+
+    /** Arrivals are never more than this far out of order. */
+    static constexpr Cycle kSkewWindow = 1 << 14;
+
+    /** Gaps shorter than the shortest burst can never be used; they
+     *  are absorbed into neighbouring intervals on insert. */
+    static constexpr Cycle kUselessGap = 3;
+
+    std::vector<Interval> busy_; ///< sorted, disjoint, coalesced
+    Cycle watermark_ = 0;
+};
+
+/** One DRAM channel: banks plus a shared bidirectional data bus. */
+class DramChannel
+{
+  public:
+    DramChannel(const DramTiming &timing, const DramGeometry &geometry,
+                const WriteQueuePolicy &wq);
+
+    /**
+     * Timed read of @p bytes from (@p bank, @p row) arriving at @p at.
+     * May first trigger a write-queue drain if the queue is full.
+     */
+    DramResult read(Cycle at, std::uint32_t bank, std::uint64_t row,
+                    std::uint32_t bytes);
+
+    /**
+     * Enqueue a write of @p bytes to (@p bank, @p row).  Writes are
+     * posted: the caller never waits for them, but they consume bus and
+     * bank time when the queue drains.
+     */
+    void write(Cycle at, std::uint32_t bank, std::uint64_t row,
+               std::uint32_t bytes);
+
+    /** Drain arrived writes down to @p target entries, starting at @p at. */
+    void drainWrites(Cycle at, std::uint32_t target);
+
+    /** Writes whose arrival time is <= @p at (queue is arrival-sorted). */
+    std::uint32_t arrivedWrites(Cycle at) const;
+
+    /** Force-drain everything, future-stamped writes included. */
+    void
+    drainAll(Cycle at)
+    {
+        const Cycle horizon = write_queue_.empty()
+            ? at
+            : std::max(at, write_queue_.back().arrival);
+        drainWrites(horizon, 0);
+    }
+
+    std::uint64_t bytesTransferred() const { return bytes_transferred_; }
+    double avgReadQueueDelay() const { return read_queue_delay_.mean(); }
+    double avgReadLatency() const { return read_latency_.mean(); }
+    std::uint64_t readCount() const { return reads_; }
+    std::uint64_t writeCount() const { return writes_; }
+    std::uint64_t rowHitCount() const { return row_hits_; }
+    std::uint64_t busBusyCycles() const { return bus_busy_cycles_; }
+    std::size_t writeQueueDepth() const { return write_queue_.size(); }
+
+    /** Zero all statistics (warm-up boundary); timing state is kept. */
+    void resetStats();
+
+  private:
+    struct Bank
+    {
+        Cycle ready = 0;        ///< bank free for a new command
+        Cycle lastActivate = 0; ///< for the tRAS constraint
+        std::uint64_t openRow = ~0ULL;
+        bool rowOpen = false;
+    };
+
+    struct PendingWrite
+    {
+        Cycle arrival;
+        std::uint32_t bank;
+        std::uint64_t row;
+        std::uint32_t bytes;
+    };
+
+    /** Shared service path for reads and drained writes; drained
+     *  writes were byte-accounted at post time. */
+    DramResult service(Cycle at, std::uint32_t bank_idx, std::uint64_t row,
+                       std::uint32_t bytes, bool account_bytes = true);
+
+    Cycle burstCycles(std::uint32_t bytes) const;
+
+    DramTiming timing_;
+    DramGeometry geometry_;
+    WriteQueuePolicy wq_policy_;
+
+    std::vector<Bank> banks_;
+    BusTimeline bus_;
+    std::vector<PendingWrite> write_queue_;
+
+    std::uint64_t bytes_transferred_ = 0;
+    Average read_queue_delay_;
+    Average read_latency_;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t row_hits_ = 0;
+    std::uint64_t bus_busy_cycles_ = 0;
+};
+
+} // namespace bear
+
+#endif // BEAR_MEM_DRAM_CHANNEL_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * DRAM geometry and timing configuration (paper Table 1).
+ *
+ * Both DRAM instances in the system — the stacked-DRAM cache (HBM-like)
+ * and the conventional DDR main memory — share the same timing
+ * parameters (the paper assumes equal access latency for both
+ * technologies) and differ only in geometry: the cache has 2x the
+ * channels, 2x the bus width and 2x the bus frequency, for an 8x
+ * aggregate bandwidth advantage.
+ *
+ * All times are CPU cycles at 3.2 GHz.  Bus speed is expressed as bytes
+ * transferred per CPU cycle per channel:
+ *   - DRAM cache: 128-bit bus, 1.6 GHz DDR (3.2 GT/s) -> 16 B/cycle,
+ *   - main memory: 64-bit bus, 800 MHz DDR (1.6 GT/s) -> 4 B/cycle.
+ */
+
+#ifndef BEAR_MEM_DRAM_CONFIG_HH
+#define BEAR_MEM_DRAM_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace bear
+{
+
+/** Core DRAM timing parameters in CPU cycles. */
+struct DramTiming
+{
+    Cycle tCAS = 36;  ///< column access (row hit latency)
+    Cycle tRCD = 36;  ///< activate to column
+    Cycle tRP = 36;   ///< precharge
+    Cycle tRAS = 144; ///< activate to precharge minimum
+};
+
+/** Channel/bank geometry and bus speed of one DRAM instance. */
+struct DramGeometry
+{
+    std::uint32_t channels = 4;
+    std::uint32_t banksPerChannel = 16;
+    std::uint32_t busBytesPerCycle = 16; ///< data bytes per CPU cycle
+    std::uint64_t rowBytes = 2048;       ///< row-buffer size
+
+    std::uint32_t totalBanks() const { return channels * banksPerChannel; }
+
+    /** Peak bandwidth in bytes per CPU cycle across all channels. */
+    std::uint64_t
+    peakBytesPerCycle() const
+    {
+        return static_cast<std::uint64_t>(channels) * busBytesPerCycle;
+    }
+};
+
+/** Write-queue batching thresholds (reads have priority; writes drain
+ *  in batches once the queue fills — paper Section 3.1). */
+struct WriteQueuePolicy
+{
+    std::uint32_t drainHigh = 32; ///< start draining at this occupancy
+    std::uint32_t drainLow = 8;   ///< stop draining at this occupancy
+};
+
+/** Factory helpers for the two paper configurations. */
+DramGeometry makeCacheGeometry(std::uint32_t bandwidth_ratio = 8,
+                               std::uint32_t total_banks = 64);
+DramGeometry makeMemoryGeometry();
+
+inline DramGeometry
+makeCacheGeometry(std::uint32_t bandwidth_ratio, std::uint32_t total_banks)
+{
+    // Baseline 8x ratio: 4 channels x 16 B/cycle vs memory 2 x 4 B/cycle.
+    // The ratio is varied by scaling the channel count (paper Sec 7.3).
+    DramGeometry g;
+    g.channels = bandwidth_ratio / 2;
+    g.busBytesPerCycle = 16;
+    g.banksPerChannel = total_banks / g.channels;
+    g.rowBytes = 2048;
+    return g;
+}
+
+inline DramGeometry
+makeMemoryGeometry()
+{
+    DramGeometry g;
+    g.channels = 2;
+    g.banksPerChannel = 8;
+    g.busBytesPerCycle = 4;
+    g.rowBytes = 2048;
+    return g;
+}
+
+} // namespace bear
+
+#endif // BEAR_MEM_DRAM_CONFIG_HH

@@ -1,0 +1,111 @@
+#include "mem/dram_system.hh"
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+DramSystem::DramSystem(std::string name, const DramTiming &timing,
+                       const DramGeometry &geometry,
+                       const WriteQueuePolicy &wq)
+    : name_(std::move(name)), geometry_(geometry),
+      linesPerRow_(geometry.rowBytes / kLineSize)
+{
+    bear_assert(geometry.channels > 0, name_, ": need at least one channel");
+    channels_.reserve(geometry.channels);
+    for (std::uint32_t c = 0; c < geometry.channels; ++c)
+        channels_.emplace_back(timing, geometry, wq);
+}
+
+DramCoord
+DramSystem::mapLine(LineAddr line) const
+{
+    // Fine-grain line interleave across channels, then banks, so that
+    // sequential streams spread over all resources; rows are the
+    // remaining high-order bits.
+    DramCoord coord;
+    coord.channel = static_cast<std::uint32_t>(line % geometry_.channels);
+    std::uint64_t rest = line / geometry_.channels;
+    coord.bank =
+        static_cast<std::uint32_t>(rest % geometry_.banksPerChannel);
+    rest /= geometry_.banksPerChannel;
+    coord.row = rest / linesPerRow_;
+    return coord;
+}
+
+DramResult
+DramSystem::read(Cycle at, const DramCoord &coord, std::uint32_t bytes)
+{
+    bear_assert(coord.channel < channels_.size(), name_,
+                ": channel out of range");
+    return channels_[coord.channel].read(at, coord.bank, coord.row, bytes);
+}
+
+void
+DramSystem::write(Cycle at, const DramCoord &coord, std::uint32_t bytes)
+{
+    bear_assert(coord.channel < channels_.size(), name_,
+                ": channel out of range");
+    channels_[coord.channel].write(at, coord.bank, coord.row, bytes);
+}
+
+std::uint64_t
+DramSystem::totalBytesTransferred() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : channels_)
+        total += c.bytesTransferred();
+    return total;
+}
+
+std::uint64_t
+DramSystem::totalRowHits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : channels_)
+        total += c.rowHitCount();
+    return total;
+}
+
+std::uint64_t
+DramSystem::totalReads() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : channels_)
+        total += c.readCount();
+    return total;
+}
+
+std::uint64_t
+DramSystem::totalWrites() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : channels_)
+        total += c.writeCount();
+    return total;
+}
+
+std::uint64_t
+DramSystem::totalBusBusyCycles() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : channels_)
+        total += c.busBusyCycles();
+    return total;
+}
+
+void
+DramSystem::resetStats()
+{
+    for (auto &c : channels_)
+        c.resetStats();
+}
+
+void
+DramSystem::drainAll(Cycle at)
+{
+    for (auto &c : channels_)
+        c.drainAll(at);
+}
+
+} // namespace bear

@@ -1,0 +1,54 @@
+#include "sim/checker.hh"
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+DirtyDataChecker::DirtyDataChecker(DramCache &design, DramSystem &memory)
+    : design_(design)
+{
+    // Every line-addressed write to main memory persists that line:
+    // from then on losing the cached copy is harmless.
+    memory.setLineWriteHook(
+        [this](LineAddr line) { cache_dirty_.erase(line); });
+}
+
+void
+DirtyDataChecker::verify(LineAddr line) const
+{
+    if (cache_dirty_.count(line)) {
+        bear_assert(design_.holdsDirty(line),
+                    "dirty data lost for line ", line, " in design ",
+                    design_.name());
+    }
+}
+
+DramCacheReadOutcome
+DirtyDataChecker::read(Cycle at, LineAddr line, Pc pc, CoreId core)
+{
+    const DramCacheReadOutcome outcome = design_.read(at, line, pc, core);
+    verify(line);
+    return outcome;
+}
+
+void
+DirtyDataChecker::writeback(Cycle at, LineAddr line, bool dcp)
+{
+    // Tentatively mark the newest copy as cache-resident; if the
+    // design forwards it to main memory instead, the write hook clears
+    // the mark during the call.  A design that does neither is caught
+    // by the verify below.
+    cache_dirty_.insert(line);
+    design_.writeback(at, line, dcp);
+    verify(line);
+}
+
+void
+DirtyDataChecker::verifyAll() const
+{
+    for (const LineAddr line : cache_dirty_)
+        verify(line);
+}
+
+} // namespace bear

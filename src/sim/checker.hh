@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Dirty-data correctness checker.
+ *
+ * The cardinal correctness property of every DRAM-cache design is that
+ * dirty data is never silently dropped: once the LLC writes a dirty
+ * line back, the newest copy must live either in the DRAM cache (dirty
+ * bit set) or in main memory — any path that loses it (a bypassed
+ * probe that was actually needed, a stale DCP bit, an NTC snapshot
+ * that went out of date) is a data-loss bug.
+ *
+ * DirtyDataChecker wraps a design, mirrors where the newest copy of
+ * each dirtied line must be, and panics the moment the design's
+ * observable state disagrees.  It is used by the property tests in
+ * tests/ to fuzz every design with randomized read/writeback
+ * sequences.
+ */
+
+#ifndef BEAR_SIM_CHECKER_HH
+#define BEAR_SIM_CHECKER_HH
+
+#include <unordered_set>
+
+#include "dramcache/dram_cache.hh"
+
+namespace bear
+{
+
+/** Shadow oracle asserting the no-lost-dirty-data invariant. */
+class DirtyDataChecker
+{
+  public:
+    /**
+     * @param design the cache under test
+     * @param memory the main-memory instance the design writes victims
+     *               to; the checker installs the line-write hook.
+     */
+    DirtyDataChecker(DramCache &design, DramSystem &memory);
+
+    /** Issue a demand read through the design, then verify. */
+    DramCacheReadOutcome read(Cycle at, LineAddr line, Pc pc,
+                              CoreId core);
+
+    /** Issue a writeback through the design, then verify. */
+    void writeback(Cycle at, LineAddr line, bool dcp);
+
+    /** Lines whose newest copy currently lives only in the cache. */
+    std::size_t dirtyTracked() const { return cache_dirty_.size(); }
+
+    /** Verify the invariant for every tracked line (end of test). */
+    void verifyAll() const;
+
+  private:
+    void verify(LineAddr line) const;
+
+    DramCache &design_;
+    std::unordered_set<LineAddr> cache_dirty_;
+};
+
+} // namespace bear
+
+#endif // BEAR_SIM_CHECKER_HH

@@ -1,0 +1,109 @@
+#include "sim/experiment.hh"
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "sim/report.hh"
+
+namespace bear
+{
+
+namespace
+{
+
+double
+subsetGeomean(const Comparison &cmp, std::size_t idx, int want_mix)
+{
+    std::vector<double> values;
+    for (const auto &row : cmp.rows) {
+        if (want_mix >= 0 && row.isMix != (want_mix == 1))
+            continue;
+        values.push_back(row.speedups[idx]);
+    }
+    return geomean(values);
+}
+
+} // namespace
+
+double
+Comparison::rateGeomean(std::size_t idx) const
+{
+    return subsetGeomean(*this, idx, 0);
+}
+
+double
+Comparison::mixGeomean(std::size_t idx) const
+{
+    return subsetGeomean(*this, idx, 1);
+}
+
+double
+Comparison::allGeomean(std::size_t idx) const
+{
+    return subsetGeomean(*this, idx, -1);
+}
+
+std::vector<RunJob>
+retarget(std::vector<RunJob> jobs, DesignKind design)
+{
+    for (auto &job : jobs)
+        job.design = design;
+    return jobs;
+}
+
+Comparison
+compareDesigns(Runner &runner, const std::vector<RunJob> &jobs,
+               DesignKind baseline, const std::vector<DesignKind> &configs)
+{
+    // Schedule every (design, workload) pair in one batch so the
+    // runner's thread pool covers the whole experiment.
+    std::vector<RunJob> batch = retarget(jobs, baseline);
+    for (const DesignKind design : configs) {
+        const auto retargeted = retarget(jobs, design);
+        batch.insert(batch.end(), retargeted.begin(), retargeted.end());
+    }
+    const std::vector<RunResult> results = runner.runAll(batch);
+
+    Comparison cmp;
+    for (const DesignKind design : configs)
+        cmp.designs.push_back(designName(design));
+
+    const std::size_t n = jobs.size();
+    for (std::size_t w = 0; w < n; ++w) {
+        ComparisonRow row;
+        row.baseline = results[w];
+        row.workload = row.baseline.workload;
+        row.isMix = row.baseline.isMix;
+        for (std::size_t d = 0; d < configs.size(); ++d) {
+            const RunResult &run = results[(d + 1) * n + w];
+            row.runs.push_back(run);
+            row.speedups.push_back(normalizedSpeedup(row.baseline, run));
+        }
+        cmp.rows.push_back(std::move(row));
+    }
+    // Machine-readable mirror of the printed tables (BEAR_JSON=path).
+    maybeWriteJsonReport(comparisonToJson("compareDesigns", cmp));
+    return cmp;
+}
+
+void
+printExperimentHeader(const std::string &id, const std::string &title,
+                      const std::string &paper_claim,
+                      const RunnerOptions &options)
+{
+    std::printf("==========================================================="
+                "=====================\n");
+    std::printf("%s: %s\n", id.c_str(), title.c_str());
+    std::printf("Paper: %s\n", paper_claim.c_str());
+    std::printf("Model: scale=%.4g warmup=%llu measure=%llu refs/core, "
+                "%u cores\n",
+                options.scale,
+                static_cast<unsigned long long>(options.warmupRefsPerCore),
+                static_cast<unsigned long long>(
+                    options.measureRefsPerCore),
+                options.cores);
+    std::printf("==========================================================="
+                "=====================\n");
+}
+
+} // namespace bear

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared scaffolding for the benchmark harnesses in bench/.
+ *
+ * Every bench binary regenerates one table or figure of the paper:
+ * it declares the workload set and the design list, and this module
+ * runs baseline + configurations over the same workloads (reusing the
+ * runner's memoisation and thread pool), computes per-workload
+ * normalised speedups, and aggregates RATE / MIX / ALL geometric
+ * means exactly as the paper reports them.
+ */
+
+#ifndef BEAR_SIM_EXPERIMENT_HH
+#define BEAR_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace bear
+{
+
+/** One workload's results across all compared designs. */
+struct ComparisonRow
+{
+    std::string workload;
+    bool isMix = false;
+    RunResult baseline;
+    std::vector<RunResult> runs;     ///< one per compared design
+    std::vector<double> speedups;    ///< normalised vs baseline
+};
+
+/** Aggregated comparison over a workload set. */
+struct Comparison
+{
+    std::vector<std::string> designs; ///< compared design names
+    std::vector<ComparisonRow> rows;
+
+    /** Geometric-mean speedup of design @p idx over rate rows. */
+    double rateGeomean(std::size_t idx) const;
+    /** Geometric-mean speedup of design @p idx over mix rows. */
+    double mixGeomean(std::size_t idx) const;
+    /** Geometric-mean speedup of design @p idx over all rows. */
+    double allGeomean(std::size_t idx) const;
+};
+
+/**
+ * Run @p baseline and each design of @p configs over the workloads of
+ * @p jobs (whose design field is ignored) and normalise.
+ */
+Comparison compareDesigns(Runner &runner, const std::vector<RunJob> &jobs,
+                          DesignKind baseline,
+                          const std::vector<DesignKind> &configs);
+
+/** Retarget a job list at another design. */
+std::vector<RunJob> retarget(std::vector<RunJob> jobs, DesignKind design);
+
+/** Uniform bench banner: experiment id, title, and the paper's claim. */
+void printExperimentHeader(const std::string &id, const std::string &title,
+                           const std::string &paper_claim,
+                           const RunnerOptions &options);
+
+} // namespace bear
+
+#endif // BEAR_SIM_EXPERIMENT_HH

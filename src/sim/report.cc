@@ -1,0 +1,132 @@
+#include "sim/report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/json.hh"
+#include "dramcache/bloat.hh"
+
+namespace bear
+{
+
+namespace
+{
+
+void
+writeStats(JsonWriter &json, const SystemStats &stats)
+{
+    json.beginObject("stats");
+    json.field("ipcTotal", stats.ipcTotal);
+    json.field("execCycles",
+               static_cast<std::uint64_t>(stats.execCycles));
+    json.field("l4HitRate", stats.l4HitRate);
+    json.field("l4HitLatency", stats.l4HitLatency);
+    json.field("l4MissLatency", stats.l4MissLatency);
+    json.field("l4AvgLatency", stats.l4AvgLatency);
+    json.field("bloatFactor", stats.bloatFactor);
+    json.field("measuredMpki", stats.measuredMpki);
+    json.field("sramOverheadBytes", stats.sramOverheadBytes);
+    json.beginArray("bloatBreakdown");
+    for (std::size_t c = 0; c < stats.bloatBreakdown.size(); ++c) {
+        json.beginObject();
+        json.field("category",
+                   bloatCategoryName(static_cast<BloatCategory>(c)));
+        json.field("factor", stats.bloatBreakdown[c]);
+        json.endObject();
+    }
+    json.endArray();
+    json.beginArray("ipcPerCore");
+    for (double ipc : stats.ipcPerCore)
+        json.value(ipc);
+    json.endArray();
+    json.endObject();
+}
+
+void
+writeRun(JsonWriter &json, const RunResult &result)
+{
+    json.field("workload", result.workload);
+    json.field("design", result.design);
+    json.field("isMix", result.isMix);
+    writeStats(json, result.stats);
+    if (!result.ipcAlone.empty()) {
+        json.beginArray("ipcAlone");
+        for (double ipc : result.ipcAlone)
+            json.value(ipc);
+        json.endArray();
+    }
+}
+
+} // namespace
+
+std::string
+runResultToJson(const RunResult &result)
+{
+    JsonWriter json;
+    json.beginObject();
+    writeRun(json, result);
+    json.endObject();
+    return json.str();
+}
+
+std::string
+comparisonToJson(const std::string &experiment,
+                 const Comparison &comparison)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("experiment", experiment);
+    json.beginArray("designs");
+    for (const auto &d : comparison.designs)
+        json.value(d);
+    json.endArray();
+    json.beginArray("rows");
+    for (const auto &row : comparison.rows) {
+        json.beginObject();
+        json.field("workload", row.workload);
+        json.field("isMix", row.isMix);
+        json.beginObject("baseline");
+        writeRun(json, row.baseline);
+        json.endObject();
+        json.beginArray("runs");
+        for (const auto &run : row.runs) {
+            json.beginObject();
+            writeRun(json, run);
+            json.endObject();
+        }
+        json.endArray();
+        json.beginArray("speedups");
+        for (double s : row.speedups)
+            json.value(s);
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.beginObject("geomeans");
+    for (std::size_t d = 0; d < comparison.designs.size(); ++d) {
+        json.beginObject(comparison.designs[d]);
+        json.field("rate", comparison.rateGeomean(d));
+        json.field("mix", comparison.mixGeomean(d));
+        json.field("all", comparison.allGeomean(d));
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+    return json.str();
+}
+
+bool
+maybeWriteJsonReport(const std::string &json)
+{
+    const char *path = std::getenv("BEAR_JSON");
+    if (!path)
+        return false;
+    std::FILE *f = std::fopen(path, "a");
+    if (!f)
+        return false;
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    return true;
+}
+
+} // namespace bear

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Machine-readable run reports.
+ *
+ * Serialises RunResult / Comparison structures to JSON so plots and
+ * regression dashboards can consume the same data the bench binaries
+ * print as tables.  Bench binaries honour BEAR_JSON=<path> by
+ * appending one JSON document per invocation.
+ */
+
+#ifndef BEAR_SIM_REPORT_HH
+#define BEAR_SIM_REPORT_HH
+
+#include <string>
+
+#include "sim/experiment.hh"
+
+namespace bear
+{
+
+/** Serialise one run. */
+std::string runResultToJson(const RunResult &result);
+
+/** Serialise a whole comparison (baseline + designs, all workloads). */
+std::string comparisonToJson(const std::string &experiment,
+                             const Comparison &comparison);
+
+/**
+ * If BEAR_JSON is set in the environment, append @p json (plus a
+ * newline, i.e. JSON-lines format) to that file.  Returns true if
+ * something was written.
+ */
+bool maybeWriteJsonReport(const std::string &json);
+
+} // namespace bear
+
+#endif // BEAR_SIM_REPORT_HH

@@ -1,0 +1,278 @@
+#include "sim/runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+namespace
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::strtod(value, nullptr) : fallback;
+}
+
+} // namespace
+
+RunnerOptions
+RunnerOptions::fromEnv()
+{
+    RunnerOptions options;
+    if (envU64("BEAR_FULL", 0))
+        options.scale = 1.0;
+    options.scale = envDouble("BEAR_SCALE", options.scale);
+    options.warmupRefsPerCore =
+        envU64("BEAR_WARMUP", options.warmupRefsPerCore);
+    options.measureRefsPerCore =
+        envU64("BEAR_MEASURE", options.measureRefsPerCore);
+    options.workers = static_cast<std::uint32_t>(
+        envU64("BEAR_WORKERS", options.workers));
+    return options;
+}
+
+Runner::Runner(const RunnerOptions &options) : options_(options)
+{
+    bear_assert(options.scale > 0.0, "scale must be positive");
+    bear_assert(options.cores > 0, "need cores");
+}
+
+SystemConfig
+Runner::systemConfig(const RunJob &job) const
+{
+    SystemConfig config;
+    config.design = job.design;
+    config.cores = options_.cores;
+    config.scale = options_.scale;
+    config.cacheCapacityBytes = job.cacheCapacityBytes
+        ? job.cacheCapacityBytes
+        : options_.cacheCapacityBytes;
+    config.bandwidthRatio =
+        job.bandwidthRatio ? job.bandwidthRatio : options_.bandwidthRatio;
+    config.totalBanks = job.totalBanks ? job.totalBanks
+                                       : options_.totalBanks;
+    config.seed = options_.seed;
+    return config;
+}
+
+std::string
+Runner::keyOf(const RunJob &job) const
+{
+    std::ostringstream os;
+    os << designName(job.design) << '|'
+       << (job.mix ? job.mix->name : job.rateBenchmark) << '|'
+       << job.bandwidthRatio << '|' << job.totalBanks << '|'
+       << job.cacheCapacityBytes;
+    return os.str();
+}
+
+RunResult
+Runner::execute(const RunJob &job)
+{
+    const SystemConfig config = systemConfig(job);
+
+    std::vector<std::unique_ptr<RefStream>> streams;
+    std::string workload_name;
+    if (job.mix) {
+        workload_name = job.mix->name;
+        for (std::uint32_t c = 0; c < options_.cores; ++c) {
+            const WorkloadProfile &profile =
+                profileByName(job.mix->benchmarks[c]);
+            streams.push_back(std::make_unique<WorkloadStream>(
+                profile, options_.seed + 0x1000 * (c + 1),
+                options_.scale));
+        }
+    } else {
+        workload_name = job.rateBenchmark;
+        const WorkloadProfile &profile =
+            profileByName(job.rateBenchmark);
+        for (std::uint32_t c = 0; c < options_.cores; ++c) {
+            streams.push_back(std::make_unique<WorkloadStream>(
+                profile, options_.seed + 0x1000 * (c + 1),
+                options_.scale));
+        }
+    }
+
+    System system(config, std::move(streams));
+    system.run(options_.warmupRefsPerCore);
+    system.resetStats();
+    system.run(options_.measureRefsPerCore);
+
+    RunResult result;
+    result.workload = workload_name;
+    result.design = designName(job.design);
+    result.isMix = job.mix != nullptr;
+    result.stats = system.stats();
+    if (job.mix) {
+        for (std::uint32_t c = 0; c < options_.cores; ++c)
+            result.ipcAlone.push_back(ipcAlone(job.mix->benchmarks[c]));
+    }
+    return result;
+}
+
+RunResult
+Runner::run(const RunJob &job)
+{
+    const std::string key = keyOf(job);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+    }
+    RunResult result = execute(job);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.emplace(key, std::move(result)).first->second;
+}
+
+RunResult
+Runner::runRate(DesignKind design, const std::string &benchmark)
+{
+    RunJob job;
+    job.design = design;
+    job.rateBenchmark = benchmark;
+    return run(job);
+}
+
+RunResult
+Runner::runMix(DesignKind design, const MixSpec &mix)
+{
+    RunJob job;
+    job.design = design;
+    job.mix = &mix;
+    return run(job);
+}
+
+double
+Runner::ipcAlone(const std::string &benchmark)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = alone_cache_.find(benchmark);
+        if (it != alone_cache_.end())
+            return it->second;
+    }
+
+    // Single active core on the baseline Alloy system: the benchmark
+    // has every resource to itself.
+    SystemConfig config;
+    config.design = DesignKind::Alloy;
+    config.cores = 1;
+    config.scale = options_.scale;
+    config.cacheCapacityBytes = options_.cacheCapacityBytes;
+    config.bandwidthRatio = options_.bandwidthRatio;
+    config.totalBanks = options_.totalBanks;
+    config.seed = options_.seed;
+
+    std::vector<std::unique_ptr<RefStream>> streams;
+    streams.push_back(std::make_unique<WorkloadStream>(
+        profileByName(benchmark), options_.seed + 0x1000, options_.scale));
+
+    System system(config, std::move(streams));
+    system.run(options_.warmupRefsPerCore);
+    system.resetStats();
+    system.run(options_.measureRefsPerCore);
+    const double ipc = system.stats().ipcPerCore[0];
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    return alone_cache_.emplace(benchmark, ipc).first->second;
+}
+
+std::vector<RunResult>
+Runner::runAll(const std::vector<RunJob> &jobs)
+{
+    std::uint32_t workers = options_.workers
+        ? options_.workers
+        : std::max(1U, std::thread::hardware_concurrency());
+    workers = std::min<std::uint32_t>(
+        workers, static_cast<std::uint32_t>(jobs.size()));
+
+    // Mix jobs need IPC_alone numbers; compute them up front so worker
+    // threads only read the memo table.
+    for (const RunJob &job : jobs) {
+        if (job.mix) {
+            for (const auto &benchmark : job.mix->benchmarks)
+                ipcAlone(benchmark);
+        }
+    }
+
+    std::vector<RunResult> results(jobs.size());
+    std::atomic<std::size_t> next{0};
+    auto work = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            results[i] = run(jobs[i]);
+        }
+    };
+
+    if (workers <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::uint32_t w = 0; w < workers; ++w)
+            pool.emplace_back(work);
+        for (auto &t : pool)
+            t.join();
+    }
+    return results;
+}
+
+std::vector<RunJob>
+rateJobs(DesignKind design)
+{
+    std::vector<RunJob> jobs;
+    for (const auto &name : rateWorkloadNames()) {
+        RunJob job;
+        job.design = design;
+        job.rateBenchmark = name;
+        jobs.push_back(job);
+    }
+    return jobs;
+}
+
+std::vector<RunJob>
+mixJobs(DesignKind design)
+{
+    std::vector<RunJob> jobs;
+    for (const auto &mix : tableThreeMixes()) {
+        RunJob job;
+        job.design = design;
+        job.mix = &mix;
+        jobs.push_back(job);
+    }
+    return jobs;
+}
+
+std::vector<RunJob>
+allJobs(DesignKind design)
+{
+    std::vector<RunJob> jobs = rateJobs(design);
+    const bool full = std::getenv("BEAR_ALL54") != nullptr;
+    const auto &mixes = full ? allMixes() : tableThreeMixes();
+    for (const auto &mix : mixes) {
+        RunJob job;
+        job.design = design;
+        job.mix = &mix;
+        jobs.push_back(job);
+    }
+    return jobs;
+}
+
+} // namespace bear

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Experiment runner: builds systems for rate/mix workloads, manages
+ * warm-up and measurement phases, caches results, and fans runs out
+ * over worker threads.
+ *
+ * Each run follows the paper's methodology: the system executes a
+ * warm-up phase (caches and policy state settle), statistics are
+ * reset, and a measurement phase produces the reported numbers.  Mixed
+ * workloads additionally need per-benchmark IPC_alone runs (single
+ * core on the baseline Alloy system) to compute weighted speedups;
+ * the runner computes and memoises those on demand.
+ */
+
+#ifndef BEAR_SIM_RUNNER_HH
+#define BEAR_SIM_RUNNER_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/system.hh"
+#include "workloads/mixes.hh"
+#include "workloads/workload.hh"
+
+namespace bear
+{
+
+/** Knobs shared by every run of a bench binary. */
+struct RunnerOptions
+{
+    double scale = 0.0625;
+    std::uint64_t warmupRefsPerCore = 400000;
+    std::uint64_t measureRefsPerCore = 150000;
+    std::uint32_t cores = 8;
+    std::uint32_t bandwidthRatio = 8;
+    std::uint32_t totalBanks = 64;
+    std::uint64_t cacheCapacityBytes = 1ULL << 30; ///< pre-scale
+    std::uint64_t seed = 0x5EED;
+    std::uint32_t workers = 0; ///< 0 = hardware concurrency
+
+    /**
+     * Environment overrides: BEAR_SCALE, BEAR_WARMUP, BEAR_MEASURE,
+     * BEAR_WORKERS, BEAR_FULL=1 (paper-size, scale 1.0).
+     */
+    static RunnerOptions fromEnv();
+};
+
+/** A run request: design x workload (rate benchmark or mix). */
+struct RunJob
+{
+    DesignKind design = DesignKind::Alloy;
+    std::string rateBenchmark; ///< set for rate mode
+    const MixSpec *mix = nullptr; ///< set for mix mode
+    /** Optional per-job overrides (sensitivity studies). */
+    std::uint32_t bandwidthRatio = 0; ///< 0 = RunnerOptions value
+    std::uint32_t totalBanks = 0;
+    std::uint64_t cacheCapacityBytes = 0;
+};
+
+/** Thread-pooled, memoising experiment runner. */
+class Runner
+{
+  public:
+    explicit Runner(const RunnerOptions &options);
+
+    /** Run one rate-mode workload (8 copies of @p benchmark). */
+    RunResult runRate(DesignKind design, const std::string &benchmark);
+
+    /** Run one mixed workload. */
+    RunResult runMix(DesignKind design, const MixSpec &mix);
+
+    /** Run a job (rate or mix, with overrides). */
+    RunResult run(const RunJob &job);
+
+    /** Run jobs across worker threads; results in job order. */
+    std::vector<RunResult> runAll(const std::vector<RunJob> &jobs);
+
+    /** Memoised IPC_alone of @p benchmark on the baseline system. */
+    double ipcAlone(const std::string &benchmark);
+
+    const RunnerOptions &options() const { return options_; }
+
+  private:
+    SystemConfig systemConfig(const RunJob &job) const;
+    RunResult execute(const RunJob &job);
+    std::string keyOf(const RunJob &job) const;
+
+    RunnerOptions options_;
+    std::mutex mutex_;
+    std::map<std::string, RunResult> cache_;
+    std::map<std::string, double> alone_cache_;
+};
+
+/** The 16-benchmark RATE set. */
+std::vector<RunJob> rateJobs(DesignKind design);
+
+/** The 8 detailed mixes. */
+std::vector<RunJob> mixJobs(DesignKind design);
+
+/**
+ * The "ALL" workload set: RATE + the detailed mixes by default; with
+ * BEAR_ALL54=1 in the environment, RATE + all 38 mixes (the paper's
+ * 54-workload set).
+ */
+std::vector<RunJob> allJobs(DesignKind design);
+
+} // namespace bear
+
+#endif // BEAR_SIM_RUNNER_HH

@@ -1,0 +1,238 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/log.hh"
+#include "dramcache/alloy_cache.hh"
+#include "dramcache/bwopt_cache.hh"
+#include "dramcache/loh_hill_cache.hh"
+#include "dramcache/no_cache.hh"
+#include "dramcache/sector_cache.hh"
+#include "dramcache/tis_cache.hh"
+
+namespace bear
+{
+
+namespace
+{
+
+std::uint64_t
+scaleBytes(std::uint64_t bytes, double scale)
+{
+    const auto scaled =
+        static_cast<std::uint64_t>(static_cast<double>(bytes) * scale);
+    // Keep a sane minimum so tiny test systems stay well-formed.
+    return std::max<std::uint64_t>(scaled, 64 * 1024);
+}
+
+} // namespace
+
+System::System(const SystemConfig &config,
+               std::vector<std::unique_ptr<RefStream>> streams)
+    : config_(config), streams_(std::move(streams))
+{
+    bear_assert(streams_.size() == config.cores,
+                "need one stream per core (", config.cores, "), got ",
+                streams_.size());
+
+    cache_dram_ = std::make_unique<DramSystem>(
+        "l4dram", DramTiming{},
+        makeCacheGeometry(config.bandwidthRatio, config.totalBanks));
+    main_memory_ = std::make_unique<DramSystem>("ddr", DramTiming{},
+                                                makeMemoryGeometry());
+
+    HierarchyConfig hier;
+    hier.modelL1L2 = config.modelL1L2;
+    hier.cores = config.cores;
+    hier.l3.capacityBytes = scaleBytes(config.llcCapacityBytes,
+                                       config.scale);
+    hierarchy_ = std::make_unique<CacheHierarchy>(hier);
+
+    DesignParams params;
+    params.capacityBytes = scaleBytes(config.cacheCapacityBytes,
+                                      config.scale);
+    params.cores = config.cores;
+    params.seed = config.seed;
+    bool inclusive = config.design == DesignKind::InclusiveAlloy;
+    if (config.alloyOverride) {
+        AlloyConfig alloy = *config.alloyOverride;
+        alloy.capacityBytes = params.capacityBytes;
+        alloy.cores = params.cores;
+        inclusive = alloy.inclusive;
+        dram_cache_ = std::make_unique<AlloyCache>(
+            alloy, *cache_dram_, *main_memory_, bloat_);
+    } else {
+        dram_cache_ = makeDesign(config.design, params, *cache_dram_,
+                                 *main_memory_, bloat_);
+    }
+
+    if (inclusive) {
+        dram_cache_->setEvictionListener([this](LineAddr line) {
+            return hierarchy_->backInvalidate(line);
+        });
+    } else {
+        dram_cache_->setEvictionListener([this](LineAddr line) {
+            hierarchy_->onDramCacheEviction(line);
+            return false;
+        });
+    }
+
+    cores_.reserve(config.cores);
+    for (CoreId c = 0; c < config.cores; ++c)
+        cores_.emplace_back(c, config.baseCpi);
+    refs_done_.assign(config.cores, 0);
+}
+
+System::~System() = default;
+
+void
+System::flushWritebacks(Cycle now)
+{
+    while (!wb_queue_.empty() && wb_queue_.front().at <= now) {
+        const PendingWriteback wb = wb_queue_.front();
+        std::pop_heap(wb_queue_.begin(), wb_queue_.end(),
+                      std::greater<>{});
+        wb_queue_.pop_back();
+        dram_cache_->writeback(wb.at, wb.line, wb.dcp);
+    }
+}
+
+void
+System::step(CoreId core_id)
+{
+    CoreModel &core = cores_[core_id];
+    const MemRef ref = streams_[core_id]->next();
+
+    core.advanceInstructions(ref.instGap);
+    flushWritebacks(core.cycle());
+
+    const Addr paddr = mapper_.translate(core_id, ref.vaddr);
+    const LineAddr line = lineOf(paddr);
+
+    const HierarchyOutcome outcome =
+        hierarchy_->access(core_id, line, ref.isWrite);
+    ++demand_accesses_;
+
+    if (!outcome.llcMiss) {
+        core.completeOnChip(outcome.onChipLatency, ref.dependent);
+        return;
+    }
+
+    ++llc_misses_;
+    const Cycle issue = core.cycle() + outcome.onChipLatency;
+    const DramCacheReadOutcome read =
+        dram_cache_->read(issue, line, ref.pc, core_id);
+
+    // Fill the L3 (misses fill all levels, Section 3.1); the DCP bit
+    // records whether the line now also lives in the DRAM cache.  A
+    // dirty victim becomes a writeback that issues when the fill data
+    // arrives.
+    const WritebackRequest wb =
+        hierarchy_->fillLlc(line, ref.isWrite, read.presentAfter);
+    if (wb.valid) {
+        wb_queue_.push_back({read.dataReady, wb.line, wb.dcp});
+        std::push_heap(wb_queue_.begin(), wb_queue_.end(),
+                       std::greater<>{});
+    }
+
+    core.completeMiss(read.dataReady, ref.dependent);
+}
+
+void
+System::run(std::uint64_t refs_per_core)
+{
+    // Event-ordered round-robin: always advance the core with the
+    // smallest local clock that still has references left this run.
+    const std::uint64_t total =
+        refs_per_core * static_cast<std::uint64_t>(config_.cores);
+    std::vector<std::uint64_t> quota(config_.cores, refs_per_core);
+
+    for (std::uint64_t i = 0; i < total; ++i) {
+        CoreId best = config_.cores;
+        Cycle earliest = ~Cycle{0};
+        for (CoreId c = 0; c < config_.cores; ++c) {
+            if (quota[c] == 0)
+                continue;
+            if (cores_[c].nextReady() < earliest) {
+                earliest = cores_[c].nextReady();
+                best = c;
+            }
+        }
+        bear_assert(best < config_.cores, "no runnable core");
+        --quota[best];
+        ++refs_done_[best];
+        step(best);
+    }
+    flushWritebacks(~Cycle{0});
+}
+
+void
+System::resetStats()
+{
+    bloat_.reset();
+    dram_cache_->resetStats();
+    cache_dram_->resetStats();
+    main_memory_->resetStats();
+    hierarchy_->resetStats();
+    for (auto &core : cores_)
+        core.markEpoch();
+    demand_accesses_ = 0;
+    llc_misses_ = 0;
+}
+
+SystemStats
+System::stats() const
+{
+    SystemStats s;
+    std::uint64_t instructions = 0;
+    for (const auto &core : cores_) {
+        s.ipcPerCore.push_back(core.ipcSinceEpoch());
+        s.ipcTotal += core.ipcSinceEpoch();
+        s.execCycles = std::max(s.execCycles, core.cyclesSinceEpoch());
+        instructions += core.instructionsSinceEpoch();
+    }
+
+    s.l4HitRate = dram_cache_->hitRate();
+    s.bloatFactor = bloat_.bloatFactor();
+    for (std::size_t i = 0; i < BloatTracker::kCategories; ++i) {
+        s.bloatBreakdown.push_back(
+            bloat_.categoryFactor(static_cast<BloatCategory>(i)));
+    }
+    s.measuredMpki = instructions
+        ? 1000.0 * static_cast<double>(llc_misses_)
+            / static_cast<double>(instructions)
+        : 0.0;
+    s.sramOverheadBytes = dram_cache_->sramOverheadBytes();
+
+    // Hit/miss latency, where the design exposes it.
+    if (const auto *alloy = dynamic_cast<const AlloyCache *>(
+            dram_cache_.get())) {
+        s.l4HitLatency = alloy->avgHitLatency();
+        s.l4MissLatency = alloy->avgMissLatency();
+    } else if (const auto *lh = dynamic_cast<const LohHillCache *>(
+                   dram_cache_.get())) {
+        s.l4HitLatency = lh->avgHitLatency();
+        s.l4MissLatency = lh->avgMissLatency();
+    } else if (const auto *tis = dynamic_cast<const TisCache *>(
+                   dram_cache_.get())) {
+        s.l4HitLatency = tis->avgHitLatency();
+        s.l4MissLatency = tis->avgMissLatency();
+    } else if (const auto *sc = dynamic_cast<const SectorCache *>(
+                   dram_cache_.get())) {
+        s.l4HitLatency = sc->avgHitLatency();
+        s.l4MissLatency = sc->avgMissLatency();
+    } else if (const auto *bwopt = dynamic_cast<const BwOptCache *>(
+                   dram_cache_.get())) {
+        s.l4HitLatency = bwopt->avgHitLatency();
+        s.l4MissLatency = bwopt->avgMissLatency();
+    } else if (const auto *none = dynamic_cast<const NoCache *>(
+                   dram_cache_.get())) {
+        s.l4MissLatency = none->avgMissLatency();
+    }
+    s.l4AvgLatency = s.l4HitRate * s.l4HitLatency
+        + (1.0 - s.l4HitRate) * s.l4MissLatency;
+    return s;
+}
+
+} // namespace bear

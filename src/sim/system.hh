@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The full simulated system: 8 cores, on-chip hierarchy, a DRAM-cache
+ * design, the stacked-DRAM array, and off-chip main memory
+ * (paper Table 1).
+ *
+ * The simulation loop is event-ordered across cores: the core with the
+ * smallest local clock issues its next reference, which flows through
+ * the hierarchy, possibly into the DRAM cache and memory.  Timing
+ * feedback (MSHR windows, dependent-load stalls, DRAM queueing) makes
+ * faster memory service translate into higher reference rates, which
+ * is the loop through which BEAR's bandwidth savings become speedup.
+ *
+ * Capacity-like quantities are scaled by SystemConfig::scale
+ * (DESIGN.md): caches, footprints and monitor sizes shrink together,
+ * preserving every ratio that determines hit rates and bloat factors.
+ */
+
+#ifndef BEAR_SIM_SYSTEM_HH
+#define BEAR_SIM_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache_hierarchy.hh"
+#include "core/core_model.hh"
+#include "core/trace.hh"
+#include "dramcache/alloy_cache.hh"
+#include "dramcache/bear_cache.hh"
+#include "mem/dram_system.hh"
+#include "vm/page_mapper.hh"
+
+namespace bear
+{
+
+/** Top-level knobs of one simulation. */
+struct SystemConfig
+{
+    DesignKind design = DesignKind::Alloy;
+    std::uint32_t cores = 8;
+
+    /** Capacity scale (1.0 = paper-size 1 GB cache, 8 MB L3). */
+    double scale = 0.0625;
+
+    /** DRAM-cache capacity at scale 1.0. */
+    std::uint64_t cacheCapacityBytes = 1ULL << 30;
+    /** L3 capacity at scale 1.0. */
+    std::uint64_t llcCapacityBytes = 8ULL << 20;
+
+    /** DRAM-cache : main-memory bandwidth ratio (Section 7.3). */
+    std::uint32_t bandwidthRatio = 8;
+    /** Total DRAM-cache banks (Section 7.4). */
+    std::uint32_t totalBanks = 64;
+
+    double baseCpi = 0.5;
+    std::uint64_t seed = 0x5EED;
+    bool modelL1L2 = false;
+
+    /**
+     * Ablation hook: build the L4 from this Alloy-family configuration
+     * instead of the named design (capacity and core count are still
+     * taken from the fields above).
+     */
+    std::optional<AlloyConfig> alloyOverride;
+};
+
+/** Per-run results gathered after the measurement phase. */
+struct SystemStats
+{
+    double ipcTotal = 0.0;             ///< sum of per-core IPCs
+    std::vector<double> ipcPerCore;
+    Cycle execCycles = 0;              ///< max per-core measured cycles
+    double l4HitRate = 0.0;
+    double l4HitLatency = 0.0;
+    double l4MissLatency = 0.0;
+    double l4AvgLatency = 0.0;
+    double bloatFactor = 0.0;
+    std::vector<double> bloatBreakdown; ///< per BloatCategory
+    double measuredMpki = 0.0;          ///< L3 misses per kilo-instr
+    std::uint64_t sramOverheadBytes = 0;
+};
+
+/** A configured, runnable system instance. */
+class System
+{
+  public:
+    /**
+     * @param config  system knobs
+     * @param streams one reference stream per core (rate mode: copies
+     *                of the same profile with distinct seeds)
+     */
+    System(const SystemConfig &config,
+           std::vector<std::unique_ptr<RefStream>> streams);
+    ~System();
+
+    /** Advance every core by @p refs_per_core references. */
+    void run(std::uint64_t refs_per_core);
+
+    /** Reset all statistics (warm-up boundary); state is preserved. */
+    void resetStats();
+
+    /** Gather the measurement-phase statistics. */
+    SystemStats stats() const;
+
+    DramCache &dramCache() { return *dram_cache_; }
+    CacheHierarchy &hierarchy() { return *hierarchy_; }
+    DramSystem &cacheDram() { return *cache_dram_; }
+    DramSystem &mainMemory() { return *main_memory_; }
+    BloatTracker &bloat() { return bloat_; }
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    /** Process one reference of @p core. */
+    void step(CoreId core);
+
+    /** Issue deferred writebacks whose time has come (<= @p now). */
+    void flushWritebacks(Cycle now);
+
+    /**
+     * A dirty L3 eviction waiting for its logical issue time.  The
+     * eviction physically happens when the displacing fill's data
+     * arrives, which lies in the simulated future when the miss is
+     * processed; deferring keeps DRAM-bus arrivals time-ordered (the
+     * reservation timing model requires it).
+     */
+    struct PendingWriteback
+    {
+        Cycle at;
+        LineAddr line;
+        bool dcp;
+        bool operator>(const PendingWriteback &o) const
+        {
+            return at > o.at;
+        }
+    };
+
+    std::vector<PendingWriteback> wb_queue_; ///< min-heap by time
+
+    SystemConfig config_;
+    std::vector<std::unique_ptr<RefStream>> streams_;
+    std::vector<CoreModel> cores_;
+    std::vector<std::uint64_t> refs_done_;
+
+    PageMapper mapper_;
+    std::unique_ptr<DramSystem> cache_dram_;
+    std::unique_ptr<DramSystem> main_memory_;
+    BloatTracker bloat_;
+    std::unique_ptr<CacheHierarchy> hierarchy_;
+    std::unique_ptr<DramCache> dram_cache_;
+
+    std::uint64_t demand_accesses_ = 0; ///< L3 accesses (measured)
+    std::uint64_t llc_misses_ = 0;      ///< L3 misses (measured)
+};
+
+} // namespace bear
+
+#endif // BEAR_SIM_SYSTEM_HH

@@ -1,0 +1,41 @@
+#include "vm/page_mapper.hh"
+
+namespace bear
+{
+
+PageMapper::PageMapper()
+{
+    table_.reserve(1 << 20);
+}
+
+std::uint64_t
+PageMapper::scramble(std::uint64_t frame)
+{
+    // Bijective mixing on 32 bits (odd-constant multiply + rotate), so
+    // distinct allocations can never collide in physical space while
+    // successive allocations scatter across cache sets and DRAM banks.
+    std::uint32_t x = static_cast<std::uint32_t>(frame);
+    x *= 0x9E3779B1U;
+    x = (x << 16) | (x >> 16);
+    x *= 0x85EBCA77U;
+    return x;
+}
+
+Addr
+PageMapper::translate(std::uint32_t process, Addr vaddr)
+{
+    const Key key{process, vaddr >> kPageShift};
+    auto [it, inserted] = table_.try_emplace(key, 0);
+    if (inserted) {
+        // Keep 8 pages of physically-contiguous allocation per process so
+        // that spatial streams still enjoy some row-buffer locality, then
+        // scatter at a coarser grain.
+        const std::uint64_t frame = next_frame_++;
+        const std::uint64_t chunk = frame >> 3;
+        const std::uint64_t offset = frame & 7;
+        it->second = (scramble(chunk) << 3) | offset;
+    }
+    return (it->second << kPageShift) | (vaddr & (kPageSize - 1));
+}
+
+} // namespace bear

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Virtual-to-physical address translation (paper Section 3.1).
+ *
+ * The paper models a virtual memory system so that, in particular,
+ * "the virtual-to-physical page mapping ensures that two benchmarks do
+ * not map to the same address" (Section 3.2).  PageMapper implements a
+ * first-touch allocator over a shared physical page pool: each process
+ * (core running a benchmark instance) owns a private page table, and
+ * physical frames are handed out from a global bump allocator whose
+ * order is shuffled by a deterministic hash so that consecutive virtual
+ * pages of one process do not map to consecutive DRAM rows of the
+ * physical space (which would make the DRAM-cache index stride
+ * unrealistically regular).
+ */
+
+#ifndef BEAR_VM_PAGE_MAPPER_HH
+#define BEAR_VM_PAGE_MAPPER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bear
+{
+
+/** First-touch virtual-to-physical page mapper shared by all cores. */
+class PageMapper
+{
+  public:
+    PageMapper();
+
+    /**
+     * Translate a virtual byte address of @p process to a physical byte
+     * address, allocating a fresh frame on first touch.
+     */
+    Addr translate(std::uint32_t process, Addr vaddr);
+
+    /** Number of physical frames allocated so far. */
+    std::uint64_t framesAllocated() const { return next_frame_; }
+
+    /** Physical footprint in bytes. */
+    std::uint64_t physicalFootprint() const
+    {
+        return next_frame_ * kPageSize;
+    }
+
+  private:
+    /** Invertible mixing of the frame number to de-pattern placement. */
+    static std::uint64_t scramble(std::uint64_t frame);
+
+    struct Key
+    {
+        std::uint32_t process;
+        std::uint64_t vpage;
+        bool operator==(const Key &) const = default;
+    };
+
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            std::uint64_t x = (static_cast<std::uint64_t>(k.process) << 52)
+                ^ k.vpage;
+            x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+            return static_cast<std::size_t>(x ^ (x >> 31));
+        }
+    };
+
+    std::unordered_map<Key, std::uint64_t, KeyHash> table_;
+    std::uint64_t next_frame_ = 0;
+};
+
+} // namespace bear
+
+#endif // BEAR_VM_PAGE_MAPPER_HH

@@ -1,0 +1,85 @@
+#include "workloads/generators.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace bear
+{
+
+namespace
+{
+
+std::uint32_t
+sampleGap(Rng &rng, double mean)
+{
+    const double gap = -mean * std::log(1.0 - rng.uniform());
+    return gap >= 100000.0 ? 100000 : static_cast<std::uint32_t>(gap);
+}
+
+MemRef
+fill(const StreamParams &params, Rng &rng, std::uint64_t line)
+{
+    MemRef ref;
+    ref.vaddr = addrOf(line);
+    ref.pc = params.pc;
+    ref.instGap = sampleGap(rng, params.meanInstGap);
+    ref.isWrite = rng.chance(params.writeFraction);
+    ref.dependent = rng.chance(params.dependentFraction);
+    return ref;
+}
+
+} // namespace
+
+SequentialStream::SequentialStream(const StreamParams &params)
+    : params_(params), rng_(params.seed)
+{
+    bear_assert(params.footprintLines > 0, "empty footprint");
+}
+
+MemRef
+SequentialStream::next()
+{
+    const std::uint64_t line = cursor_;
+    cursor_ = (cursor_ + 1) % params_.footprintLines;
+    return fill(params_, rng_, line);
+}
+
+RandomStream::RandomStream(const StreamParams &params)
+    : params_(params), rng_(params.seed)
+{
+    bear_assert(params.footprintLines > 0, "empty footprint");
+}
+
+MemRef
+RandomStream::next()
+{
+    return fill(params_, rng_, rng_.below(params_.footprintLines));
+}
+
+PointerChaseStream::PointerChaseStream(const StreamParams &params)
+    : params_(params), rng_(params.seed)
+{
+    bear_assert(params.footprintLines > 1, "chase needs >= 2 lines");
+    bear_assert(params.footprintLines <= (1ULL << 32),
+                "chase footprint limited to 2^32 lines");
+    // Sattolo's algorithm: a single cycle through all lines.
+    successor_.resize(params.footprintLines);
+    std::iota(successor_.begin(), successor_.end(), 0U);
+    for (std::uint64_t i = successor_.size() - 1; i > 0; --i) {
+        const std::uint64_t j = rng_.below(i);
+        std::swap(successor_[i], successor_[j]);
+    }
+}
+
+MemRef
+PointerChaseStream::next()
+{
+    position_ = successor_[position_];
+    MemRef ref = fill(params_, rng_, position_);
+    ref.dependent = true; // the address of the next load is this value
+    return ref;
+}
+
+} // namespace bear

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Elementary reference-stream generators.
+ *
+ * These single-pattern streams are the building blocks used by the
+ * test suite and the examples to exercise specific cache behaviours in
+ * isolation: pure streaming (zero reuse), uniform random over a
+ * working set (tunable hit rate), and pointer chasing (fully
+ * dependent, no spatial locality).  The full SPEC-like workloads in
+ * workload.hh compose equivalent patterns into region mixtures.
+ */
+
+#ifndef BEAR_WORKLOADS_GENERATORS_HH
+#define BEAR_WORKLOADS_GENERATORS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/trace.hh"
+
+namespace bear
+{
+
+/** Common knobs for the elementary streams. */
+struct StreamParams
+{
+    std::uint64_t footprintLines = 1 << 20;
+    double meanInstGap = 20.0;
+    double writeFraction = 0.3;
+    double dependentFraction = 0.3;
+    Pc pc = 0x400000;
+    std::uint64_t seed = 1;
+};
+
+/** Cyclic sequential sweep over the footprint (zero temporal reuse
+ *  until the stream wraps). */
+class SequentialStream : public RefStream
+{
+  public:
+    explicit SequentialStream(const StreamParams &params);
+    MemRef next() override;
+
+  private:
+    StreamParams params_;
+    Rng rng_;
+    std::uint64_t cursor_ = 0;
+};
+
+/** Uniform random references within the footprint. */
+class RandomStream : public RefStream
+{
+  public:
+    explicit RandomStream(const StreamParams &params);
+    MemRef next() override;
+
+  private:
+    StreamParams params_;
+    Rng rng_;
+};
+
+/** Pointer chasing: a fixed random permutation walked one element per
+ *  reference; every load is dependent. */
+class PointerChaseStream : public RefStream
+{
+  public:
+    explicit PointerChaseStream(const StreamParams &params);
+    MemRef next() override;
+
+  private:
+    StreamParams params_;
+    Rng rng_;
+    std::vector<std::uint32_t> successor_;
+    std::uint64_t position_ = 0;
+};
+
+/** Fixed finite trace replayed from a vector (unit tests). */
+class VectorStream : public RefStream
+{
+  public:
+    explicit VectorStream(std::vector<MemRef> refs)
+        : refs_(std::move(refs))
+    {
+    }
+
+    MemRef
+    next() override
+    {
+        const MemRef ref = refs_[index_ % refs_.size()];
+        ++index_;
+        return ref;
+    }
+
+    std::uint64_t emitted() const { return index_; }
+
+  private:
+    std::vector<MemRef> refs_;
+    std::uint64_t index_ = 0;
+};
+
+} // namespace bear
+
+#endif // BEAR_WORKLOADS_GENERATORS_HH

@@ -1,0 +1,106 @@
+#include "workloads/mixes.hh"
+
+#include "common/rng.hh"
+#include "workloads/workload.hh"
+
+namespace bear
+{
+
+namespace
+{
+
+MixSpec
+mix(const char *name, std::array<std::string, 8> benchmarks,
+    const char *klass)
+{
+    return MixSpec{name, std::move(benchmarks), klass};
+}
+
+// Table 3 of the paper, verbatim.
+const std::vector<MixSpec> kTableThree = {
+    mix("MIX1",
+        {"libquantum", "mcf", "soplex", "milc", "bwaves", "lbm",
+         "omnetpp", "gcc"},
+        "8H"),
+    mix("MIX2",
+        {"libquantum", "mcf", "soplex", "milc", "lbm", "omnetpp",
+         "GemsFDTD", "sphinx3"},
+        "6H+2M"),
+    mix("MIX3",
+        {"mcf", "soplex", "milc", "bwaves", "gcc", "lbm", "leslie3d",
+         "cactusADM"},
+        "6H+2M"),
+    mix("MIX4",
+        {"libquantum", "mcf", "soplex", "milc", "GemsFDTD", "leslie3d",
+         "wrf", "zeusmp"},
+        "4H+4M"),
+    mix("MIX5",
+        {"bwaves", "lbm", "omnetpp", "gcc", "cactusADM", "xalancbmk",
+         "bzip2", "sphinx3"},
+        "4H+4M"),
+    mix("MIX6",
+        {"libquantum", "gcc", "GemsFDTD", "leslie3d", "wrf", "zeusmp",
+         "cactusADM", "xalancbmk"},
+        "2H+6M"),
+    mix("MIX7",
+        {"mcf", "omnetpp", "GemsFDTD", "leslie3d", "wrf", "xalancbmk",
+         "bzip2", "sphinx3"},
+        "2H+6M"),
+    mix("MIX8",
+        {"GemsFDTD", "leslie3d", "wrf", "zeusmp", "cactusADM",
+         "xalancbmk", "bzip2", "sphinx3"},
+        "8M"),
+};
+
+// The 9 high-intensive and 7 medium-intensive names of Table 2.
+const std::vector<std::string> kHigh = {
+    "mcf", "lbm", "soplex", "milc", "libquantum", "omnetpp", "bwaves",
+    "gcc", "sphinx3",
+};
+const std::vector<std::string> kMedium = {
+    "GemsFDTD", "leslie3d", "wrf", "cactusADM", "zeusmp", "bzip2",
+    "xalancbmk",
+};
+
+std::vector<MixSpec>
+buildAllMixes()
+{
+    std::vector<MixSpec> mixes = kTableThree;
+    Rng rng(0x3113E5);
+    // Generate 30 more mixes across the class spectrum.
+    const int highs_per_class[] = {8, 6, 4, 2, 0};
+    int counter = 9;
+    for (int round = 0; round < 6; ++round) {
+        for (int h : highs_per_class) {
+            if (mixes.size() >= 38)
+                break;
+            MixSpec m;
+            m.name = "MIX" + std::to_string(counter++);
+            m.klass = std::to_string(h) + "H+" + std::to_string(8 - h)
+                + "M";
+            for (int i = 0; i < 8; ++i) {
+                const auto &pool = i < h ? kHigh : kMedium;
+                m.benchmarks[i] = pool[rng.below(pool.size())];
+            }
+            mixes.push_back(std::move(m));
+        }
+    }
+    return mixes;
+}
+
+} // namespace
+
+const std::vector<MixSpec> &
+tableThreeMixes()
+{
+    return kTableThree;
+}
+
+const std::vector<MixSpec> &
+allMixes()
+{
+    static const std::vector<MixSpec> mixes = buildAllMixes();
+    return mixes;
+}
+
+} // namespace bear

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Mixed (heterogeneous) 8-core workloads.
+ *
+ * The paper evaluates 38 mixes of the 16 Table 2 benchmarks and shows
+ * detailed results for the 8 of Table 3.  We reproduce Table 3 exactly
+ * and generate the remaining 30 deterministically from a fixed seed,
+ * preserving the paper's class structure (nH + mM: n high-intensive
+ * plus m medium-intensive benchmarks).
+ */
+
+#ifndef BEAR_WORKLOADS_MIXES_HH
+#define BEAR_WORKLOADS_MIXES_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace bear
+{
+
+/** One mixed workload: a benchmark per core. */
+struct MixSpec
+{
+    std::string name;
+    std::array<std::string, 8> benchmarks;
+    std::string klass; ///< e.g. "6H+2M"
+};
+
+/** The 8 detailed mixes of Table 3. */
+const std::vector<MixSpec> &tableThreeMixes();
+
+/** All 38 mixes (Table 3 plus 30 generated). */
+const std::vector<MixSpec> &allMixes();
+
+} // namespace bear
+
+#endif // BEAR_WORKLOADS_MIXES_HH

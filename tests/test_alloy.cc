@@ -1,0 +1,333 @@
+/** @file Unit tests for the Alloy Cache engine and BEAR components. */
+
+#include <gtest/gtest.h>
+
+#include "dramcache/alloy_cache.hh"
+#include "tests/test_util.hh"
+
+using namespace bear;
+using test::CacheHarness;
+
+namespace
+{
+
+AlloyConfig
+baseConfig(std::uint64_t capacity = 8ULL << 20)
+{
+    AlloyConfig config;
+    config.capacityBytes = capacity;
+    config.cores = 2;
+    config.useMapI = false; // deterministic serial path by default
+    return config;
+}
+
+} // namespace
+
+TEST(Alloy, MissThenHit)
+{
+    CacheHarness h;
+    AlloyCache cache(baseConfig(), h.dram, h.memory, h.bloat);
+    const auto miss = cache.read(0, 100, 0x400000, 0);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_TRUE(miss.presentAfter);
+    const auto hit = cache.read(miss.dataReady, 100, 0x400000, 0);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(cache.demandHits(), 1u);
+    EXPECT_EQ(cache.demandMisses(), 1u);
+    EXPECT_TRUE(cache.contains(100));
+}
+
+TEST(Alloy, MissAccountsProbeAndFill)
+{
+    CacheHarness h;
+    AlloyCache cache(baseConfig(), h.dram, h.memory, h.bloat);
+    cache.read(0, 100, 0x400000, 0);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), kTadTransfer);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissFill), kTadTransfer);
+    EXPECT_EQ(h.bloat.usefulBytes(), 0u);
+}
+
+TEST(Alloy, HitMovesEightyBytesFor64Useful)
+{
+    CacheHarness h;
+    AlloyCache cache(baseConfig(), h.dram, h.memory, h.bloat);
+    const auto miss = cache.read(0, 100, 0x400000, 0);
+    h.bloat.reset();
+    cache.read(miss.dataReady, 100, 0x400000, 0);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::HitProbe), kTadTransfer);
+    EXPECT_EQ(h.bloat.usefulBytes(), kLineSize);
+    EXPECT_DOUBLE_EQ(h.bloat.bloatFactor(), 1.25);
+}
+
+TEST(Alloy, DirectMappedConflictEvicts)
+{
+    CacheHarness h;
+    AlloyCache cache(baseConfig(), h.dram, h.memory, h.bloat);
+    const LineAddr a = 100;
+    const LineAddr b = 100 + cache.sets();
+    cache.read(0, a, 0x400000, 0);
+    cache.read(1000, b, 0x400000, 0);
+    EXPECT_FALSE(cache.contains(a));
+    EXPECT_TRUE(cache.contains(b));
+}
+
+TEST(Alloy, EvictionNotifiesListener)
+{
+    CacheHarness h;
+    AlloyCache cache(baseConfig(), h.dram, h.memory, h.bloat);
+    LineAddr evicted = 0;
+    cache.setEvictionListener([&](LineAddr line) {
+        evicted = line;
+        return false;
+    });
+    cache.read(0, 100, 0x400000, 0);
+    cache.read(1000, 100 + cache.sets(), 0x400000, 0);
+    EXPECT_EQ(evicted, 100u);
+}
+
+TEST(Alloy, WritebackProbeAndUpdateOnHit)
+{
+    CacheHarness h;
+    AlloyCache cache(baseConfig(), h.dram, h.memory, h.bloat);
+    cache.read(0, 100, 0x400000, 0);
+    h.bloat.reset();
+    cache.writeback(2000, 100, false);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe),
+              kTadTransfer);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate),
+              kTadTransfer);
+    EXPECT_TRUE(cache.isDirty(100));
+    EXPECT_EQ(cache.writebackHits(), 1u);
+}
+
+TEST(Alloy, WritebackMissForwardsToMemoryNoAllocate)
+{
+    CacheHarness h;
+    AlloyCache cache(baseConfig(), h.dram, h.memory, h.bloat);
+    LineAddr mem_write = ~0ULL;
+    h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
+    cache.writeback(0, 555, false);
+    EXPECT_EQ(mem_write, 555u);
+    EXPECT_FALSE(cache.contains(555)); // no-allocate (Section 3.1)
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackFill), 0u);
+    EXPECT_EQ(cache.writebackMisses(), 1u);
+}
+
+TEST(Alloy, DirtyVictimGoesToMainMemory)
+{
+    CacheHarness h;
+    AlloyCache cache(baseConfig(), h.dram, h.memory, h.bloat);
+    LineAddr mem_write = ~0ULL;
+    cache.read(0, 100, 0x400000, 0);
+    cache.writeback(1000, 100, false); // dirty the resident line
+    h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
+    cache.read(2000, 100 + cache.sets(), 0x400000, 0); // conflict fill
+    EXPECT_EQ(mem_write, 100u);
+}
+
+TEST(Alloy, ProbabilisticBypassSkipsMostFills)
+{
+    CacheHarness h;
+    AlloyConfig config = baseConfig();
+    config.fillPolicy = FillPolicy::Probabilistic;
+    config.bypassProbability = 0.9;
+    AlloyCache cache(config, h.dram, h.memory, h.bloat);
+    for (LineAddr l = 0; l < 1000; ++l)
+        cache.read(l * 100, l, 0x400000, 0);
+    EXPECT_NEAR(static_cast<double>(cache.fillsBypassed()), 900.0, 50.0);
+    EXPECT_EQ(cache.demandMisses(), 1000u);
+}
+
+TEST(Alloy, BypassedLineIsNotPresent)
+{
+    CacheHarness h;
+    AlloyConfig config = baseConfig();
+    config.fillPolicy = FillPolicy::Probabilistic;
+    config.bypassProbability = 1.0;
+    AlloyCache cache(config, h.dram, h.memory, h.bloat);
+    const auto outcome = cache.read(0, 100, 0x400000, 0);
+    EXPECT_FALSE(outcome.presentAfter);
+    EXPECT_FALSE(cache.contains(100));
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissFill), 0u);
+}
+
+TEST(AlloyDcp, PresenceBitSkipsWritebackProbe)
+{
+    CacheHarness h;
+    AlloyConfig config = baseConfig();
+    config.useDcp = true;
+    AlloyCache cache(config, h.dram, h.memory, h.bloat);
+    cache.read(0, 100, 0x400000, 0);
+    h.bloat.reset();
+    cache.writeback(2000, 100, /*dcp=*/true);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate),
+              kTadTransfer);
+    EXPECT_EQ(cache.wbProbesAvoided(), 1u);
+    EXPECT_EQ(cache.wbRaces(), 0u);
+}
+
+TEST(AlloyDcp, AbsenceBitGoesStraightToMemory)
+{
+    CacheHarness h;
+    AlloyConfig config = baseConfig();
+    config.useDcp = true;
+    AlloyCache cache(config, h.dram, h.memory, h.bloat);
+    LineAddr mem_write = ~0ULL;
+    h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
+    cache.writeback(0, 777, /*dcp=*/false);
+    EXPECT_EQ(mem_write, 777u);
+    EXPECT_EQ(h.bloat.totalBytes(), 0u); // zero DRAM-cache traffic
+    EXPECT_EQ(cache.wbProbesAvoided(), 1u);
+}
+
+TEST(AlloyDcp, StalePresenceBitResolvedByActualState)
+{
+    CacheHarness h;
+    AlloyConfig config = baseConfig();
+    config.useDcp = true;
+    AlloyCache cache(config, h.dram, h.memory, h.bloat);
+    LineAddr mem_write = ~0ULL;
+    h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
+    // dcp=1 but the line is long gone: an in-flight race.  The dirty
+    // data must reach main memory.
+    cache.writeback(0, 888, /*dcp=*/true);
+    EXPECT_EQ(mem_write, 888u);
+    EXPECT_EQ(cache.wbRaces(), 1u);
+}
+
+TEST(AlloyNtc, NeighborTagAvoidsMissProbe)
+{
+    CacheHarness h;
+    AlloyConfig config = baseConfig();
+    config.useNtc = true;
+    AlloyCache cache(config, h.dram, h.memory, h.bloat);
+    // Reading set 100 streams the tag of set 101 into the NTC.
+    cache.read(0, 100, 0x400000, 0);
+    h.bloat.reset();
+    // Set 101 is empty: the NTC guarantees a miss, no probe needed.
+    const auto outcome = cache.read(1000, 101, 0x400000, 0);
+    EXPECT_FALSE(outcome.hit);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), 0u);
+    EXPECT_EQ(cache.missProbesAvoided(), 1u);
+}
+
+TEST(AlloyNtc, DirtyNeighborStillProbesBeforeFill)
+{
+    CacheHarness h;
+    AlloyConfig config = baseConfig();
+    config.useNtc = true;
+    AlloyCache cache(config, h.dram, h.memory, h.bloat);
+    cache.read(0, 101, 0x400000, 0);      // fill set 101
+    cache.writeback(500, 101, false);     // dirty it
+    cache.read(1000, 100, 0x400000, 0);   // snapshot 101 into the NTC
+    h.bloat.reset();
+    // A conflicting read of set 101: NTC says absent-but-dirty; the
+    // fill still needs the probe to rescue the dirty victim.
+    LineAddr mem_write = ~0ULL;
+    h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
+    cache.read(2000, 101 + cache.sets(), 0x400000, 0);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), kTadTransfer);
+    EXPECT_EQ(mem_write, 101u);
+}
+
+TEST(AlloyNtc, SnapshotTracksFills)
+{
+    CacheHarness h;
+    AlloyConfig config = baseConfig();
+    config.useNtc = true;
+    AlloyCache cache(config, h.dram, h.memory, h.bloat);
+    cache.read(0, 100, 0x400000, 0);  // NTC snapshots empty set 101
+    cache.read(500, 101, 0x400000, 0); // fill updates the snapshot
+    h.bloat.reset();
+    // NTC now guarantees presence: the access is a hit.
+    const auto outcome = cache.read(1000, 101, 0x400000, 0);
+    EXPECT_TRUE(outcome.hit);
+}
+
+TEST(AlloyMapI, ParallelAccessShortensMissLatency)
+{
+    CacheHarness h;
+    AlloyConfig config = baseConfig();
+    config.useMapI = true;
+    AlloyCache cache(config, h.dram, h.memory, h.bloat);
+    const Pc pc = 0x400800;
+    // Train the predictor to expect misses for this PC.
+    Cycle t = 0;
+    for (LineAddr l = 0; l < 8; ++l) {
+        const auto o = cache.read(t, 1000 + l * 7919, pc, 0);
+        t = o.dataReady + 1000;
+    }
+    // Measure a predicted miss on an idle system: the parallel access
+    // overlaps probe (~77 cycles) and memory (~90 cycles), so the
+    // latency must stay near the memory latency alone; the serial
+    // probe-then-memory path would take ~170 cycles.
+    const auto o = cache.read(t + 10000, 999999, pc, 0);
+    const Cycle latency = o.dataReady - (t + 10000);
+    EXPECT_LT(latency, 140u);
+    EXPECT_FALSE(o.hit);
+}
+
+TEST(AlloyInclusive, WritebackSkipsProbe)
+{
+    CacheHarness h;
+    AlloyConfig config = baseConfig();
+    config.inclusive = true;
+    AlloyCache cache(config, h.dram, h.memory, h.bloat);
+    cache.read(0, 100, 0x400000, 0);
+    h.bloat.reset();
+    cache.writeback(1000, 100, false);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate),
+              kTadTransfer);
+}
+
+TEST(AlloyInclusive, EvictionBackInvalidatesAndRescuesDirtyCopy)
+{
+    CacheHarness h;
+    AlloyConfig config = baseConfig();
+    config.inclusive = true;
+    AlloyCache cache(config, h.dram, h.memory, h.bloat);
+    LineAddr mem_write = ~0ULL;
+    h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
+    // The listener says the on-chip copy was dirty: the design must
+    // push the data to main memory.
+    cache.setEvictionListener([](LineAddr) { return true; });
+    cache.read(0, 100, 0x400000, 0);
+    cache.read(1000, 100 + cache.sets(), 0x400000, 0);
+    EXPECT_EQ(mem_write, 100u);
+}
+
+TEST(AlloyInclusiveDeath, BypassConfigurationRejected)
+{
+    CacheHarness h;
+    AlloyConfig config = baseConfig();
+    config.inclusive = true;
+    config.fillPolicy = FillPolicy::Probabilistic;
+    EXPECT_DEATH(AlloyCache(config, h.dram, h.memory, h.bloat),
+                 "inclusive");
+}
+
+TEST(Alloy, SramOverheadIsTiny)
+{
+    CacheHarness h;
+    AlloyConfig config = baseConfig();
+    config.useMapI = true;
+    config.useDcp = true;
+    config.useNtc = true;
+    config.fillPolicy = FillPolicy::BandwidthAware;
+    AlloyCache cache(config, h.dram, h.memory, h.bloat);
+    // Paper Table 5: a few kilobytes (DCP bits live in the L3).
+    EXPECT_LT(cache.sramOverheadBytes(), 8ULL << 10);
+    EXPECT_GT(cache.sramOverheadBytes(), 0u);
+}
+
+TEST(Alloy, ResetStatsKeepsContents)
+{
+    CacheHarness h;
+    AlloyCache cache(baseConfig(), h.dram, h.memory, h.bloat);
+    cache.read(0, 100, 0x400000, 0);
+    cache.resetStats();
+    EXPECT_EQ(cache.demandMisses(), 0u);
+    EXPECT_TRUE(cache.contains(100));
+}

@@ -1,0 +1,167 @@
+/** @file Unit tests for Bandwidth-Aware Bypass set dueling. */
+
+#include <gtest/gtest.h>
+
+#include "dramcache/bab.hh"
+
+using namespace bear;
+
+namespace
+{
+
+/** Find one set of each role within the first @p sets sets. */
+struct Roles
+{
+    std::uint64_t pb = ~0ULL;
+    std::uint64_t baseline = ~0ULL;
+    std::uint64_t follower = ~0ULL;
+};
+
+Roles
+findRoles(BandwidthAwareBypass &bab, std::uint64_t sets)
+{
+    Roles roles;
+    for (std::uint64_t s = 0; s < sets; ++s) {
+        switch (bab.roleOf(s)) {
+          case BandwidthAwareBypass::SetRole::FollowPb:
+            if (roles.pb == ~0ULL)
+                roles.pb = s;
+            break;
+          case BandwidthAwareBypass::SetRole::FollowBaseline:
+            if (roles.baseline == ~0ULL)
+                roles.baseline = s;
+            break;
+          case BandwidthAwareBypass::SetRole::Follower:
+            if (roles.follower == ~0ULL)
+                roles.follower = s;
+            break;
+        }
+    }
+    return roles;
+}
+
+BabConfig
+fastConfig()
+{
+    BabConfig config;
+    config.counterMax = 256; // quick mode re-evaluation in tests
+    return config;
+}
+
+} // namespace
+
+TEST(Bab, MonitorRatioRoughlyOneIn32)
+{
+    BandwidthAwareBypass bab(1 << 20);
+    std::uint64_t pb = 0, base = 0;
+    for (std::uint64_t s = 0; s < (1 << 20); ++s) {
+        const auto role = bab.roleOf(s);
+        pb += role == BandwidthAwareBypass::SetRole::FollowPb;
+        base += role == BandwidthAwareBypass::SetRole::FollowBaseline;
+    }
+    const double expected = (1 << 20) / 32.0;
+    EXPECT_NEAR(static_cast<double>(pb), expected, expected * 0.1);
+    EXPECT_NEAR(static_cast<double>(base), expected, expected * 0.1);
+}
+
+TEST(Bab, BaselineMonitorNeverBypasses)
+{
+    BandwidthAwareBypass bab(4096, fastConfig());
+    const Roles roles = findRoles(bab, 4096);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(bab.shouldBypass(roles.baseline));
+}
+
+TEST(Bab, PbMonitorBypassesAtConfiguredRate)
+{
+    BabConfig config = fastConfig();
+    config.bypassProbability = 0.9;
+    BandwidthAwareBypass bab(4096, config);
+    const Roles roles = findRoles(bab, 4096);
+    int bypassed = 0;
+    for (int i = 0; i < 10000; ++i)
+        bypassed += bab.shouldBypass(roles.pb) ? 1 : 0;
+    EXPECT_NEAR(bypassed / 10000.0, 0.9, 0.02);
+}
+
+TEST(Bab, FollowersBypassWhilePbIsHarmless)
+{
+    // PB and baseline monitors observe identical miss rates: the
+    // followers must keep using PB.
+    BandwidthAwareBypass bab(4096, fastConfig());
+    const Roles roles = findRoles(bab, 4096);
+    for (int i = 0; i < 4000; ++i) {
+        bab.recordAccess(roles.pb, i % 2 == 0);
+        bab.recordAccess(roles.baseline, i % 2 == 0);
+    }
+    EXPECT_TRUE(bab.pbMode());
+    int bypassed = 0;
+    for (int i = 0; i < 1000; ++i)
+        bypassed += bab.shouldBypass(roles.follower) ? 1 : 0;
+    EXPECT_GT(bypassed, 800);
+}
+
+TEST(Bab, FollowersStopWhenPbCostsHitRate)
+{
+    // PB monitor misses far more than baseline: mode must switch off.
+    BandwidthAwareBypass bab(4096, fastConfig());
+    const Roles roles = findRoles(bab, 4096);
+    for (int i = 0; i < 4000; ++i) {
+        bab.recordAccess(roles.pb, false);        // PB always misses
+        bab.recordAccess(roles.baseline, i % 2 == 0); // baseline 50%
+    }
+    EXPECT_FALSE(bab.pbMode());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(bab.shouldBypass(roles.follower));
+}
+
+TEST(Bab, SmallDegradationWithinDeltaKeepsPb)
+{
+    // Baseline hit rate 50%: Delta = 0.5 * (1 - retention).  A PB
+    // degradation well inside Delta must keep bypassing enabled.
+    BabConfig config = fastConfig();
+    config.hitRateRetention = 15.0 / 16.0; // paper threshold
+    config.counterMax = 1000; // multiple of the pattern period below
+    BandwidthAwareBypass bab(4096, config);
+    const Roles roles = findRoles(bab, 4096);
+    int k = 0;
+    for (int i = 0; i < 8000; ++i) {
+        // PB misses 51%, baseline misses 50%.
+        bab.recordAccess(roles.pb, (k = (k + 1) % 100) >= 51);
+        bab.recordAccess(roles.baseline, i % 2 == 0);
+    }
+    EXPECT_TRUE(bab.pbMode());
+}
+
+TEST(Bab, ModeFlipsBackWhenPbRecovers)
+{
+    BandwidthAwareBypass bab(4096, fastConfig());
+    const Roles roles = findRoles(bab, 4096);
+    for (int i = 0; i < 2000; ++i) {
+        bab.recordAccess(roles.pb, false);
+        bab.recordAccess(roles.baseline, true);
+    }
+    EXPECT_FALSE(bab.pbMode());
+    for (int i = 0; i < 4000; ++i) {
+        bab.recordAccess(roles.pb, true);
+        bab.recordAccess(roles.baseline, true);
+    }
+    EXPECT_TRUE(bab.pbMode());
+}
+
+TEST(Bab, CountsBypasses)
+{
+    BandwidthAwareBypass bab(4096, fastConfig());
+    const Roles roles = findRoles(bab, 4096);
+    for (int i = 0; i < 100; ++i)
+        bab.shouldBypass(roles.pb);
+    EXPECT_GT(bab.bypasses(), 50u);
+    bab.resetStats();
+    EXPECT_EQ(bab.bypasses(), 0u);
+}
+
+TEST(Bab, StorageIsFourCountersAndModeBit)
+{
+    BandwidthAwareBypass bab(1 << 20);
+    EXPECT_EQ(bab.storageBits(), 4u * 16 + 1);
+}

@@ -1,0 +1,125 @@
+/** @file Unit tests for the on-chip cache hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_hierarchy.hh"
+
+using namespace bear;
+
+namespace
+{
+
+HierarchyConfig
+smallConfig(bool full)
+{
+    HierarchyConfig config;
+    config.modelL1L2 = full;
+    config.cores = 2;
+    config.l1.capacityBytes = 4 * kLineSize;
+    config.l1.ways = 2;
+    config.l2.capacityBytes = 16 * kLineSize;
+    config.l2.ways = 4;
+    config.l3.capacityBytes = 64 * kLineSize;
+    config.l3.ways = 4;
+    return config;
+}
+
+} // namespace
+
+TEST(CacheHierarchy, LlcModeMissesReachL4)
+{
+    CacheHierarchy h(smallConfig(false));
+    const HierarchyOutcome miss = h.access(0, 100, false);
+    EXPECT_TRUE(miss.llcMiss);
+    EXPECT_EQ(miss.onChipLatency, h.llc().config().latency);
+
+    h.fillLlc(100, false, true);
+    const HierarchyOutcome hit = h.access(0, 100, false);
+    EXPECT_FALSE(hit.llcMiss);
+}
+
+TEST(CacheHierarchy, FillReturnsDirtyVictimAsWriteback)
+{
+    HierarchyConfig config = smallConfig(false);
+    config.l3.capacityBytes = 2 * kLineSize;
+    config.l3.ways = 2; // one set
+    CacheHierarchy h(config);
+    h.fillLlc(10, true, true); // dirty, present in L4
+    h.fillLlc(20, false, false);
+    const WritebackRequest wb = h.fillLlc(30, false, false);
+    ASSERT_TRUE(wb.valid);
+    EXPECT_EQ(wb.line, 10u);
+    EXPECT_TRUE(wb.dcp);
+}
+
+TEST(CacheHierarchy, CleanVictimGeneratesNoWriteback)
+{
+    HierarchyConfig config = smallConfig(false);
+    config.l3.capacityBytes = 2 * kLineSize;
+    config.l3.ways = 2;
+    CacheHierarchy h(config);
+    h.fillLlc(10, false, false);
+    h.fillLlc(20, false, false);
+    EXPECT_FALSE(h.fillLlc(30, false, false).valid);
+}
+
+TEST(CacheHierarchy, DramCacheEvictionClearsPresence)
+{
+    CacheHierarchy h(smallConfig(false));
+    h.fillLlc(100, false, true);
+    EXPECT_TRUE(h.llc().presence(100));
+    h.onDramCacheEviction(100);
+    EXPECT_FALSE(h.llc().presence(100));
+    // The line itself stays resident (non-inclusive flow).
+    EXPECT_TRUE(h.llc().contains(100));
+}
+
+TEST(CacheHierarchy, BackInvalidateDropsLineEverywhere)
+{
+    CacheHierarchy h(smallConfig(true));
+    h.access(0, 100, false);
+    h.fillLlc(100, false, true);
+    h.access(0, 100, true); // brings it into L1/L2 and dirties L1
+    EXPECT_TRUE(h.backInvalidate(100));
+    EXPECT_FALSE(h.llc().contains(100));
+    // A fresh access misses everywhere again.
+    EXPECT_TRUE(h.access(0, 100, false).llcMiss);
+}
+
+TEST(CacheHierarchy, BackInvalidateCleanReturnsFalse)
+{
+    CacheHierarchy h(smallConfig(false));
+    h.fillLlc(100, false, true);
+    EXPECT_FALSE(h.backInvalidate(100));
+}
+
+TEST(CacheHierarchy, FullModeL1HitStaysOnChip)
+{
+    CacheHierarchy h(smallConfig(true));
+    h.access(0, 100, false);     // miss everywhere
+    h.fillLlc(100, false, false); // completes the L3 fill
+    h.access(0, 100, false);     // L3 hit, refills L1/L2
+    const HierarchyOutcome o = h.access(0, 100, false);
+    EXPECT_FALSE(o.llcMiss);
+    EXPECT_EQ(o.onChipLatency, h.config().l1.latency);
+}
+
+TEST(CacheHierarchy, FullModePerCoreL1Isolation)
+{
+    CacheHierarchy h(smallConfig(true));
+    h.access(0, 100, false);
+    h.fillLlc(100, false, false);
+    h.access(0, 100, false); // core 0 caches it in its L1/L2
+    // Core 1 misses its private levels but hits the shared L3.
+    const HierarchyOutcome o = h.access(1, 100, false);
+    EXPECT_FALSE(o.llcMiss);
+    EXPECT_GT(o.onChipLatency, h.config().l1.latency);
+}
+
+TEST(CacheHierarchy, StatsReset)
+{
+    CacheHierarchy h(smallConfig(false));
+    h.access(0, 1, false);
+    h.resetStats();
+    EXPECT_EQ(h.llc().misses(), 0u);
+}

@@ -1,0 +1,79 @@
+/** @file Unit tests for the core timing model. */
+
+#include <gtest/gtest.h>
+
+#include "core/core_model.hh"
+
+using namespace bear;
+
+TEST(CoreModel, BaseCpiAccumulates)
+{
+    CoreModel core(0, 0.5);
+    core.advanceInstructions(100);
+    EXPECT_EQ(core.instructions(), 100u);
+    EXPECT_EQ(core.cycle(), 50u);
+}
+
+TEST(CoreModel, FractionalCpiCarries)
+{
+    CoreModel core(0, 0.5);
+    core.advanceInstructions(1);
+    core.advanceInstructions(1);
+    EXPECT_EQ(core.cycle(), 1u); // 0.5 + 0.5
+}
+
+TEST(CoreModel, DependentMissStallsToDataReady)
+{
+    CoreModel core(0, 0.5);
+    core.advanceInstructions(10); // cycle 5
+    core.completeMiss(500, /*dependent=*/true);
+    EXPECT_EQ(core.cycle(), 500u);
+}
+
+TEST(CoreModel, IndependentMissesOverlap)
+{
+    CoreModel core(0, 0.5);
+    for (std::uint32_t i = 0; i < CoreModel::kMshrs; ++i)
+        core.completeMiss(1000, false);
+    // The window absorbed them: the core advanced one cycle each.
+    EXPECT_EQ(core.cycle(), CoreModel::kMshrs);
+}
+
+TEST(CoreModel, FullWindowStalls)
+{
+    CoreModel core(0, 0.5);
+    for (std::uint32_t i = 0; i < CoreModel::kMshrs; ++i)
+        core.completeMiss(1000, false);
+    core.completeMiss(2000, false);
+    // The ninth miss waited for the earliest outstanding completion.
+    EXPECT_GE(core.cycle(), 1000u);
+}
+
+TEST(CoreModel, OnChipCompletionLatencyOnlyWhenDependent)
+{
+    CoreModel a(0, 0.5), b(1, 0.5);
+    a.completeOnChip(24, true);
+    b.completeOnChip(24, false);
+    EXPECT_EQ(a.cycle(), 24u);
+    EXPECT_EQ(b.cycle(), 1u);
+}
+
+TEST(CoreModel, EpochAccounting)
+{
+    CoreModel core(0, 0.5);
+    core.advanceInstructions(100);
+    core.markEpoch();
+    core.advanceInstructions(200);
+    EXPECT_EQ(core.instructionsSinceEpoch(), 200u);
+    EXPECT_EQ(core.cyclesSinceEpoch(), 100u);
+    EXPECT_DOUBLE_EQ(core.ipcSinceEpoch(), 2.0);
+}
+
+TEST(CoreModel, IpcBoundedByWidth)
+{
+    CoreModel core(0, 0.5);
+    core.markEpoch();
+    for (int i = 0; i < 1000; ++i)
+        core.advanceInstructions(10);
+    EXPECT_LE(core.ipcSinceEpoch(), 2.0 + 1e-9);
+}

@@ -1,0 +1,326 @@
+/** @file Unit tests for the non-Alloy DRAM-cache designs. */
+
+#include <gtest/gtest.h>
+
+#include "dramcache/bwopt_cache.hh"
+#include "dramcache/loh_hill_cache.hh"
+#include "dramcache/mc_cache.hh"
+#include "dramcache/no_cache.hh"
+#include "dramcache/sector_cache.hh"
+#include "dramcache/tis_cache.hh"
+#include "tests/test_util.hh"
+
+using namespace bear;
+using test::CacheHarness;
+
+// ---------------------------------------------------------------- LH/MC
+
+TEST(LohHill, TwentyNineWaysPerRowSet)
+{
+    CacheHarness h;
+    LohHillCache cache(makeLohHillConfig(8ULL << 20), h.dram, h.memory,
+                       h.bloat);
+    // One 2 KB row per set.
+    EXPECT_EQ(cache.sets(), (8ULL << 20) / 2048);
+    // 29 conflicting lines co-reside; the 30th evicts the LRU one.
+    const LineAddr base = 5;
+    Cycle t = 0;
+    for (std::uint32_t w = 0; w < 29; ++w) {
+        cache.read(t, base + w * cache.sets(), 0, 0);
+        t += 1000;
+    }
+    for (std::uint32_t w = 0; w < 29; ++w)
+        EXPECT_TRUE(cache.contains(base + w * cache.sets()));
+    cache.read(t, base + 29 * cache.sets(), 0, 0);
+    EXPECT_FALSE(cache.contains(base)); // LRU victim
+    EXPECT_TRUE(cache.contains(base + 29 * cache.sets()));
+}
+
+TEST(LohHill, HitMovesTagsDataAndLruUpdate)
+{
+    CacheHarness h;
+    LohHillCache cache(makeLohHillConfig(8ULL << 20), h.dram, h.memory,
+                       h.bloat);
+    cache.read(0, 42, 0, 0);
+    h.bloat.reset();
+    cache.read(10000, 42, 0, 0);
+    // 192 B tags + 64 B data + 64 B LRU write-back (footnote 3).
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::HitProbe), 192u + 64 + 64);
+    EXPECT_EQ(h.bloat.usefulBytes(), kLineSize);
+}
+
+TEST(LohHill, MissMapLatencyDelaysEveryRequest)
+{
+    CacheHarness lh_h, mc_h;
+    LohHillCache lh(makeLohHillConfig(8ULL << 20), lh_h.dram,
+                    lh_h.memory, lh_h.bloat);
+    LohHillCache mc(makeMostlyCleanConfig(8ULL << 20), mc_h.dram,
+                    mc_h.memory, mc_h.bloat);
+    // Identical cold miss: MC dispatches to memory immediately, LH
+    // pays the 24-cycle MissMap lookup first.
+    const auto r_lh = lh.read(0, 42, 0, 0);
+    const auto r_mc = mc.read(0, 42, 0, 0);
+    EXPECT_EQ(r_lh.dataReady, r_mc.dataReady + 24);
+}
+
+TEST(LohHill, NoMissProbeBandwidth)
+{
+    CacheHarness h;
+    LohHillCache cache(makeLohHillConfig(8ULL << 20), h.dram, h.memory,
+                       h.bloat);
+    cache.read(0, 42, 0, 0); // cold miss
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissFill), 128u);
+}
+
+TEST(LohHill, WritebackProbesTags)
+{
+    CacheHarness h;
+    LohHillCache cache(makeLohHillConfig(8ULL << 20), h.dram, h.memory,
+                       h.bloat);
+    cache.read(0, 42, 0, 0);
+    h.bloat.reset();
+    cache.writeback(10000, 42, false);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), 192u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate), 128u);
+    EXPECT_TRUE(cache.holdsDirty(42));
+}
+
+TEST(LohHill, DirtyEvictionReadsVictim)
+{
+    CacheHarness h;
+    LohHillCache cache(makeLohHillConfig(8ULL << 20), h.dram, h.memory,
+                       h.bloat);
+    LineAddr mem_write = ~0ULL;
+    cache.read(0, 42, 0, 0);
+    cache.writeback(1000, 42, false);
+    Cycle t = 10000;
+    h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
+    h.bloat.reset();
+    for (std::uint32_t w = 1; w <= 29; ++w) {
+        cache.read(t, 42 + w * cache.sets(), 0, 0);
+        t += 1000;
+    }
+    EXPECT_EQ(mem_write, 42u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::DirtyEviction), 64u);
+}
+
+// ------------------------------------------------------------------ TIS
+
+TEST(Tis, HitMovesOnlyData)
+{
+    CacheHarness h;
+    TisCache cache(8ULL << 20, h.dram, h.memory, h.bloat);
+    cache.read(0, 42, 0, 0);
+    h.bloat.reset();
+    const auto hit = cache.read(10000, 42, 0, 0);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(h.bloat.totalBytes(), kLineSize);
+    EXPECT_DOUBLE_EQ(h.bloat.bloatFactor(), 1.0);
+}
+
+TEST(Tis, NoProbesAtAll)
+{
+    CacheHarness h;
+    TisCache cache(8ULL << 20, h.dram, h.memory, h.bloat);
+    cache.read(0, 42, 0, 0);       // miss
+    cache.writeback(1000, 42, false); // wb hit
+    cache.writeback(2000, 777, false); // wb miss
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), 0u);
+}
+
+TEST(Tis, DirtyEvictionPaysARead)
+{
+    CacheHarness h;
+    TisCache cache(8ULL << 20, h.dram, h.memory, h.bloat);
+    LineAddr mem_write = ~0ULL;
+    cache.read(0, 42, 0, 0);
+    cache.writeback(1000, 42, false);
+    h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
+    h.bloat.reset();
+    Cycle t = 10000;
+    for (std::uint32_t w = 1; w <= TisCache::kWays; ++w) {
+        cache.read(t, 42 + w * cache.sets(), 0, 0);
+        t += 1000;
+    }
+    EXPECT_EQ(mem_write, 42u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::DirtyEviction), kLineSize);
+}
+
+TEST(Tis, LruKeepsHotLines)
+{
+    CacheHarness h;
+    TisCache cache(64ULL << 10, h.dram, h.memory, h.bloat); // tiny
+    const LineAddr hot = 3;
+    cache.read(0, hot, 0, 0);
+    Cycle t = 1000;
+    for (std::uint32_t w = 1; w < TisCache::kWays; ++w) {
+        cache.read(t, hot + w * cache.sets(), 0, 0);
+        t += 1000;
+    }
+    cache.read(t, hot, 0, 0); // refresh the hot line
+    cache.read(t + 1000, hot + 100 * cache.sets(), 0, 0); // evict LRU
+    EXPECT_TRUE(cache.contains(hot));
+}
+
+TEST(Tis, SramOverheadIs4BytesPerLine)
+{
+    CacheHarness h;
+    TisCache cache(8ULL << 20, h.dram, h.memory, h.bloat);
+    EXPECT_EQ(cache.sramOverheadBytes(), (8ULL << 20) / kLineSize * 4);
+}
+
+// ------------------------------------------------------------------- SC
+
+TEST(Sector, BlockGranularFillsWithinSector)
+{
+    CacheHarness h;
+    SectorCache cache(16ULL << 20, h.dram, h.memory, h.bloat);
+    cache.read(0, 64, 0, 0); // block 0 of sector 1
+    EXPECT_TRUE(cache.contains(64));
+    EXPECT_FALSE(cache.contains(65)); // same sector, not fetched
+    cache.read(1000, 65, 0, 0);
+    EXPECT_TRUE(cache.contains(65));
+}
+
+TEST(Sector, SectorEvictionFlushesDirtyBlocks)
+{
+    CacheHarness h;
+    SectorCache cache(16ULL << 20, h.dram, h.memory, h.bloat);
+    std::vector<LineAddr> mem_writes;
+    const LineAddr base = 7 * SectorCache::kBlocksPerSector;
+    Cycle t = 0;
+    for (int b = 0; b < 5; ++b) {
+        cache.read(t, base + b, 0, 0);
+        cache.writeback(t + 500, base + b, false);
+        t += 1000;
+    }
+    h.memory.setLineWriteHook(
+        [&](LineAddr l) { mem_writes.push_back(l); });
+    h.bloat.reset();
+    // Conflict-evict the sector: fill kWays other sectors of the set.
+    const std::uint64_t sector_stride =
+        cache.sets() * SectorCache::kBlocksPerSector;
+    for (std::uint32_t w = 1; w <= SectorCache::kWays; ++w) {
+        cache.read(t, base + w * sector_stride, 0, 0);
+        t += 1000;
+    }
+    EXPECT_EQ(mem_writes.size(), 5u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::DirtyEviction), 5 * kLineSize);
+    EXPECT_EQ(cache.dirtyBlocksFlushed(), 5u);
+    EXPECT_GE(cache.sectorEvictions(), 1u);
+}
+
+TEST(Sector, WritebackToResidentSectorAllocatesBlock)
+{
+    CacheHarness h;
+    SectorCache cache(16ULL << 20, h.dram, h.memory, h.bloat);
+    cache.read(0, 64, 0, 0); // sector resident, block 0 valid
+    h.bloat.reset();
+    cache.writeback(1000, 65, false); // block 1 invalid but sector here
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackFill), kLineSize);
+    EXPECT_TRUE(cache.holdsDirty(65));
+}
+
+TEST(Sector, WritebackToAbsentSectorGoesToMemory)
+{
+    CacheHarness h;
+    SectorCache cache(16ULL << 20, h.dram, h.memory, h.bloat);
+    LineAddr mem_write = ~0ULL;
+    h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
+    cache.writeback(0, 999999, false);
+    EXPECT_EQ(mem_write, 999999u);
+    EXPECT_EQ(h.bloat.totalBytes(), 0u);
+}
+
+TEST(Sector, SramOverheadNearSixMegabytesAtFullSize)
+{
+    CacheHarness h;
+    SectorCache cache(1ULL << 30, h.dram, h.memory, h.bloat);
+    // Paper Section 8: ~6 MB for a 1 GB sector cache.
+    EXPECT_NEAR(static_cast<double>(cache.sramOverheadBytes()),
+                6.0 * (1 << 20), 1.5 * (1 << 20));
+}
+
+// --------------------------------------------------------------- BW-Opt
+
+TEST(BwOpt, BloatFactorIsExactlyOne)
+{
+    CacheHarness h;
+    BwOptCache cache(8ULL << 20, h.dram, h.memory, h.bloat);
+    Cycle t = 0;
+    for (LineAddr l = 0; l < 100; ++l) {
+        cache.read(t, l % 10, 0, 0);
+        if (l % 3 == 0)
+            cache.writeback(t + 100, l % 10, false);
+        t += 1000;
+    }
+    EXPECT_DOUBLE_EQ(h.bloat.bloatFactor(), 1.0);
+}
+
+TEST(BwOpt, FillsAndWritebacksAreFree)
+{
+    CacheHarness h;
+    BwOptCache cache(8ULL << 20, h.dram, h.memory, h.bloat);
+    cache.read(0, 42, 0, 0); // miss + logical fill
+    EXPECT_EQ(h.bloat.totalBytes(), 0u);
+    EXPECT_TRUE(cache.contains(42));
+    cache.writeback(1000, 42, false); // logical update
+    EXPECT_EQ(h.bloat.totalBytes(), 0u);
+    EXPECT_TRUE(cache.holdsDirty(42));
+}
+
+TEST(BwOpt, DirtyVictimStillReachesMemory)
+{
+    CacheHarness h;
+    BwOptCache cache(8ULL << 20, h.dram, h.memory, h.bloat);
+    LineAddr mem_write = ~0ULL;
+    cache.read(0, 42, 0, 0);
+    cache.writeback(500, 42, false);
+    h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
+    cache.read(1000, 42 + (8ULL << 20) / kLineSize, 0, 0);
+    EXPECT_EQ(mem_write, 42u);
+}
+
+// -------------------------------------------------------------- NoCache
+
+TEST(NoCache, EverythingGoesToMemory)
+{
+    CacheHarness h;
+    NoCache cache(h.dram, h.memory, h.bloat);
+    const auto r = cache.read(0, 42, 0, 0);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.presentAfter);
+    EXPECT_EQ(h.dram.totalReads(), 0u);
+    EXPECT_EQ(h.memory.totalReads(), 1u);
+    cache.writeback(100, 43, false);
+    EXPECT_EQ(h.memory.totalWrites(), 1u);
+}
+
+// -------------------------------------------------- factory & identity
+
+TEST(Factory, EveryDesignConstructsAndNamesItself)
+{
+    CacheHarness h;
+    for (const DesignKind kind : test::allCacheDesigns()) {
+        auto design = h.make(kind, 16ULL << 20);
+        ASSERT_NE(design, nullptr);
+        EXPECT_EQ(design->name(), designName(kind));
+    }
+}
+
+TEST(Factory, AlloyFamilyConfigsMatchFeatures)
+{
+    DesignParams params;
+    const AlloyConfig bear = makeAlloyConfig(DesignKind::Bear, params);
+    EXPECT_TRUE(bear.useDcp);
+    EXPECT_TRUE(bear.useNtc);
+    EXPECT_EQ(bear.fillPolicy, FillPolicy::BandwidthAware);
+    const AlloyConfig alloy = makeAlloyConfig(DesignKind::Alloy, params);
+    EXPECT_FALSE(alloy.useDcp);
+    EXPECT_EQ(alloy.fillPolicy, FillPolicy::Always);
+    const AlloyConfig incl =
+        makeAlloyConfig(DesignKind::InclusiveAlloy, params);
+    EXPECT_TRUE(incl.inclusive);
+}

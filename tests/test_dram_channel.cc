@@ -1,0 +1,173 @@
+/** @file Unit tests for the DRAM channel timing model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram_channel.hh"
+
+using namespace bear;
+
+namespace
+{
+
+DramChannel
+makeChannel()
+{
+    return DramChannel(DramTiming{}, makeCacheGeometry(), {});
+}
+
+} // namespace
+
+TEST(BusTimeline, BackToBackReservationsPack)
+{
+    BusTimeline bus;
+    EXPECT_EQ(bus.reserve(100, 5), 100u);
+    EXPECT_EQ(bus.reserve(100, 5), 105u);
+    EXPECT_EQ(bus.reserve(100, 5), 110u);
+}
+
+TEST(BusTimeline, EarlierRequestFillsGapBeforeFutureReservation)
+{
+    BusTimeline bus;
+    // A future-stamped request reserves far ahead...
+    EXPECT_EQ(bus.reserve(1000, 5), 1000u);
+    // ...but an earlier request can still use the bus now.
+    EXPECT_EQ(bus.reserve(100, 5), 100u);
+}
+
+TEST(BusTimeline, GapTooSmallSkipsForward)
+{
+    BusTimeline bus;
+    bus.reserve(100, 5);  // [100,105)
+    bus.reserve(108, 5);  // [108,113)
+    // A 5-cycle job at 102 does not fit in [105,108): lands at 113.
+    EXPECT_EQ(bus.reserve(102, 5), 113u);
+}
+
+TEST(BusTimeline, CoalescingKeepsTimelineCompact)
+{
+    BusTimeline bus;
+    for (int i = 0; i < 1000; ++i)
+        bus.reserve(0, 5);
+    EXPECT_LE(bus.intervals(), 4u);
+}
+
+TEST(DramChannel, ClosedBankLatency)
+{
+    DramChannel ch = makeChannel();
+    const DramResult r = ch.read(0, 0, 7, 64);
+    // tRCD + tCAS + 4-beat burst on a 16 B/cycle bus.
+    EXPECT_EQ(r.dataReady, 36u + 36u + 4u);
+    EXPECT_FALSE(r.rowHit);
+    EXPECT_EQ(r.queueDelay, 0u);
+}
+
+TEST(DramChannel, RowHitLatency)
+{
+    DramChannel ch = makeChannel();
+    ch.read(0, 0, 7, 64);
+    const Cycle start = 500;
+    const DramResult r = ch.read(start, 0, 7, 64);
+    EXPECT_TRUE(r.rowHit);
+    EXPECT_EQ(r.dataReady, start + 36u + 4u); // tCAS + burst
+}
+
+TEST(DramChannel, RowConflictPaysPrechargeAndRas)
+{
+    DramChannel ch = makeChannel();
+    ch.read(0, 0, 7, 64); // activate row 7 at cycle 0
+    // Conflict long after tRAS expired: tRP + tRCD + tCAS + burst.
+    const DramResult r = ch.read(1000, 0, 9, 64);
+    EXPECT_FALSE(r.rowHit);
+    EXPECT_EQ(r.dataReady, 1000u + 36u + 36u + 36u + 4u);
+}
+
+TEST(DramChannel, RowConflictWaitsForRas)
+{
+    DramChannel ch = makeChannel();
+    ch.read(0, 0, 7, 64); // activation at cycle 0, tRAS = 144
+    const DramResult r = ch.read(80, 0, 9, 64);
+    // Precharge cannot start before cycle 144.
+    EXPECT_GE(r.dataReady, 144u + 36u + 36u + 36u + 4u);
+}
+
+TEST(DramChannel, DifferentBanksOverlapOnBus)
+{
+    DramChannel ch = makeChannel();
+    const DramResult a = ch.read(0, 0, 1, 64);
+    const DramResult b = ch.read(0, 1, 1, 64);
+    // Array access overlaps; only the 4-cycle bursts serialise.
+    EXPECT_EQ(a.dataReady, 76u);
+    EXPECT_EQ(b.dataReady, 80u);
+}
+
+TEST(DramChannel, TadBurstOccupiesFiveBeats)
+{
+    DramChannel ch = makeChannel();
+    const DramResult a = ch.read(0, 0, 1, 80);
+    EXPECT_EQ(a.dataReady, 72u + 5u);
+    EXPECT_EQ(ch.bytesTransferred(), 80u);
+}
+
+TEST(DramChannel, PostedWritesDoNotBlockImmediately)
+{
+    DramChannel ch = makeChannel();
+    for (int i = 0; i < 8; ++i)
+        ch.write(0, 0, 100 + i, 64);
+    // A read right after a few posted writes is unaffected: the queue
+    // is below the drain threshold.
+    const DramResult r = ch.read(0, 1, 7, 64);
+    EXPECT_EQ(r.dataReady, 76u);
+    EXPECT_EQ(ch.writeQueueDepth(), 8u);
+}
+
+TEST(DramChannel, FullWriteQueueDrainsAheadOfRead)
+{
+    WriteQueuePolicy wq;
+    DramChannel ch(DramTiming{}, makeCacheGeometry(), wq);
+    for (std::uint32_t i = 0; i < wq.drainHigh; ++i)
+        ch.write(0, i % 16, 1000 + i, 64);
+    const DramResult r = ch.read(0, 0, 7, 64);
+    // The drain (down to drainLow) runs before the read is serviced.
+    EXPECT_GT(r.queueDelay, 0u);
+    EXPECT_LE(ch.writeQueueDepth(), wq.drainLow + 1u);
+}
+
+TEST(DramChannel, FutureStampedWritesAreInvisibleToEarlierReads)
+{
+    WriteQueuePolicy wq;
+    DramChannel ch(DramTiming{}, makeCacheGeometry(), wq);
+    // Queue plenty of writes, all stamped far in the future.
+    for (std::uint32_t i = 0; i < 2 * wq.drainHigh; ++i)
+        ch.write(1000000 + i, i % 16, 2000 + i, 64);
+    // An early read must not wait for them.
+    const DramResult r = ch.read(10, 0, 7, 64);
+    EXPECT_EQ(r.dataReady, 10u + 76u);
+}
+
+TEST(DramChannel, DrainAllEmptiesTheQueue)
+{
+    DramChannel ch = makeChannel();
+    for (int i = 0; i < 10; ++i)
+        ch.write(100000 + i, 0, i, 64);
+    ch.drainAll(0);
+    EXPECT_EQ(ch.writeQueueDepth(), 0u);
+    EXPECT_EQ(ch.writeCount(), 10u);
+}
+
+TEST(DramChannel, StatsResetKeepsTimingState)
+{
+    DramChannel ch = makeChannel();
+    ch.read(0, 0, 7, 64);
+    ch.resetStats();
+    EXPECT_EQ(ch.readCount(), 0u);
+    EXPECT_EQ(ch.bytesTransferred(), 0u);
+    // The row is still open: next read is a row hit.
+    const DramResult r = ch.read(500, 0, 7, 64);
+    EXPECT_TRUE(r.rowHit);
+}
+
+TEST(DramChannelDeath, BankOutOfRange)
+{
+    DramChannel ch = makeChannel();
+    EXPECT_DEATH(ch.read(0, 999, 0, 64), "bank");
+}

@@ -1,0 +1,81 @@
+/** @file Unit tests for the multi-channel DRAM system. */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram_system.hh"
+
+using namespace bear;
+
+TEST(DramSystem, LineInterleavesChannelsThenBanks)
+{
+    DramSystem mem("ddr", DramTiming{}, makeMemoryGeometry());
+    const DramCoord c0 = mem.mapLine(0);
+    const DramCoord c1 = mem.mapLine(1);
+    EXPECT_NE(c0.channel, c1.channel);
+    const DramCoord c2 = mem.mapLine(2);
+    EXPECT_EQ(c0.channel, c2.channel);
+    EXPECT_NE(c0.bank, c2.bank);
+}
+
+TEST(DramSystem, GeometryFactoriesMatchTableOne)
+{
+    const DramGeometry cache = makeCacheGeometry();
+    const DramGeometry memory = makeMemoryGeometry();
+    EXPECT_EQ(cache.channels, 4u);
+    EXPECT_EQ(cache.banksPerChannel, 16u);
+    EXPECT_EQ(cache.busBytesPerCycle, 16u);
+    EXPECT_EQ(memory.channels, 2u);
+    EXPECT_EQ(memory.banksPerChannel, 8u);
+    EXPECT_EQ(memory.busBytesPerCycle, 4u);
+    // The 8x aggregate bandwidth ratio of the paper's baseline.
+    EXPECT_EQ(cache.peakBytesPerCycle(), 8 * memory.peakBytesPerCycle());
+}
+
+TEST(DramSystem, BandwidthRatioScalesChannels)
+{
+    EXPECT_EQ(makeCacheGeometry(4).channels, 2u);
+    EXPECT_EQ(makeCacheGeometry(16).channels, 8u);
+    // Total banks stay constant across the sweep (paper Section 7.3).
+    EXPECT_EQ(makeCacheGeometry(4).totalBanks(), 64u);
+    EXPECT_EQ(makeCacheGeometry(16).totalBanks(), 64u);
+}
+
+TEST(DramSystem, BankSweepGeometry)
+{
+    EXPECT_EQ(makeCacheGeometry(8, 2048).banksPerChannel, 512u);
+    EXPECT_EQ(makeCacheGeometry(8, 2048).totalBanks(), 2048u);
+}
+
+TEST(DramSystem, StatsAggregateAcrossChannels)
+{
+    DramSystem mem("ddr", DramTiming{}, makeMemoryGeometry());
+    mem.readLine(0, 0);
+    mem.readLine(0, 1); // other channel
+    EXPECT_EQ(mem.totalReads(), 2u);
+    EXPECT_EQ(mem.totalBytesTransferred(), 2 * kLineSize);
+    mem.resetStats();
+    EXPECT_EQ(mem.totalReads(), 0u);
+}
+
+TEST(DramSystem, WriteHookObservesLineWrites)
+{
+    DramSystem mem("ddr", DramTiming{}, makeMemoryGeometry());
+    std::vector<LineAddr> log;
+    mem.setLineWriteHook([&](LineAddr l) { log.push_back(l); });
+    mem.writeLine(0, 42);
+    mem.writeLine(0, 43);
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0], 42u);
+    EXPECT_EQ(log[1], 43u);
+}
+
+TEST(DramSystem, DrainAllFlushesQueues)
+{
+    DramSystem mem("ddr", DramTiming{}, makeMemoryGeometry());
+    for (LineAddr l = 0; l < 10; ++l)
+        mem.writeLine(1000000, l);
+    mem.drainAll(0);
+    EXPECT_EQ(mem.totalWrites(), 10u);
+    // All queued writes were serviced (bytes actually moved).
+    EXPECT_EQ(mem.totalBytesTransferred(), 10 * kLineSize);
+}

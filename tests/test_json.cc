@@ -1,0 +1,122 @@
+/** @file Unit tests for the JSON writer and run reports. */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "sim/report.hh"
+
+using namespace bear;
+
+TEST(JsonWriter, EmptyObject)
+{
+    JsonWriter json;
+    json.beginObject().endObject();
+    EXPECT_EQ(json.str(), "{}");
+}
+
+TEST(JsonWriter, FieldsAndTypes)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("name", "bear");
+    json.field("pi", 3.25);
+    json.field("count", static_cast<std::uint64_t>(42));
+    json.field("flag", true);
+    json.endObject();
+    EXPECT_EQ(json.str(),
+              R"({"name":"bear","pi":3.25,"count":42,"flag":true})");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.beginArray("xs");
+    json.value(static_cast<std::uint64_t>(1));
+    json.value(static_cast<std::uint64_t>(2));
+    json.beginObject().field("k", "v").endObject();
+    json.endArray();
+    json.endObject();
+    EXPECT_EQ(json.str(), R"({"xs":[1,2,{"k":"v"}]})");
+}
+
+TEST(JsonWriter, EscapesSpecials)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("s", "a\"b\\c\nd");
+    json.endObject();
+    EXPECT_EQ(json.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriterDeath, ValueWithoutKeyInObject)
+{
+    JsonWriter json;
+    json.beginObject();
+    EXPECT_DEATH(json.value(1.0), "requires a key");
+}
+
+TEST(JsonWriterDeath, UnbalancedNesting)
+{
+    JsonWriter json;
+    json.beginObject();
+    EXPECT_DEATH((void)json.str(), "unbalanced");
+}
+
+TEST(Report, RunResultSerialises)
+{
+    RunResult result;
+    result.workload = "soplex";
+    result.design = "BEAR";
+    result.stats.ipcTotal = 4.5;
+    result.stats.bloatFactor = 2.5;
+    result.stats.bloatBreakdown.assign(7, 0.1);
+    result.stats.ipcPerCore = {0.5, 0.6};
+    const std::string json = runResultToJson(result);
+    EXPECT_NE(json.find("\"workload\":\"soplex\""), std::string::npos);
+    EXPECT_NE(json.find("\"design\":\"BEAR\""), std::string::npos);
+    EXPECT_NE(json.find("\"bloatFactor\":2.5"), std::string::npos);
+    EXPECT_NE(json.find("\"category\":\"Hit\""), std::string::npos);
+}
+
+TEST(Report, ComparisonSerialises)
+{
+    Comparison cmp;
+    cmp.designs = {"BEAR"};
+    ComparisonRow row;
+    row.workload = "wrf";
+    row.baseline.workload = "wrf";
+    row.baseline.design = "Alloy";
+    row.runs.push_back(row.baseline);
+    row.runs[0].design = "BEAR";
+    row.speedups = {1.1};
+    cmp.rows.push_back(row);
+    const std::string json = comparisonToJson("fig12", cmp);
+    EXPECT_NE(json.find("\"experiment\":\"fig12\""), std::string::npos);
+    EXPECT_NE(json.find("\"speedups\":[1.1]"), std::string::npos);
+    EXPECT_NE(json.find("\"geomeans\""), std::string::npos);
+}
+
+TEST(Report, EnvGatedFileOutput)
+{
+    const char *path = "/tmp/bear_json_test.jsonl";
+    std::remove(path);
+    unsetenv("BEAR_JSON");
+    EXPECT_FALSE(maybeWriteJsonReport("{}"));
+    setenv("BEAR_JSON", path, 1);
+    EXPECT_TRUE(maybeWriteJsonReport("{\"a\":1}"));
+    EXPECT_TRUE(maybeWriteJsonReport("{\"b\":2}"));
+    unsetenv("BEAR_JSON");
+    std::FILE *f = std::fopen(path, "r");
+    ASSERT_NE(f, nullptr);
+    char buf[256];
+    ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+    EXPECT_STREQ(buf, "{\"a\":1}\n");
+    ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+    EXPECT_STREQ(buf, "{\"b\":2}\n");
+    std::fclose(f);
+    std::remove(path);
+}

@@ -1,0 +1,79 @@
+/** @file Unit tests for the MAP-I hit/miss predictor. */
+
+#include <gtest/gtest.h>
+
+#include "dramcache/map_i.hh"
+
+using namespace bear;
+
+TEST(MapI, LearnsMissesForAPc)
+{
+    MapIPredictor p(1);
+    const Pc pc = 0x400100;
+    for (int i = 0; i < 8; ++i)
+        p.update(0, pc, false);
+    EXPECT_FALSE(p.predictHit(0, pc));
+}
+
+TEST(MapI, LearnsHitsBack)
+{
+    MapIPredictor p(1);
+    const Pc pc = 0x400100;
+    for (int i = 0; i < 8; ++i)
+        p.update(0, pc, false);
+    for (int i = 0; i < 8; ++i)
+        p.update(0, pc, true);
+    EXPECT_TRUE(p.predictHit(0, pc));
+}
+
+TEST(MapI, CoresHaveIndependentTables)
+{
+    MapIPredictor p(2);
+    const Pc pc = 0x400200;
+    for (int i = 0; i < 8; ++i)
+        p.update(0, pc, false);
+    EXPECT_FALSE(p.predictHit(0, pc));
+    EXPECT_TRUE(p.predictHit(1, pc)); // core 1 untouched: optimistic
+}
+
+TEST(MapI, DistinctPcsLearnIndependently)
+{
+    MapIPredictor p(1);
+    const Pc miss_pc = 0x400300;
+    const Pc hit_pc = 0x409304; // different table index w.h.p.
+    for (int i = 0; i < 8; ++i) {
+        p.update(0, miss_pc, false);
+        p.update(0, hit_pc, true);
+    }
+    EXPECT_FALSE(p.predictHit(0, miss_pc));
+    EXPECT_TRUE(p.predictHit(0, hit_pc));
+}
+
+TEST(MapI, AccuracyTracksOutcomes)
+{
+    MapIPredictor p(1);
+    const Pc pc = 0x400400;
+    for (int i = 0; i < 100; ++i) {
+        p.predictHit(0, pc);
+        p.update(0, pc, true);
+    }
+    EXPECT_GT(p.accuracy(), 0.95);
+}
+
+TEST(MapI, StorageMatchesPaperBudget)
+{
+    // 256 3-bit entries per core.
+    MapIPredictor p(8);
+    EXPECT_EQ(p.storageBits(), 8u * 256 * 3);
+}
+
+TEST(MapI, ResetStatsKeepsLearnedState)
+{
+    MapIPredictor p(1);
+    const Pc pc = 0x400500;
+    for (int i = 0; i < 8; ++i)
+        p.update(0, pc, false);
+    p.resetStats();
+    EXPECT_EQ(p.predictions(), 0u);
+    EXPECT_FALSE(p.predictHit(0, pc)); // still remembers the misses
+}

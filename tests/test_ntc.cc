@@ -1,0 +1,105 @@
+/** @file Unit tests for the Neighboring Tag Cache. */
+
+#include <gtest/gtest.h>
+
+#include "dramcache/ntc.hh"
+
+using namespace bear;
+
+TEST(Ntc, NoInfoWithoutSnapshot)
+{
+    NeighboringTagCache ntc(4, 8);
+    EXPECT_EQ(ntc.lookup(0, 100, 7), NtcVerdict::NoInfo);
+}
+
+TEST(Ntc, PresentOnTagMatch)
+{
+    NeighboringTagCache ntc(4, 8);
+    ntc.record(0, 100, 7, true, false);
+    EXPECT_EQ(ntc.lookup(0, 100, 7), NtcVerdict::Present);
+}
+
+TEST(Ntc, AbsentCleanOnMismatch)
+{
+    NeighboringTagCache ntc(4, 8);
+    ntc.record(0, 100, 7, true, false);
+    EXPECT_EQ(ntc.lookup(0, 100, 9), NtcVerdict::AbsentClean);
+}
+
+TEST(Ntc, AbsentDirtyWhenResidentLineDirty)
+{
+    NeighboringTagCache ntc(4, 8);
+    ntc.record(0, 100, 7, true, true);
+    EXPECT_EQ(ntc.lookup(0, 100, 9), NtcVerdict::AbsentDirty);
+}
+
+TEST(Ntc, EmptySetIsAbsentClean)
+{
+    NeighboringTagCache ntc(4, 8);
+    ntc.record(0, 100, 0, false, false); // snapshot of an empty TAD
+    EXPECT_EQ(ntc.lookup(0, 100, 9), NtcVerdict::AbsentClean);
+}
+
+TEST(Ntc, BanksAreIsolated)
+{
+    NeighboringTagCache ntc(4, 8);
+    ntc.record(0, 100, 7, true, false);
+    EXPECT_EQ(ntc.lookup(1, 100, 7), NtcVerdict::NoInfo);
+}
+
+TEST(Ntc, UpdateIfCachedRefreshesSnapshot)
+{
+    NeighboringTagCache ntc(4, 8);
+    ntc.record(0, 100, 7, true, false);
+    ntc.updateIfCached(0, 100, 9, true, true);
+    EXPECT_EQ(ntc.lookup(0, 100, 9), NtcVerdict::Present);
+    EXPECT_EQ(ntc.lookup(0, 100, 7), NtcVerdict::AbsentDirty);
+}
+
+TEST(Ntc, UpdateIfCachedDoesNotAllocate)
+{
+    NeighboringTagCache ntc(4, 8);
+    ntc.updateIfCached(0, 100, 7, true, false);
+    EXPECT_EQ(ntc.lookup(0, 100, 7), NtcVerdict::NoInfo);
+}
+
+TEST(Ntc, RecordReplacesLruEntry)
+{
+    NeighboringTagCache ntc(1, 2); // one bank, two entries
+    ntc.record(0, 1, 1, true, false);
+    ntc.record(0, 2, 2, true, false);
+    ntc.lookup(0, 1, 1); // touch set 1: set 2 becomes LRU
+    ntc.record(0, 3, 3, true, false);
+    EXPECT_EQ(ntc.lookup(0, 2, 2), NtcVerdict::NoInfo); // evicted
+    EXPECT_EQ(ntc.lookup(0, 1, 1), NtcVerdict::Present);
+    EXPECT_EQ(ntc.lookup(0, 3, 3), NtcVerdict::Present);
+}
+
+TEST(Ntc, RecordOfCachedSetUpdatesInPlace)
+{
+    NeighboringTagCache ntc(1, 2);
+    ntc.record(0, 1, 1, true, false);
+    ntc.record(0, 1, 5, true, true); // same set, new snapshot
+    EXPECT_EQ(ntc.lookup(0, 1, 5), NtcVerdict::Present);
+    EXPECT_EQ(ntc.lookup(0, 1, 1), NtcVerdict::AbsentDirty);
+}
+
+TEST(Ntc, StorageMatchesPaperBudget)
+{
+    // Paper Table 5: 44 bytes per bank, 3.2 KB for 64 banks... with
+    // 73 banks it scales linearly.
+    NeighboringTagCache ntc(64, 8);
+    EXPECT_EQ(ntc.storageBytes(), 64u * 44);
+}
+
+TEST(Ntc, ProbeAvoidanceStats)
+{
+    NeighboringTagCache ntc(4, 8);
+    ntc.record(0, 100, 7, true, false);
+    ntc.lookup(0, 100, 9);
+    ntc.noteProbeAvoided();
+    EXPECT_EQ(ntc.hits(), 1u);
+    EXPECT_EQ(ntc.probesAvoided(), 1u);
+    ntc.resetStats();
+    EXPECT_EQ(ntc.hits(), 0u);
+}

@@ -1,0 +1,77 @@
+/** @file Unit tests for the replacement policies. */
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.hh"
+
+using namespace bear;
+
+TEST(LruPolicy, EvictsLeastRecentlyTouched)
+{
+    LruPolicy lru(4, 4);
+    lru.touch(0, 0);
+    lru.touch(0, 1);
+    lru.touch(0, 2);
+    lru.touch(0, 3);
+    EXPECT_EQ(lru.victim(0), 0u);
+    lru.touch(0, 0);
+    EXPECT_EQ(lru.victim(0), 1u);
+}
+
+TEST(LruPolicy, SetsAreIndependent)
+{
+    LruPolicy lru(2, 2);
+    lru.touch(0, 0);
+    lru.touch(0, 1);
+    lru.touch(1, 1);
+    lru.touch(1, 0);
+    EXPECT_EQ(lru.victim(0), 0u);
+    EXPECT_EQ(lru.victim(1), 1u);
+}
+
+TEST(LruPolicy, InvalidatedWayBecomesVictim)
+{
+    LruPolicy lru(1, 3);
+    lru.touch(0, 0);
+    lru.touch(0, 1);
+    lru.touch(0, 2);
+    lru.invalidate(0, 2);
+    EXPECT_EQ(lru.victim(0), 2u);
+}
+
+TEST(RandomPolicy, VictimInRangeAndDeterministic)
+{
+    RandomPolicy a(1, 8, 42), b(1, 8, 42);
+    for (int i = 0; i < 100; ++i) {
+        const std::uint32_t va = a.victim(0);
+        EXPECT_LT(va, 8u);
+        EXPECT_EQ(va, b.victim(0));
+    }
+}
+
+TEST(NruPolicy, PrefersUnreferencedWays)
+{
+    NruPolicy nru(1, 4);
+    nru.touch(0, 0);
+    nru.touch(0, 2);
+    const std::uint32_t v = nru.victim(0);
+    EXPECT_TRUE(v == 1 || v == 3);
+}
+
+TEST(NruPolicy, AllReferencedResetsAndPicksZero)
+{
+    NruPolicy nru(1, 2);
+    nru.touch(0, 0);
+    nru.touch(0, 1);
+    EXPECT_EQ(nru.victim(0), 0u);
+    // The sweep cleared the bits: way 1 is now unreferenced too.
+    nru.touch(0, 0);
+    EXPECT_EQ(nru.victim(0), 1u);
+}
+
+TEST(ReplacementFactory, BuildsEveryKind)
+{
+    EXPECT_NE(makeReplacement(ReplacementKind::LRU, 4, 2), nullptr);
+    EXPECT_NE(makeReplacement(ReplacementKind::Random, 4, 2), nullptr);
+    EXPECT_NE(makeReplacement(ReplacementKind::NRU, 4, 2), nullptr);
+}

@@ -1,0 +1,90 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+using namespace bear;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.below(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(7);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++seen[rng.below(8)];
+    for (int b = 0; b < 8; ++b)
+        EXPECT_GT(seen[b], 800) << "bucket " << b << " under-sampled";
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(99);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(123);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, RunLengthMeanApproximatesParameter)
+{
+    Rng rng(11);
+    double total = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        total += static_cast<double>(rng.runLength(8.0));
+    EXPECT_NEAR(total / n, 8.0, 0.5);
+}
+
+TEST(Rng, RunLengthIsAtLeastOne)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.runLength(0.5), 1u);
+}

@@ -1,0 +1,149 @@
+/** @file Unit tests for the set-associative SRAM cache. */
+
+#include <gtest/gtest.h>
+
+#include "cache/sram_cache.hh"
+
+using namespace bear;
+
+namespace
+{
+
+SramCache
+makeCache(std::uint64_t capacity = 16 * kLineSize, std::uint32_t ways = 4)
+{
+    SramCacheConfig config;
+    config.name = "test";
+    config.capacityBytes = capacity;
+    config.ways = ways;
+    return SramCache(config);
+}
+
+} // namespace
+
+TEST(SramCache, MissThenHitAfterFill)
+{
+    SramCache cache = makeCache();
+    EXPECT_FALSE(cache.access(100, false).hit);
+    cache.fill(100, false, false);
+    EXPECT_TRUE(cache.access(100, false).hit);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SramCache, GeometryFromCapacity)
+{
+    SramCache cache = makeCache(64 * kLineSize, 8);
+    EXPECT_EQ(cache.sets(), 8u);
+}
+
+TEST(SramCache, FillEvictsLruWay)
+{
+    SramCache cache = makeCache(4 * kLineSize, 4); // one set
+    for (LineAddr l = 0; l < 4; ++l)
+        cache.fill(l, false, false);
+    cache.access(0, false); // make line 0 most recent
+    const SramEviction ev = cache.fill(100, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.line, 1u); // line 1 was least recently used
+}
+
+TEST(SramCache, WriteSetsDirtyAndEvictionReportsIt)
+{
+    SramCache cache = makeCache(2 * kLineSize, 2); // one set, 2 ways
+    cache.fill(10, false, false);
+    cache.access(10, true); // dirty it
+    cache.fill(20, false, false);
+    const SramEviction ev = cache.fill(30, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.line, 10u);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(cache.dirtyEvictions(), 1u);
+}
+
+TEST(SramCache, FillWithDirtySeedsDirtyBit)
+{
+    SramCache cache = makeCache(2 * kLineSize, 2);
+    cache.fill(10, true, false);
+    cache.fill(20, false, false);
+    const SramEviction ev = cache.fill(30, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+}
+
+TEST(SramCache, PresenceBitLifecycle)
+{
+    SramCache cache = makeCache();
+    cache.fill(42, false, true);
+    EXPECT_TRUE(cache.presence(42));
+    cache.clearPresence(42);
+    EXPECT_FALSE(cache.presence(42));
+    cache.setPresence(42);
+    EXPECT_TRUE(cache.presence(42));
+    // Absent lines have no presence.
+    EXPECT_FALSE(cache.presence(43));
+}
+
+TEST(SramCache, PresenceTravelsWithEviction)
+{
+    SramCache cache = makeCache(2 * kLineSize, 2);
+    cache.fill(10, true, true);
+    cache.fill(20, false, false);
+    const SramEviction ev = cache.fill(30, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dcp);
+}
+
+TEST(SramCache, InvalidateRemovesLine)
+{
+    SramCache cache = makeCache();
+    cache.fill(7, true, false);
+    const SramEviction ev = cache.invalidate(7);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_FALSE(cache.contains(7));
+    // Idempotent on absent lines.
+    EXPECT_FALSE(cache.invalidate(7).valid);
+}
+
+TEST(SramCache, ContainsDoesNotPerturb)
+{
+    SramCache cache = makeCache(2 * kLineSize, 2);
+    cache.fill(10, false, false);
+    cache.fill(20, false, false);
+    // Probing 10 must not refresh its LRU position.
+    EXPECT_TRUE(cache.contains(10));
+    const SramEviction ev = cache.fill(30, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.line, 10u);
+}
+
+TEST(SramCache, LinesMapToDistinctSets)
+{
+    SramCache cache = makeCache(16 * kLineSize, 4); // 4 sets
+    // Lines 0..3 land in sets 0..3: no evictions filling them.
+    for (LineAddr l = 0; l < 4; ++l)
+        EXPECT_FALSE(cache.fill(l, false, false).valid);
+}
+
+TEST(SramCache, StatsReset)
+{
+    SramCache cache = makeCache();
+    cache.access(1, false);
+    cache.fill(1, false, false);
+    cache.access(1, false);
+    cache.resetStats();
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    // State survives the reset.
+    EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(SramCache, LinesValidCountsOccupancy)
+{
+    SramCache cache = makeCache();
+    EXPECT_EQ(cache.linesValid(), 0u);
+    cache.fill(1, false, false);
+    cache.fill(2, false, false);
+    EXPECT_EQ(cache.linesValid(), 2u);
+}

@@ -1,0 +1,51 @@
+/** @file Unit tests for the ASCII table renderer. */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+using namespace bear;
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, ColumnsAreAligned)
+{
+    Table t({"a", "b"});
+    t.addRow({"xxxxxx", "1"});
+    t.addRow({"y", "2"});
+    const std::string out = t.render();
+    // Split lines; the second column must start at the same offset in
+    // the header and in every row.
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t eol = out.find('\n', pos);
+        lines.push_back(out.substr(pos, eol - pos));
+        pos = eol + 1;
+    }
+    ASSERT_EQ(lines.size(), 4u); // header, separator, two rows
+    EXPECT_EQ(lines[0].find('b'), lines[2].find('1'));
+    EXPECT_EQ(lines[0].find('b'), lines[3].find('2'));
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(TableDeath, RowArityMismatchPanics)
+{
+    Table t({"one", "two"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}

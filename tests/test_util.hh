@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared fixtures and helpers for the test suite.
+ */
+
+#ifndef BEAR_TESTS_TEST_UTIL_HH
+#define BEAR_TESTS_TEST_UTIL_HH
+
+#include <memory>
+
+#include "dramcache/bear_cache.hh"
+#include "mem/dram_system.hh"
+
+namespace bear::test
+{
+
+/** Small DRAM pair + bloat tracker to host a design under test. */
+struct CacheHarness
+{
+    CacheHarness()
+        : dram("l4dram", DramTiming{}, makeCacheGeometry()),
+          memory("ddr", DramTiming{}, makeMemoryGeometry())
+    {
+    }
+
+    /** Instantiate a design with a small capacity for fast tests. */
+    std::unique_ptr<DramCache>
+    make(DesignKind kind, std::uint64_t capacity = 8ULL << 20,
+         std::uint32_t cores = 2)
+    {
+        DesignParams params;
+        params.capacityBytes = capacity;
+        params.cores = cores;
+        return makeDesign(kind, params, dram, memory, bloat);
+    }
+
+    DramSystem dram;
+    DramSystem memory;
+    BloatTracker bloat;
+};
+
+/** Every DesignKind that is a real cache (excludes NoCache). */
+inline std::vector<DesignKind>
+allCacheDesigns()
+{
+    return {DesignKind::Alloy,       DesignKind::ProbBypass50,
+            DesignKind::ProbBypass90, DesignKind::Bab,
+            DesignKind::BabDcp,      DesignKind::Bear,
+            DesignKind::InclusiveAlloy, DesignKind::LohHill,
+            DesignKind::MostlyClean, DesignKind::TagsInSram,
+            DesignKind::SectorCache, DesignKind::FootprintCache,
+            DesignKind::BwOptimized};
+}
+
+} // namespace bear::test
+
+#endif // BEAR_TESTS_TEST_UTIL_HH

@@ -1,0 +1,178 @@
+/** @file Unit tests for workload profiles, streams, and mixes. */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workloads/generators.hh"
+#include "workloads/mixes.hh"
+#include "workloads/workload.hh"
+
+using namespace bear;
+
+TEST(Profiles, SixteenBenchmarksWithTableTwoFigures)
+{
+    const auto &profiles = allProfiles();
+    ASSERT_EQ(profiles.size(), 16u);
+    EXPECT_EQ(profiles.front().name, "mcf");
+    EXPECT_DOUBLE_EQ(profiles.front().l3Mpki, 74.6);
+    EXPECT_EQ(profileByName("libquantum").footprintBytes, 256ULL << 20);
+    EXPECT_DOUBLE_EQ(profileByName("xalancbmk").l3Mpki, 2.3);
+}
+
+TEST(Profiles, ProbabilitiesAreSane)
+{
+    for (const auto &p : allProfiles()) {
+        EXPECT_LE(p.hotProb + p.warmProb + p.reuseProb, 1.0) << p.name;
+        EXPECT_GT(p.writeFraction, 0.0) << p.name;
+        EXPECT_LT(p.writeFraction, 1.0) << p.name;
+        EXPECT_GE(p.spatialRunMean, 1.0) << p.name;
+    }
+}
+
+TEST(ProfilesDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(profileByName("nosuchbench"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(WorkloadStream, Deterministic)
+{
+    const WorkloadProfile &p = profileByName("soplex");
+    WorkloadStream a(p, 7, 0.0625), b(p, 7, 0.0625);
+    for (int i = 0; i < 1000; ++i) {
+        const MemRef ra = a.next(), rb = b.next();
+        EXPECT_EQ(ra.vaddr, rb.vaddr);
+        EXPECT_EQ(ra.pc, rb.pc);
+        EXPECT_EQ(ra.instGap, rb.instGap);
+        EXPECT_EQ(ra.isWrite, rb.isWrite);
+    }
+}
+
+TEST(WorkloadStream, SeedsDecorrelate)
+{
+    const WorkloadProfile &p = profileByName("soplex");
+    WorkloadStream a(p, 1, 0.0625), b(p, 2, 0.0625);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next().vaddr == b.next().vaddr ? 1 : 0;
+    EXPECT_LT(same, 100);
+}
+
+TEST(WorkloadStream, StaysWithinScaledFootprint)
+{
+    const WorkloadProfile &p = profileByName("sphinx3");
+    WorkloadStream s(p, 3, 0.0625);
+    const std::uint64_t bound = s.footprintLines();
+    for (int i = 0; i < 50000; ++i)
+        EXPECT_LT(lineOf(s.next().vaddr), bound);
+}
+
+TEST(WorkloadStream, WriteFractionMatchesProfile)
+{
+    const WorkloadProfile &p = profileByName("lbm"); // 45% stores
+    WorkloadStream s(p, 5, 0.0625);
+    int writes = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        writes += s.next().isWrite ? 1 : 0;
+    EXPECT_NEAR(writes / static_cast<double>(n), p.writeFraction, 0.02);
+}
+
+TEST(WorkloadStream, InstructionGapTracksMpki)
+{
+    const WorkloadProfile &p = profileByName("mcf");
+    WorkloadStream s(p, 5, 0.0625);
+    double inst = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        inst += s.next().instGap + 1;
+    const double apki = 1000.0 * n / inst;
+    EXPECT_NEAR(apki, p.l3Mpki * p.apkiFactor, p.l3Mpki * 0.15);
+}
+
+TEST(WorkloadStream, ReuseRetouchesRecentLines)
+{
+    WorkloadProfile p = profileByName("GemsFDTD"); // reuse 0.38
+    WorkloadStream s(p, 9, 0.0625);
+    std::set<LineAddr> seen;
+    int retouch = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const LineAddr l = lineOf(s.next().vaddr);
+        retouch += seen.count(l) ? 1 : 0;
+        seen.insert(l);
+    }
+    // Reuse plus hot/warm region revisits: well above the reuse share.
+    EXPECT_GT(retouch / static_cast<double>(n), p.reuseProb * 0.8);
+}
+
+TEST(Mixes, TableThreeIsExact)
+{
+    const auto &mixes = tableThreeMixes();
+    ASSERT_EQ(mixes.size(), 8u);
+    EXPECT_EQ(mixes[0].name, "MIX1");
+    EXPECT_EQ(mixes[0].klass, "8H");
+    EXPECT_EQ(mixes[0].benchmarks[0], "libquantum");
+    EXPECT_EQ(mixes[7].klass, "8M");
+    EXPECT_EQ(mixes[7].benchmarks[7], "sphinx3");
+}
+
+TEST(Mixes, ThirtyEightTotalAllResolvable)
+{
+    const auto &mixes = allMixes();
+    ASSERT_EQ(mixes.size(), 38u);
+    std::set<std::string> names;
+    for (const auto &mix : mixes) {
+        EXPECT_TRUE(names.insert(mix.name).second) << mix.name;
+        for (const auto &b : mix.benchmarks)
+            profileByName(b); // fatal if unknown
+    }
+}
+
+TEST(Generators, SequentialWrapsCyclically)
+{
+    StreamParams params;
+    params.footprintLines = 10;
+    SequentialStream s(params);
+    for (int pass = 0; pass < 3; ++pass)
+        for (std::uint64_t l = 0; l < 10; ++l)
+            EXPECT_EQ(lineOf(s.next().vaddr), l);
+}
+
+TEST(Generators, RandomStaysInFootprint)
+{
+    StreamParams params;
+    params.footprintLines = 977;
+    RandomStream s(params);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(lineOf(s.next().vaddr), 977u);
+}
+
+TEST(Generators, PointerChaseVisitsEveryLineOnce)
+{
+    StreamParams params;
+    params.footprintLines = 256;
+    PointerChaseStream s(params);
+    std::set<LineAddr> seen;
+    for (int i = 0; i < 256; ++i) {
+        const MemRef ref = s.next();
+        EXPECT_TRUE(ref.dependent);
+        EXPECT_TRUE(seen.insert(lineOf(ref.vaddr)).second);
+    }
+    EXPECT_EQ(seen.size(), 256u); // a single full cycle
+}
+
+TEST(Generators, VectorStreamReplays)
+{
+    std::vector<MemRef> refs(3);
+    refs[0].vaddr = 64;
+    refs[1].vaddr = 128;
+    refs[2].vaddr = 192;
+    VectorStream s(refs);
+    EXPECT_EQ(s.next().vaddr, 64u);
+    EXPECT_EQ(s.next().vaddr, 128u);
+    EXPECT_EQ(s.next().vaddr, 192u);
+    EXPECT_EQ(s.next().vaddr, 64u); // wraps
+}
