@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bab.dir/ablation_bab.cpp.o"
+  "CMakeFiles/ablation_bab.dir/ablation_bab.cpp.o.d"
+  "ablation_bab"
+  "ablation_bab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

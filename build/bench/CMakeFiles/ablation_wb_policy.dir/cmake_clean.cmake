@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wb_policy.dir/ablation_wb_policy.cpp.o"
+  "CMakeFiles/ablation_wb_policy.dir/ablation_wb_policy.cpp.o.d"
+  "ablation_wb_policy"
+  "ablation_wb_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wb_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

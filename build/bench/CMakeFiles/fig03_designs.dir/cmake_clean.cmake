@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_designs.dir/fig03_designs.cpp.o"
+  "CMakeFiles/fig03_designs.dir/fig03_designs.cpp.o.d"
+  "fig03_designs"
+  "fig03_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

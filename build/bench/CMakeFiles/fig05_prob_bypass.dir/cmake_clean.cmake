@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_prob_bypass.dir/fig05_prob_bypass.cpp.o"
+  "CMakeFiles/fig05_prob_bypass.dir/fig05_prob_bypass.cpp.o.d"
+  "fig05_prob_bypass"
+  "fig05_prob_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_prob_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_bab.dir/fig07_bab.cpp.o"
+  "CMakeFiles/fig07_bab.dir/fig07_bab.cpp.o.d"
+  "fig07_bab"
+  "fig07_bab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_bab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

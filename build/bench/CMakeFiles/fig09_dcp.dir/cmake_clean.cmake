@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_dcp.dir/fig09_dcp.cpp.o"
+  "CMakeFiles/fig09_dcp.dir/fig09_dcp.cpp.o.d"
+  "fig09_dcp"
+  "fig09_dcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

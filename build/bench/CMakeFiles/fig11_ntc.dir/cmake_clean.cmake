@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ntc.dir/fig11_ntc.cpp.o"
+  "CMakeFiles/fig11_ntc.dir/fig11_ntc.cpp.o.d"
+  "fig11_ntc"
+  "fig11_ntc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ntc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

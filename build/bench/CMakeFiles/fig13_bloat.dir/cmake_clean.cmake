@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_bloat.dir/fig13_bloat.cpp.o"
+  "CMakeFiles/fig13_bloat.dir/fig13_bloat.cpp.o.d"
+  "fig13_bloat"
+  "fig13_bloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_banks.dir/fig15_banks.cpp.o"
+  "CMakeFiles/fig15_banks.dir/fig15_banks.cpp.o.d"
+  "fig15_banks"
+  "fig15_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_sram_tags.dir/fig16_sram_tags.cpp.o"
+  "CMakeFiles/fig16_sram_tags.dir/fig16_sram_tags.cpp.o.d"
+  "fig16_sram_tags"
+  "fig16_sram_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sram_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_vs_nocache.dir/fig17_vs_nocache.cpp.o"
+  "CMakeFiles/fig17_vs_nocache.dir/fig17_vs_nocache.cpp.o.d"
+  "fig17_vs_nocache"
+  "fig17_vs_nocache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_vs_nocache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

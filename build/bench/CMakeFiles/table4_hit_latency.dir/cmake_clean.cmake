@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_hit_latency.dir/table4_hit_latency.cpp.o"
+  "CMakeFiles/table4_hit_latency.dir/table4_hit_latency.cpp.o.d"
+  "table4_hit_latency"
+  "table4_hit_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_hit_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

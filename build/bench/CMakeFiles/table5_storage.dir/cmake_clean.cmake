@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_storage.dir/table5_storage.cpp.o"
+  "CMakeFiles/table5_storage.dir/table5_storage.cpp.o.d"
+  "table5_storage"
+  "table5_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloat_explorer.dir/bloat_explorer.cpp.o"
+  "CMakeFiles/bloat_explorer.dir/bloat_explorer.cpp.o.d"
+  "bloat_explorer"
+  "bloat_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloat_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

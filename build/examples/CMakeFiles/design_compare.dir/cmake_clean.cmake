@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_compare.dir/design_compare.cpp.o"
+  "CMakeFiles/design_compare.dir/design_compare.cpp.o.d"
+  "design_compare"
+  "design_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

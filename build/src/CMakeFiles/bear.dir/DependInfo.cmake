@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_hierarchy.cc" "src/CMakeFiles/bear.dir/cache/cache_hierarchy.cc.o" "gcc" "src/CMakeFiles/bear.dir/cache/cache_hierarchy.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/CMakeFiles/bear.dir/cache/replacement.cc.o" "gcc" "src/CMakeFiles/bear.dir/cache/replacement.cc.o.d"
+  "/root/repo/src/cache/sram_cache.cc" "src/CMakeFiles/bear.dir/cache/sram_cache.cc.o" "gcc" "src/CMakeFiles/bear.dir/cache/sram_cache.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/CMakeFiles/bear.dir/common/json.cc.o" "gcc" "src/CMakeFiles/bear.dir/common/json.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/bear.dir/common/log.cc.o" "gcc" "src/CMakeFiles/bear.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/bear.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/bear.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/bear.dir/common/table.cc.o" "gcc" "src/CMakeFiles/bear.dir/common/table.cc.o.d"
+  "/root/repo/src/core/core_model.cc" "src/CMakeFiles/bear.dir/core/core_model.cc.o" "gcc" "src/CMakeFiles/bear.dir/core/core_model.cc.o.d"
+  "/root/repo/src/dramcache/alloy_cache.cc" "src/CMakeFiles/bear.dir/dramcache/alloy_cache.cc.o" "gcc" "src/CMakeFiles/bear.dir/dramcache/alloy_cache.cc.o.d"
+  "/root/repo/src/dramcache/bab.cc" "src/CMakeFiles/bear.dir/dramcache/bab.cc.o" "gcc" "src/CMakeFiles/bear.dir/dramcache/bab.cc.o.d"
+  "/root/repo/src/dramcache/bear_cache.cc" "src/CMakeFiles/bear.dir/dramcache/bear_cache.cc.o" "gcc" "src/CMakeFiles/bear.dir/dramcache/bear_cache.cc.o.d"
+  "/root/repo/src/dramcache/bloat.cc" "src/CMakeFiles/bear.dir/dramcache/bloat.cc.o" "gcc" "src/CMakeFiles/bear.dir/dramcache/bloat.cc.o.d"
+  "/root/repo/src/dramcache/bwopt_cache.cc" "src/CMakeFiles/bear.dir/dramcache/bwopt_cache.cc.o" "gcc" "src/CMakeFiles/bear.dir/dramcache/bwopt_cache.cc.o.d"
+  "/root/repo/src/dramcache/loh_hill_cache.cc" "src/CMakeFiles/bear.dir/dramcache/loh_hill_cache.cc.o" "gcc" "src/CMakeFiles/bear.dir/dramcache/loh_hill_cache.cc.o.d"
+  "/root/repo/src/dramcache/map_i.cc" "src/CMakeFiles/bear.dir/dramcache/map_i.cc.o" "gcc" "src/CMakeFiles/bear.dir/dramcache/map_i.cc.o.d"
+  "/root/repo/src/dramcache/mc_cache.cc" "src/CMakeFiles/bear.dir/dramcache/mc_cache.cc.o" "gcc" "src/CMakeFiles/bear.dir/dramcache/mc_cache.cc.o.d"
+  "/root/repo/src/dramcache/no_cache.cc" "src/CMakeFiles/bear.dir/dramcache/no_cache.cc.o" "gcc" "src/CMakeFiles/bear.dir/dramcache/no_cache.cc.o.d"
+  "/root/repo/src/dramcache/ntc.cc" "src/CMakeFiles/bear.dir/dramcache/ntc.cc.o" "gcc" "src/CMakeFiles/bear.dir/dramcache/ntc.cc.o.d"
+  "/root/repo/src/dramcache/sector_cache.cc" "src/CMakeFiles/bear.dir/dramcache/sector_cache.cc.o" "gcc" "src/CMakeFiles/bear.dir/dramcache/sector_cache.cc.o.d"
+  "/root/repo/src/dramcache/tis_cache.cc" "src/CMakeFiles/bear.dir/dramcache/tis_cache.cc.o" "gcc" "src/CMakeFiles/bear.dir/dramcache/tis_cache.cc.o.d"
+  "/root/repo/src/mem/dram_channel.cc" "src/CMakeFiles/bear.dir/mem/dram_channel.cc.o" "gcc" "src/CMakeFiles/bear.dir/mem/dram_channel.cc.o.d"
+  "/root/repo/src/mem/dram_system.cc" "src/CMakeFiles/bear.dir/mem/dram_system.cc.o" "gcc" "src/CMakeFiles/bear.dir/mem/dram_system.cc.o.d"
+  "/root/repo/src/sim/checker.cc" "src/CMakeFiles/bear.dir/sim/checker.cc.o" "gcc" "src/CMakeFiles/bear.dir/sim/checker.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/bear.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/bear.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/bear.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/bear.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/bear.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/bear.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/bear.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/bear.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/bear.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/bear.dir/sim/system.cc.o.d"
+  "/root/repo/src/vm/page_mapper.cc" "src/CMakeFiles/bear.dir/vm/page_mapper.cc.o" "gcc" "src/CMakeFiles/bear.dir/vm/page_mapper.cc.o.d"
+  "/root/repo/src/workloads/generators.cc" "src/CMakeFiles/bear.dir/workloads/generators.cc.o" "gcc" "src/CMakeFiles/bear.dir/workloads/generators.cc.o.d"
+  "/root/repo/src/workloads/mixes.cc" "src/CMakeFiles/bear.dir/workloads/mixes.cc.o" "gcc" "src/CMakeFiles/bear.dir/workloads/mixes.cc.o.d"
+  "/root/repo/src/workloads/spec_profiles.cc" "src/CMakeFiles/bear.dir/workloads/spec_profiles.cc.o" "gcc" "src/CMakeFiles/bear.dir/workloads/spec_profiles.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/bear.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/bear.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for bear.
+# This may be replaced when dependencies are built.

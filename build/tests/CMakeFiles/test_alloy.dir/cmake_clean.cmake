@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloy.dir/test_alloy.cc.o"
+  "CMakeFiles/test_alloy.dir/test_alloy.cc.o.d"
+  "test_alloy"
+  "test_alloy.pdb"
+  "test_alloy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

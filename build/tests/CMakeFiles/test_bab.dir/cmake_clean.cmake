@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bab.dir/test_bab.cc.o"
+  "CMakeFiles/test_bab.dir/test_bab.cc.o.d"
+  "test_bab"
+  "test_bab.pdb"
+  "test_bab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bloat.dir/test_bloat.cc.o"
+  "CMakeFiles/test_bloat.dir/test_bloat.cc.o.d"
+  "test_bloat"
+  "test_bloat.pdb"
+  "test_bloat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

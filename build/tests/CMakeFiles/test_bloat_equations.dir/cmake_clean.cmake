@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bloat_equations.dir/test_bloat_equations.cc.o"
+  "CMakeFiles/test_bloat_equations.dir/test_bloat_equations.cc.o.d"
+  "test_bloat_equations"
+  "test_bloat_equations.pdb"
+  "test_bloat_equations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bloat_equations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_designs.dir/test_designs.cc.o"
+  "CMakeFiles/test_designs.dir/test_designs.cc.o.d"
+  "test_designs"
+  "test_designs.pdb"
+  "test_designs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

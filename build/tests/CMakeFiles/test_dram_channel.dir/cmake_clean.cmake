@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_channel.dir/test_dram_channel.cc.o"
+  "CMakeFiles/test_dram_channel.dir/test_dram_channel.cc.o.d"
+  "test_dram_channel"
+  "test_dram_channel.pdb"
+  "test_dram_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

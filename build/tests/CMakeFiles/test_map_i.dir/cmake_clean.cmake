@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_map_i.dir/test_map_i.cc.o"
+  "CMakeFiles/test_map_i.dir/test_map_i.cc.o.d"
+  "test_map_i"
+  "test_map_i.pdb"
+  "test_map_i[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_map_i.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_runner.dir/test_metrics_runner.cc.o"
+  "CMakeFiles/test_metrics_runner.dir/test_metrics_runner.cc.o.d"
+  "test_metrics_runner"
+  "test_metrics_runner.pdb"
+  "test_metrics_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntc.dir/test_ntc.cc.o"
+  "CMakeFiles/test_ntc.dir/test_ntc.cc.o.d"
+  "test_ntc"
+  "test_ntc.pdb"
+  "test_ntc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ttc.dir/test_ttc.cc.o"
+  "CMakeFiles/test_ttc.dir/test_ttc.cc.o.d"
+  "test_ttc"
+  "test_ttc.pdb"
+  "test_ttc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ttc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

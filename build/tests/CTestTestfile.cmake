@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_page_mapper[1]_include.cmake")
+include("/root/repo/build/tests/test_dram_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_dram_system[1]_include.cmake")
+include("/root/repo/build/tests/test_replacement[1]_include.cmake")
+include("/root/repo/build/tests/test_sram_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_bloat[1]_include.cmake")
+include("/root/repo/build/tests/test_map_i[1]_include.cmake")
+include("/root/repo/build/tests/test_bab[1]_include.cmake")
+include("/root/repo/build/tests/test_ntc[1]_include.cmake")
+include("/root/repo/build/tests/test_ttc[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_bloat_equations[1]_include.cmake")
+include("/root/repo/build/tests/test_footprint_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_alloy[1]_include.cmake")
+include("/root/repo/build/tests/test_designs[1]_include.cmake")
+include("/root/repo/build/tests/test_checker[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_core_model[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics_runner[1]_include.cmake")
