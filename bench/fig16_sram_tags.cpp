@@ -60,11 +60,11 @@ main()
     table.addRow(std::move(speedup));
     std::vector<std::string> sram{"SRAM overhead (bytes)"};
     for (int d = -1; d < 4; ++d) {
-        const std::uint64_t bytes = averageOver(
+        const auto bytes = static_cast<std::uint64_t>(averageOver(
             cmp.rows, d,
             [](const RunResult &r) {
-                return static_cast<double>(r.stats.sramOverheadBytes);
-            });
+                return r.stats.sramOverheadBytes.toDouble();
+            }));
         sram.push_back(std::to_string(bytes));
     }
     table.addRow(std::move(sram));

@@ -68,7 +68,7 @@ BM_DramChannelRead(benchmark::State &state)
         coord.channel = static_cast<std::uint32_t>(rng.below(4));
         coord.bank = static_cast<std::uint32_t>(rng.below(16));
         coord.row = rng.below(1 << 14);
-        benchmark::DoNotOptimize(dram.read(t, coord, 80));
+        benchmark::DoNotOptimize(dram.read(t, coord, kTadTransfer));
         t += 7;
     }
 }

@@ -34,10 +34,10 @@ main()
     AlloyCache bear_cache(config, dram, memory, bloat);
 
     // DCP: one bit per line of the 8 MB L3.
-    const std::uint64_t dcp_bytes = (8ULL << 20) / kLineSize / 8;
+    const std::uint64_t dcp_bytes = Bytes{8ULL << 20} / kLineSize / 8;
     const std::uint64_t bab_bytes =
         (bear_cache.bab()->storageBits() + 7) / 8;
-    const std::uint64_t ntc_bytes = bear_cache.ntc()->storageBytes();
+    const std::uint64_t ntc_bytes = bear_cache.ntc()->storageBytes().count();
     const std::uint64_t mapi_bytes =
         (bear_cache.mapi() ? bear_cache.mapi()->storageBits() + 7 : 0) / 8;
 

@@ -32,7 +32,7 @@ class WriteThroughAlloy : public DramCache
   public:
     WriteThroughAlloy(std::uint64_t capacity, DramSystem &dram,
                       DramSystem &memory, BloatTracker &bloat)
-        : DramCache(dram, memory, bloat), sets_(capacity / kLineSize),
+        : DramCache(dram, memory, bloat), sets_(Bytes{capacity} / kLineSize),
           layout_(sets_, dram.geometry()), tads_(sets_)
     {
     }
@@ -158,7 +158,9 @@ main(int argc, char **argv)
     Table table({"metric", "Alloy (full system)", "WriteThrough (raw)"});
     table.addRow({"hit rate",
                   Table::num(100 * alloy.l4HitRate, 1) + "%",
-                  Table::num(100.0 * hits / accesses, 1) + "%"});
+                  Table::num(100.0 * static_cast<double>(hits)
+                                / static_cast<double>(accesses),
+                            1) + "%"});
     table.addRow({"bloat factor", Table::num(alloy.bloatFactor, 2),
                   Table::num(bloat.bloatFactor(), 2)});
     table.addRow({"WbProbe bloat",

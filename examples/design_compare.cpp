@@ -61,7 +61,7 @@ main(int argc, char **argv)
                       Table::num(100 * row.stats.l4HitRate, 1),
                       Table::num(row.stats.bloatFactor, 2),
                       Table::num(row.stats.l4HitLatency, 0),
-                      std::to_string(row.stats.sramOverheadBytes)});
+                      std::to_string(row.stats.sramOverheadBytes.count())});
     }
     std::printf("%s", table.render().c_str());
     return 0;

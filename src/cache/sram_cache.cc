@@ -8,7 +8,7 @@ namespace bear
 SramCache::SramCache(const SramCacheConfig &config) : config_(config)
 {
     bear_assert(config.ways > 0, config.name, ": needs at least one way");
-    const std::uint64_t lines = config.capacityBytes / kLineSize;
+    const std::uint64_t lines = Bytes{config.capacityBytes} / kLineSize;
     bear_assert(lines % config.ways == 0, config.name,
                 ": capacity not divisible by associativity");
     sets_ = lines / config.ways;

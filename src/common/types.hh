@@ -13,6 +13,8 @@
 
 #include <cstdint>
 
+#include "common/units.hh"
+
 namespace bear
 {
 
@@ -32,22 +34,48 @@ using Pc = std::uint64_t;
 using CoreId = std::uint32_t;
 
 /** Cache line size used throughout the hierarchy (paper Section 3.1). */
-constexpr std::uint64_t kLineSize = 64;
+constexpr Bytes kLineSize{64};
 constexpr std::uint64_t kLineShift = 6;
 
-/** 4 KB pages for the virtual memory system. */
+/** 4 KB pages for the virtual memory system.  Kept as raw integers:
+ *  they participate in address arithmetic, not bandwidth accounting. */
 constexpr std::uint64_t kPageSize = 4096;
 constexpr std::uint64_t kPageShift = 12;
 
 /** Alloy Cache Tag-And-Data entry: 8 B tag + 64 B data (paper Sec 6.1). */
-constexpr std::uint64_t kTadSize = 72;
+constexpr Bytes kTadSize{72};
+
+/** The stacked-DRAM cache bus moves 16 B per beat (128-bit DDR bus,
+ *  paper Table 1). */
+constexpr BeatWidth kCacheBeatWidth{16};
 
 /**
  * Bytes actually moved on the bus per TAD access: the 128-bit bus
  * transfers the 72-byte TAD in five 16-byte beats = 80 bytes
- * (paper Figure 10).
+ * (paper Figure 10).  Derived, not asserted: the unit system computes
+ * ceil(72 B / 16 B-per-beat) = 5 beats, then 5 beats x 16 B = 80 B.
  */
-constexpr std::uint64_t kTadTransfer = 80;
+constexpr Bytes kTadTransfer =
+    beatsToCover(kTadSize, kCacheBeatWidth) * kCacheBeatWidth;
+static_assert(kTadTransfer == Bytes{80});
+
+/** Whole 64 B lines -> data volume. */
+constexpr Bytes
+bytesOfLines(Lines n)
+{
+    return Bytes{n.count() << kLineShift};
+}
+
+/** Data volume -> whole 64 B lines it spans (rounds up). */
+constexpr Lines
+linesToCover(Bytes volume)
+{
+    return Lines{(volume.count() + kLineSize.count() - 1)
+                 >> kLineShift};
+}
+
+static_assert(bytesOfLines(Lines{3}) == Bytes{192});
+static_assert(linesToCover(Bytes{65}) == Lines{2});
 
 /** Convert a byte address to a line address. */
 constexpr LineAddr

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Compile-time bandwidth-unit safety.
+ *
+ * BEAR's entire evaluation is an accounting argument: every technique
+ * is judged by bytes moved per access across the traffic categories of
+ * paper Section 3.  A single bytes-vs-beats-vs-lines mix-up silently
+ * corrupts every reproduced figure, so the quantities are carried in
+ * zero-cost strong types and the compiler — not code review — enforces
+ * dimensional legality:
+ *
+ *   Bytes  — data volume on a bus or in a structure,
+ *   Beats  — bus clock edges a transfer occupies (one beat moves one
+ *            bus-width of data; a 72 B TAD on a 16 B bus is 5 beats),
+ *   Lines  — 64 B cache-line counts,
+ *   Cycles — CPU-cycle *durations* (the `Cycle` timestamp alias in
+ *            types.hh remains the point-in-time type).
+ *
+ * Only dimension-legal operators exist.  Same-dimension quantities
+ * add, subtract and compare; a quotient of two same-dimension
+ * quantities is a dimensionless count; `Beats * BeatWidth -> Bytes`
+ * crosses dimensions through the bus width.  `Bytes + Cycles` does not
+ * compile — see tests/test_units.cc for the negative proofs.
+ *
+ * Each wrapper is exactly the size of its underlying std::uint64_t and
+ * trivially copyable, so passing one is passing a register: the types
+ * vanish at -O1 and the hot path pays nothing for the safety.
+ */
+
+#ifndef BEAR_COMMON_UNITS_HH
+#define BEAR_COMMON_UNITS_HH
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <type_traits>
+
+namespace bear
+{
+
+namespace units_detail
+{
+
+/**
+ * A dimensioned 64-bit counter.  @p Tag makes each instantiation a
+ * distinct type with no implicit conversion to, from, or between
+ * dimensions; all arithmetic that could change the dimension is
+ * deliberately absent from this template.
+ */
+template <typename Tag>
+class Quantity
+{
+  public:
+    using rep = std::uint64_t;
+
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(rep value) : value_(value) {}
+
+    /** The raw count, shed explicitly at the arithmetic boundary. */
+    constexpr rep count() const { return value_; }
+
+    /** Explicit widening for ratio/statistics math. */
+    constexpr double toDouble() const
+    {
+        return static_cast<double>(value_);
+    }
+
+    // Same-dimension accumulation and comparison.
+    constexpr Quantity &
+    operator+=(Quantity other)
+    {
+        value_ += other.value_;
+        return *this;
+    }
+
+    constexpr Quantity &
+    operator-=(Quantity other)
+    {
+        value_ -= other.value_;
+        return *this;
+    }
+
+    friend constexpr Quantity
+    operator+(Quantity a, Quantity b)
+    {
+        return Quantity{a.value_ + b.value_};
+    }
+
+    friend constexpr Quantity
+    operator-(Quantity a, Quantity b)
+    {
+        return Quantity{a.value_ - b.value_};
+    }
+
+    friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+    // Scaling by a dimensionless count keeps the dimension.
+    template <typename Int>
+        requires std::is_integral_v<Int>
+    friend constexpr Quantity
+    operator*(Quantity q, Int n)
+    {
+        return Quantity{q.value_ * static_cast<rep>(n)};
+    }
+
+    template <typename Int>
+        requires std::is_integral_v<Int>
+    friend constexpr Quantity
+    operator*(Int n, Quantity q)
+    {
+        return q * n;
+    }
+
+    template <typename Int>
+        requires std::is_integral_v<Int>
+    friend constexpr Quantity
+    operator/(Quantity q, Int n)
+    {
+        return Quantity{q.value_ / static_cast<rep>(n)};
+    }
+
+    /** Ratio of same-dimension quantities is a dimensionless count. */
+    friend constexpr rep
+    operator/(Quantity a, Quantity b)
+    {
+        return a.value_ / b.value_;
+    }
+
+    friend constexpr Quantity
+    operator%(Quantity a, Quantity b)
+    {
+        return Quantity{a.value_ % b.value_};
+    }
+
+    friend std::ostream &
+    operator<<(std::ostream &os, Quantity q)
+    {
+        return os << q.value_;
+    }
+
+  private:
+    rep value_ = 0;
+};
+
+} // namespace units_detail
+
+/** Data volume in bytes. */
+using Bytes = units_detail::Quantity<struct BytesTag>;
+
+/** Bus occupancy in beats (one beat = one bus-width transfer). */
+using Beats = units_detail::Quantity<struct BeatsTag>;
+
+/** Cache-line counts (64 B granules). */
+using Lines = units_detail::Quantity<struct LinesTag>;
+
+/** CPU-cycle durations (timestamps stay `Cycle` in types.hh). */
+using Cycles = units_detail::Quantity<struct CyclesTag>;
+
+static_assert(sizeof(Bytes) == 8 && sizeof(Beats) == 8
+                  && sizeof(Lines) == 8 && sizeof(Cycles) == 8,
+              "unit wrappers must stay register-sized");
+static_assert(std::is_trivially_copyable_v<Bytes>
+                  && std::is_trivially_copyable_v<Beats>
+                  && std::is_trivially_copyable_v<Lines>
+                  && std::is_trivially_copyable_v<Cycles>,
+              "unit wrappers must stay zero-cost");
+
+/**
+ * Bytes moved per bus beat (the bus width).  Distinct from Bytes so a
+ * width cannot be accumulated into a traffic counter by accident; it
+ * exists to mediate the Beats <-> Bytes dimension crossing.
+ */
+class BeatWidth
+{
+  public:
+    constexpr BeatWidth() = default;
+    constexpr explicit BeatWidth(std::uint64_t per_beat)
+        : per_beat_(per_beat)
+    {
+    }
+
+    constexpr std::uint64_t count() const { return per_beat_; }
+
+    friend constexpr auto operator<=>(BeatWidth, BeatWidth) = default;
+
+    friend std::ostream &
+    operator<<(std::ostream &os, BeatWidth w)
+    {
+        return os << w.per_beat_;
+    }
+
+  private:
+    std::uint64_t per_beat_ = 0;
+};
+
+static_assert(sizeof(BeatWidth) == 8);
+
+/** beats x bytes/beat -> bytes (the bus-transfer volume). */
+constexpr Bytes
+operator*(Beats n, BeatWidth w)
+{
+    return Bytes{n.count() * w.count()};
+}
+
+constexpr Bytes
+operator*(BeatWidth w, Beats n)
+{
+    return n * w;
+}
+
+/** Beats needed to move @p volume on a @p width bus (rounds up). */
+constexpr Beats
+beatsToCover(Bytes volume, BeatWidth width)
+{
+    return Beats{(volume.count() + width.count() - 1) / width.count()};
+}
+
+/** One beat per cycle on a DDR data bus: bus time of a burst. */
+constexpr Cycles
+cyclesOf(Beats n)
+{
+    return Cycles{n.count()};
+}
+
+} // namespace bear
+
+#endif // BEAR_COMMON_UNITS_HH

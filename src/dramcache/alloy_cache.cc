@@ -8,7 +8,7 @@ namespace bear
 AlloyCache::AlloyCache(const AlloyConfig &config, DramSystem &dram,
                        DramSystem &memory, BloatTracker &bloat)
     : DramCache(dram, memory, bloat), config_(config),
-      sets_(config.capacityBytes / kLineSize),
+      sets_(Bytes{config.capacityBytes} / kLineSize),
       layout_(sets_, dram.geometry()), tads_(sets_),
       fill_rng_(config.seed)
 {
@@ -355,7 +355,7 @@ AlloyCache::isDirty(LineAddr line) const
     return tad.valid && tad.tag == tagOf(line) && tad.dirty;
 }
 
-std::uint64_t
+Bytes
 AlloyCache::sramOverheadBytes() const
 {
     std::uint64_t bits = 0;
@@ -363,14 +363,14 @@ AlloyCache::sramOverheadBytes() const
         bits += mapi_->storageBits();
     if (bab_)
         bits += bab_->storageBits();
-    std::uint64_t bytes = (bits + 7) / 8;
+    Bytes total{(bits + 7) / 8};
     if (ntc_)
-        bytes += ntc_->storageBytes();
+        total += ntc_->storageBytes();
     if (ttc_) {
         // ~6 bytes per entry: set index + tag + valid/dirty bits.
-        bytes += static_cast<std::uint64_t>(config_.ttcEntries) * 6;
+        total += Bytes{static_cast<std::uint64_t>(config_.ttcEntries) * 6};
     }
-    return bytes;
+    return total;
 }
 
 void

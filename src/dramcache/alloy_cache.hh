@@ -94,7 +94,7 @@ class AlloyCache : public DramCache
                               CoreId core) override;
     void writeback(Cycle at, LineAddr line, bool dcp) override;
     std::string name() const override { return config_.name; }
-    std::uint64_t sramOverheadBytes() const override;
+    Bytes sramOverheadBytes() const override;
     void resetStats() override;
 
     /** Functional probe: is @p line resident? (tests/checker) */

@@ -31,10 +31,10 @@ bloatCategoryName(BloatCategory c)
     bear_panic("bad bloat category");
 }
 
-std::uint64_t
+Bytes
 BloatTracker::totalBytes() const
 {
-    std::uint64_t total = 0;
+    Bytes total{0};
     for (auto b : bytes_)
         total += b;
     return total;
@@ -43,26 +43,24 @@ BloatTracker::totalBytes() const
 double
 BloatTracker::bloatFactor() const
 {
-    if (useful_bytes_ == 0)
+    if (useful_bytes_ == Bytes{0})
         return 0.0;
-    return static_cast<double>(totalBytes())
-        / static_cast<double>(useful_bytes_);
+    return totalBytes().toDouble() / useful_bytes_.toDouble();
 }
 
 double
 BloatTracker::categoryFactor(BloatCategory category) const
 {
-    if (useful_bytes_ == 0)
+    if (useful_bytes_ == Bytes{0})
         return 0.0;
-    return static_cast<double>(bytes(category))
-        / static_cast<double>(useful_bytes_);
+    return bytes(category).toDouble() / useful_bytes_.toDouble();
 }
 
 void
 BloatTracker::reset()
 {
-    bytes_.fill(0);
-    useful_bytes_ = 0;
+    bytes_.fill(Bytes{0});
+    useful_bytes_ = Bytes{0};
 }
 
 std::string
@@ -71,7 +69,7 @@ BloatTracker::render() const
     std::ostringstream os;
     for (std::size_t i = 0; i < kCategories; ++i) {
         const auto c = static_cast<BloatCategory>(i);
-        if (bytes(c) == 0)
+        if (bytes(c) == Bytes{0})
             continue;
         os << bloatCategoryName(c) << ": " << categoryFactor(c) << "x ("
            << bytes(c) << " bytes)\n";

@@ -40,31 +40,34 @@ enum class BloatCategory : std::uint8_t
 /** Human-readable name of a category. */
 const char *bloatCategoryName(BloatCategory c);
 
-/** Byte counters per category plus the useful-byte denominator. */
+/** Byte counters per category plus the useful-byte denominator.
+ *  All quantities are strong-typed Bytes (common/units.hh): attributing
+ *  a beat or line count without an explicit conversion through the bus
+ *  width is a compile error, not a silent Figure 4 corruption. */
 class BloatTracker
 {
   public:
     static constexpr std::size_t kCategories =
         static_cast<std::size_t>(BloatCategory::NumCategories);
 
-    /** Attribute @p bytes of DRAM-cache bus traffic to @p category. */
+    /** Attribute @p volume of DRAM-cache bus traffic to @p category. */
     void
-    note(BloatCategory category, std::uint64_t bytes)
+    note(BloatCategory category, Bytes volume)
     {
-        bytes_[static_cast<std::size_t>(category)] += bytes;
+        bytes_[static_cast<std::size_t>(category)] += volume;
     }
 
     /** A demand line was delivered to the processor from the cache. */
     void noteUseful() { useful_bytes_ += kLineSize; }
 
-    std::uint64_t
+    Bytes
     bytes(BloatCategory category) const
     {
         return bytes_[static_cast<std::size_t>(category)];
     }
 
-    std::uint64_t totalBytes() const;
-    std::uint64_t usefulBytes() const { return useful_bytes_; }
+    Bytes totalBytes() const;
+    Bytes usefulBytes() const { return useful_bytes_; }
 
     /** Total bytes / useful bytes; 0 when nothing useful moved. */
     double bloatFactor() const;
@@ -78,8 +81,8 @@ class BloatTracker
     std::string render() const;
 
   private:
-    std::array<std::uint64_t, kCategories> bytes_{};
-    std::uint64_t useful_bytes_ = 0;
+    std::array<Bytes, kCategories> bytes_{};
+    Bytes useful_bytes_{0};
 };
 
 } // namespace bear

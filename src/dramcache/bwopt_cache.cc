@@ -7,7 +7,8 @@ namespace bear
 
 BwOptCache::BwOptCache(std::uint64_t capacity_bytes, DramSystem &dram,
                        DramSystem &memory, BloatTracker &bloat)
-    : DramCache(dram, memory, bloat), sets_(capacity_bytes / kLineSize),
+    : DramCache(dram, memory, bloat),
+      sets_(Bytes{capacity_bytes} / kLineSize),
       layout_(sets_, dram.geometry()), tads_(sets_)
 {
     bear_assert(sets_ > 0, "BW-Opt cache needs capacity");

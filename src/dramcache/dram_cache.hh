@@ -79,8 +79,8 @@ class DramCache
      */
     virtual bool holdsDirty(LineAddr) const { return false; }
 
-    /** Bytes of on-chip SRAM the design requires (Table 5 / Section 8). */
-    virtual std::uint64_t sramOverheadBytes() const { return 0; }
+    /** On-chip SRAM the design requires (Table 5 / Section 8). */
+    virtual Bytes sramOverheadBytes() const { return Bytes{0}; }
 
     void setEvictionListener(EvictionListener listener)
     {

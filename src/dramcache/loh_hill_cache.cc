@@ -10,7 +10,7 @@ LohHillCache::LohHillCache(const LohHillConfig &config, DramSystem &dram,
     : DramCache(dram, memory, bloat), config_(config)
 {
     // One 2 KB row per set: 3 tag lines + 29 data lines.
-    sets_ = config.capacityBytes / dram.geometry().rowBytes;
+    sets_ = Bytes{config.capacityBytes} / dram.geometry().rowBytes;
     bear_assert(sets_ > 0, "Loh-Hill cache needs capacity");
     ways_.resize(sets_ * kWays);
     lru_.resize(sets_ * kWays, 0);

@@ -52,7 +52,7 @@ class LohHillCache : public DramCache
 {
   public:
     static constexpr std::uint32_t kWays = 29;
-    static constexpr std::uint32_t kTagBytes = 192; ///< 3 tag lines
+    static constexpr Bytes kTagBytes = bytesOfLines(Lines{3});
 
     LohHillCache(const LohHillConfig &config, DramSystem &dram,
                  DramSystem &memory, BloatTracker &bloat);

@@ -77,10 +77,10 @@ class NeighboringTagCache
     void noteProbeAvoided() { ++probes_avoided_; }
 
     /** SRAM cost: 44 bytes per bank (paper Table 5). */
-    std::uint64_t
+    Bytes
     storageBytes() const
     {
-        return static_cast<std::uint64_t>(banks_) * 44;
+        return Bytes{static_cast<std::uint64_t>(banks_) * 44};
     }
 
     void

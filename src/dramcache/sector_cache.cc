@@ -16,7 +16,7 @@ SectorCache::SectorCache(const SectorCacheConfig &config,
                          DramSystem &dram, DramSystem &memory,
                          BloatTracker &bloat)
     : DramCache(dram, memory, bloat), config_(config),
-      sets_(config.capacityBytes / kSectorBytes / kWays)
+      sets_(Bytes{config.capacityBytes} / kSectorBytes / kWays)
 {
     bear_assert(sets_ > 0, "sector cache needs capacity");
     sectors_.resize(sets_ * kWays);
@@ -232,12 +232,12 @@ SectorCache::prefetchFootprint(Cycle at, std::uint64_t sector,
     }
 }
 
-std::uint64_t
+Bytes
 SectorCache::sramOverheadBytes() const
 {
     // Per sector: ~4 B tag + 64 valid + 64 dirty bits = 20 B; the paper
     // quotes 6 MB for 256K sectors of a 1 GB cache.
-    return sets_ * kWays * (4 + 2 * kBlocksPerSector / 8);
+    return Bytes{sets_ * kWays * (4 + 2 * kBlocksPerSector / 8)};
 }
 
 void

@@ -50,9 +50,9 @@ class SectorCache : public DramCache
 {
   public:
     static constexpr std::uint32_t kWays = 32;
-    static constexpr std::uint64_t kSectorBytes = 4096;
+    static constexpr Bytes kSectorBytes{4096};
     static constexpr std::uint32_t kBlocksPerSector =
-        kSectorBytes / kLineSize; // 64
+        static_cast<std::uint32_t>(kSectorBytes / kLineSize); // 64
 
     SectorCache(std::uint64_t capacity_bytes, DramSystem &dram,
                 DramSystem &memory, BloatTracker &bloat);
@@ -64,7 +64,7 @@ class SectorCache : public DramCache
                               CoreId core) override;
     void writeback(Cycle at, LineAddr line, bool dcp) override;
     std::string name() const override { return config_.name; }
-    std::uint64_t sramOverheadBytes() const override;
+    Bytes sramOverheadBytes() const override;
     void resetStats() override;
 
     bool contains(LineAddr line) const;

@@ -8,7 +8,7 @@ namespace bear
 TisCache::TisCache(std::uint64_t capacity_bytes, DramSystem &dram,
                    DramSystem &memory, BloatTracker &bloat)
     : DramCache(dram, memory, bloat),
-      sets_(capacity_bytes / kLineSize / kWays)
+      sets_(Bytes{capacity_bytes} / kLineSize / kWays)
 {
     bear_assert(sets_ > 0, "TIS cache needs capacity");
     ways_.resize(sets_ * kWays);
@@ -149,10 +149,10 @@ TisCache::holdsDirty(LineAddr line) const
     return way != kWays && ways_[set * kWays + way].dirty;
 }
 
-std::uint64_t
+Bytes
 TisCache::sramOverheadBytes() const
 {
-    return sets_ * kWays * kTagBytesPerLine;
+    return Bytes{sets_ * kWays * kTagBytesPerLine};
 }
 
 void

@@ -39,7 +39,7 @@ class TisCache : public DramCache
                               CoreId core) override;
     void writeback(Cycle at, LineAddr line, bool dcp) override;
     std::string name() const override { return "TIS"; }
-    std::uint64_t sramOverheadBytes() const override;
+    Bytes sramOverheadBytes() const override;
     void resetStats() override;
 
     bool contains(LineAddr line) const;

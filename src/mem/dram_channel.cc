@@ -66,22 +66,21 @@ DramChannel::DramChannel(const DramTiming &timing,
       banks_(geometry.banksPerChannel)
 {
     bear_assert(geometry.banksPerChannel > 0, "channel needs banks");
-    bear_assert(geometry.busBytesPerCycle > 0, "bus must move data");
+    bear_assert(geometry.busBeatWidth > BeatWidth{0}, "bus must move data");
     write_queue_.reserve(wq.drainHigh + 1);
 }
 
 Cycle
-DramChannel::burstCycles(std::uint32_t bytes) const
+DramChannel::burstCycles(Bytes volume) const
 {
     // Round up to whole bus beats; e.g. a 72-byte TAD on a 16 B/cycle
     // bus occupies 5 cycles (80 bytes of bus time, paper Figure 10).
-    return (bytes + geometry_.busBytesPerCycle - 1)
-        / geometry_.busBytesPerCycle;
+    return cyclesOf(beatsToCover(volume, geometry_.busBeatWidth)).count();
 }
 
 DramResult
 DramChannel::service(Cycle at, std::uint32_t bank_idx, std::uint64_t row,
-                     std::uint32_t bytes, bool account_bytes)
+                     Bytes volume, bool account_bytes)
 {
     bear_assert(bank_idx < banks_.size(), "bank ", bank_idx, " out of range");
     Bank &bank = banks_[bank_idx];
@@ -108,7 +107,7 @@ DramChannel::service(Cycle at, std::uint32_t bank_idx, std::uint64_t row,
         bank.rowOpen = true;
     }
 
-    const Cycle burst = burstCycles(bytes);
+    const Cycle burst = burstCycles(volume);
     const Cycle data_start = bus_.reserve(start + array_latency, burst);
     const Cycle data_end = data_start + burst;
 
@@ -119,7 +118,7 @@ DramChannel::service(Cycle at, std::uint32_t bank_idx, std::uint64_t row,
     bank.ready = row_hit ? data_start : data_end;
 
     if (account_bytes)
-        bytes_transferred_ += bytes;
+        bytes_transferred_ += volume;
     bus_busy_cycles_ += burst;
     if (row_hit)
         ++row_hits_;
@@ -134,7 +133,7 @@ DramChannel::service(Cycle at, std::uint32_t bank_idx, std::uint64_t row,
 
 DramResult
 DramChannel::read(Cycle at, std::uint32_t bank, std::uint64_t row,
-                  std::uint32_t bytes)
+                  Bytes volume)
 {
     // Writes are posted with the timestamp of the operation that
     // produced them, which can lie in this read's future (a fill
@@ -145,7 +144,7 @@ DramChannel::read(Cycle at, std::uint32_t bank, std::uint64_t row,
     if (arrivedWrites(at) >= wq_policy_.drainHigh)
         drainWrites(at, wq_policy_.drainLow);
     ++reads_;
-    const DramResult result = service(at, bank, row, bytes);
+    const DramResult result = service(at, bank, row, volume);
     read_queue_delay_.sample(static_cast<double>(result.queueDelay));
     read_latency_.sample(static_cast<double>(result.dataReady - at));
     return result;
@@ -166,16 +165,16 @@ DramChannel::arrivedWrites(Cycle at) const
 
 void
 DramChannel::write(Cycle at, std::uint32_t bank, std::uint64_t row,
-                   std::uint32_t bytes)
+                   Bytes volume)
 {
     ++writes_;
     // Posted writes are accounted when they enter the queue so that
     // byte counters line up with the bloat tracker's post-time view
     // (the data burst itself happens at drain time).
-    bytes_transferred_ += bytes;
+    bytes_transferred_ += volume;
     // Keep the queue sorted by arrival (writes are posted nearly in
     // order; the insertion scan is short).
-    PendingWrite w{at, bank, row, bytes};
+    PendingWrite w{at, bank, row, volume};
     auto it = write_queue_.end();
     while (it != write_queue_.begin() && (it - 1)->arrival > at)
         --it;
@@ -194,7 +193,7 @@ DramChannel::drainWrites(Cycle at, std::uint32_t target)
     while (arrivedWrites(at) > target) {
         const PendingWrite w = write_queue_.front();
         write_queue_.erase(write_queue_.begin());
-        service(std::max(at, w.arrival), w.bank, w.row, w.bytes,
+        service(std::max(at, w.arrival), w.bank, w.row, w.volume,
                 /*account_bytes=*/false);
     }
 }
@@ -202,7 +201,7 @@ DramChannel::drainWrites(Cycle at, std::uint32_t target)
 void
 DramChannel::resetStats()
 {
-    bytes_transferred_ = 0;
+    bytes_transferred_ = Bytes{0};
     read_queue_delay_.reset();
     read_latency_.reset();
     reads_ = 0;

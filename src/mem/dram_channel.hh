@@ -86,19 +86,19 @@ class DramChannel
                 const WriteQueuePolicy &wq);
 
     /**
-     * Timed read of @p bytes from (@p bank, @p row) arriving at @p at.
+     * Timed read of @p volume from (@p bank, @p row) arriving at @p at.
      * May first trigger a write-queue drain if the queue is full.
      */
     DramResult read(Cycle at, std::uint32_t bank, std::uint64_t row,
-                    std::uint32_t bytes);
+                    Bytes volume);
 
     /**
-     * Enqueue a write of @p bytes to (@p bank, @p row).  Writes are
+     * Enqueue a write of @p volume to (@p bank, @p row).  Writes are
      * posted: the caller never waits for them, but they consume bus and
      * bank time when the queue drains.
      */
     void write(Cycle at, std::uint32_t bank, std::uint64_t row,
-               std::uint32_t bytes);
+               Bytes volume);
 
     /** Drain arrived writes down to @p target entries, starting at @p at. */
     void drainWrites(Cycle at, std::uint32_t target);
@@ -116,7 +116,7 @@ class DramChannel
         drainWrites(horizon, 0);
     }
 
-    std::uint64_t bytesTransferred() const { return bytes_transferred_; }
+    Bytes bytesTransferred() const { return bytes_transferred_; }
     double avgReadQueueDelay() const { return read_queue_delay_.mean(); }
     double avgReadLatency() const { return read_latency_.mean(); }
     std::uint64_t readCount() const { return reads_; }
@@ -142,15 +142,16 @@ class DramChannel
         Cycle arrival;
         std::uint32_t bank;
         std::uint64_t row;
-        std::uint32_t bytes;
+        Bytes volume;
     };
 
     /** Shared service path for reads and drained writes; drained
      *  writes were byte-accounted at post time. */
     DramResult service(Cycle at, std::uint32_t bank_idx, std::uint64_t row,
-                       std::uint32_t bytes, bool account_bytes = true);
+                       Bytes volume, bool account_bytes = true);
 
-    Cycle burstCycles(std::uint32_t bytes) const;
+    /** Bus time of a burst moving @p volume (whole beats, rounded up). */
+    Cycle burstCycles(Bytes volume) const;
 
     DramTiming timing_;
     DramGeometry geometry_;
@@ -160,7 +161,7 @@ class DramChannel
     BusTimeline bus_;
     std::vector<PendingWrite> write_queue_;
 
-    std::uint64_t bytes_transferred_ = 0;
+    Bytes bytes_transferred_{0};
     Average read_queue_delay_;
     Average read_latency_;
     std::uint64_t reads_ = 0;

@@ -39,16 +39,18 @@ struct DramGeometry
 {
     std::uint32_t channels = 4;
     std::uint32_t banksPerChannel = 16;
-    std::uint32_t busBytesPerCycle = 16; ///< data bytes per CPU cycle
-    std::uint64_t rowBytes = 2048;       ///< row-buffer size
+    /** Bus width: one beat (= one CPU cycle here) moves this much. */
+    BeatWidth busBeatWidth{16};
+    Bytes rowBytes{2048}; ///< row-buffer size
 
     std::uint32_t totalBanks() const { return channels * banksPerChannel; }
 
-    /** Peak bandwidth in bytes per CPU cycle across all channels. */
-    std::uint64_t
+    /** Peak bandwidth across all channels: every channel moves one
+     *  beat per CPU cycle. */
+    Bytes
     peakBytesPerCycle() const
     {
-        return static_cast<std::uint64_t>(channels) * busBytesPerCycle;
+        return Beats{channels} * busBeatWidth;
     }
 };
 
@@ -72,9 +74,9 @@ makeCacheGeometry(std::uint32_t bandwidth_ratio, std::uint32_t total_banks)
     // The ratio is varied by scaling the channel count (paper Sec 7.3).
     DramGeometry g;
     g.channels = bandwidth_ratio / 2;
-    g.busBytesPerCycle = 16;
+    g.busBeatWidth = kCacheBeatWidth;
     g.banksPerChannel = total_banks / g.channels;
-    g.rowBytes = 2048;
+    g.rowBytes = Bytes{2048};
     return g;
 }
 
@@ -84,8 +86,8 @@ makeMemoryGeometry()
     DramGeometry g;
     g.channels = 2;
     g.banksPerChannel = 8;
-    g.busBytesPerCycle = 4;
-    g.rowBytes = 2048;
+    g.busBeatWidth = BeatWidth{4};
+    g.rowBytes = Bytes{2048};
     return g;
 }
 

@@ -9,7 +9,7 @@ DramSystem::DramSystem(std::string name, const DramTiming &timing,
                        const DramGeometry &geometry,
                        const WriteQueuePolicy &wq)
     : name_(std::move(name)), geometry_(geometry),
-      linesPerRow_(geometry.rowBytes / kLineSize)
+      linesPerRow_(Lines{geometry.rowBytes / kLineSize})
 {
     bear_assert(geometry.channels > 0, name_, ": need at least one channel");
     channels_.reserve(geometry.channels);
@@ -29,30 +29,31 @@ DramSystem::mapLine(LineAddr line) const
     coord.bank =
         static_cast<std::uint32_t>(rest % geometry_.banksPerChannel);
     rest /= geometry_.banksPerChannel;
-    coord.row = rest / linesPerRow_;
+    coord.row = rest / linesPerRow_.count();
     return coord;
 }
 
 DramResult
-DramSystem::read(Cycle at, const DramCoord &coord, std::uint32_t bytes)
+DramSystem::read(Cycle at, const DramCoord &coord, Bytes volume)
 {
     bear_assert(coord.channel < channels_.size(), name_,
                 ": channel out of range");
-    return channels_[coord.channel].read(at, coord.bank, coord.row, bytes);
+    return channels_[coord.channel].read(at, coord.bank, coord.row,
+                                         volume);
 }
 
 void
-DramSystem::write(Cycle at, const DramCoord &coord, std::uint32_t bytes)
+DramSystem::write(Cycle at, const DramCoord &coord, Bytes volume)
 {
     bear_assert(coord.channel < channels_.size(), name_,
                 ": channel out of range");
-    channels_[coord.channel].write(at, coord.bank, coord.row, bytes);
+    channels_[coord.channel].write(at, coord.bank, coord.row, volume);
 }
 
-std::uint64_t
+Bytes
 DramSystem::totalBytesTransferred() const
 {
-    std::uint64_t total = 0;
+    Bytes total{0};
     for (const auto &c : channels_)
         total += c.bytesTransferred();
     return total;

@@ -48,10 +48,10 @@ class DramSystem
     DramCoord mapLine(LineAddr line) const;
 
     /** Timed read at explicit coordinates. */
-    DramResult read(Cycle at, const DramCoord &coord, std::uint32_t bytes);
+    DramResult read(Cycle at, const DramCoord &coord, Bytes volume);
 
     /** Posted write at explicit coordinates. */
-    void write(Cycle at, const DramCoord &coord, std::uint32_t bytes);
+    void write(Cycle at, const DramCoord &coord, Bytes volume);
 
     /** Timed read of a physical line address (64 bytes). */
     DramResult
@@ -83,7 +83,7 @@ class DramSystem
     const DramGeometry &geometry() const { return geometry_; }
     const std::string &name() const { return name_; }
 
-    std::uint64_t totalBytesTransferred() const;
+    Bytes totalBytesTransferred() const;
     std::uint64_t totalRowHits() const;
     std::uint64_t totalReads() const;
     std::uint64_t totalWrites() const;
@@ -122,7 +122,7 @@ class DramSystem
     std::string name_;
     DramGeometry geometry_;
     std::vector<DramChannel> channels_;
-    std::uint64_t linesPerRow_;
+    Lines linesPerRow_;
     std::function<void(LineAddr)> line_write_hook_;
 };
 

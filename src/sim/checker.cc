@@ -24,11 +24,44 @@ DirtyDataChecker::verify(LineAddr line) const
     }
 }
 
+void
+DirtyDataChecker::attachBandwidthAudit(const BloatTracker &bloat,
+                                       const DramSystem &cache_dram)
+{
+    bloat_ = &bloat;
+    cache_dram_ = &cache_dram;
+}
+
+void
+DirtyDataChecker::snapshotBandwidth()
+{
+    if (!bloat_)
+        return;
+    noted_before_ = bloat_->totalBytes();
+    moved_before_ = cache_dram_->totalBytesTransferred();
+}
+
+void
+DirtyDataChecker::verifyBandwidth(const char *op, LineAddr line) const
+{
+    if (!bloat_)
+        return;
+    const Bytes noted = bloat_->totalBytes() - noted_before_;
+    const Bytes moved =
+        cache_dram_->totalBytesTransferred() - moved_before_;
+    bear_assert(noted == moved, design_.name(), ": ", op, " of line ",
+                line, " noted ", noted.count(),
+                " bloat bytes but moved ", moved.count(),
+                " bytes on the DRAM-cache bus");
+}
+
 DramCacheReadOutcome
 DirtyDataChecker::read(Cycle at, LineAddr line, Pc pc, CoreId core)
 {
+    snapshotBandwidth();
     const DramCacheReadOutcome outcome = design_.read(at, line, pc, core);
     verify(line);
+    verifyBandwidth("read", line);
     return outcome;
 }
 
@@ -39,9 +72,11 @@ DirtyDataChecker::writeback(Cycle at, LineAddr line, bool dcp)
     // design forwards it to main memory instead, the write hook clears
     // the mark during the call.  A design that does neither is caught
     // by the verify below.
+    snapshotBandwidth();
     cache_dirty_.insert(line);
     design_.writeback(at, line, dcp);
     verify(line);
+    verifyBandwidth("writeback", line);
 }
 
 void

@@ -47,14 +47,37 @@ class DirtyDataChecker
     /** Lines whose newest copy currently lives only in the cache. */
     std::size_t dirtyTracked() const { return cache_dirty_.size(); }
 
+    /**
+     * Also audit bandwidth conservation: every access must grow the
+     * bloat ledger by exactly the bytes that crossed the DRAM-cache
+     * bus.  A design that moves bytes it does not note (or notes bytes
+     * it does not move) breaks every bloat-factor result in the paper.
+     *
+     * @param bloat      the ledger the design notes traffic into
+     * @param cache_dram the DRAM array whose bus the design uses
+     */
+    void attachBandwidthAudit(const BloatTracker &bloat,
+                              const DramSystem &cache_dram);
+
     /** Verify the invariant for every tracked line (end of test). */
     void verifyAll() const;
 
   private:
     void verify(LineAddr line) const;
 
+    /** Snapshot ledger and bus counters before a design call. */
+    void snapshotBandwidth();
+
+    /** Assert the deltas match after a design call. */
+    void verifyBandwidth(const char *op, LineAddr line) const;
+
     DramCache &design_;
     std::unordered_set<LineAddr> cache_dirty_;
+
+    const BloatTracker *bloat_ = nullptr;
+    const DramSystem *cache_dram_ = nullptr;
+    Bytes noted_before_{0};
+    Bytes moved_before_{0};
 };
 
 } // namespace bear

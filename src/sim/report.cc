@@ -25,13 +25,17 @@ writeStats(JsonWriter &json, const SystemStats &stats)
     json.field("l4AvgLatency", stats.l4AvgLatency);
     json.field("bloatFactor", stats.bloatFactor);
     json.field("measuredMpki", stats.measuredMpki);
-    json.field("sramOverheadBytes", stats.sramOverheadBytes);
+    json.field("sramOverheadBytes", stats.sramOverheadBytes.count());
+    json.field("l4BytesTransferred", stats.l4BytesTransferred.count());
+    json.field("memBytesTransferred", stats.memBytesTransferred.count());
     json.beginArray("bloatBreakdown");
     for (std::size_t c = 0; c < stats.bloatBreakdown.size(); ++c) {
         json.beginObject();
         json.field("category",
                    bloatCategoryName(static_cast<BloatCategory>(c)));
         json.field("factor", stats.bloatBreakdown[c]);
+        if (c < stats.bloatBytes.size())
+            json.field("bytes", stats.bloatBytes[c].count());
         json.endObject();
     }
     json.endArray();

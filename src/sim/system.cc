@@ -17,13 +17,13 @@ namespace bear
 namespace
 {
 
-std::uint64_t
-scaleBytes(std::uint64_t bytes, double scale)
+Bytes
+scaleBytes(Bytes volume, double scale)
 {
     const auto scaled =
-        static_cast<std::uint64_t>(static_cast<double>(bytes) * scale);
+        static_cast<std::uint64_t>(volume.toDouble() * scale);
     // Keep a sane minimum so tiny test systems stay well-formed.
-    return std::max<std::uint64_t>(scaled, 64 * 1024);
+    return std::max(Bytes{scaled}, Bytes{64 * 1024});
 }
 
 } // namespace
@@ -45,13 +45,15 @@ System::System(const SystemConfig &config,
     HierarchyConfig hier;
     hier.modelL1L2 = config.modelL1L2;
     hier.cores = config.cores;
-    hier.l3.capacityBytes = scaleBytes(config.llcCapacityBytes,
-                                       config.scale);
+    hier.l3.capacityBytes = scaleBytes(Bytes{config.llcCapacityBytes},
+                                       config.scale)
+                                .count();
     hierarchy_ = std::make_unique<CacheHierarchy>(hier);
 
     DesignParams params;
-    params.capacityBytes = scaleBytes(config.cacheCapacityBytes,
-                                      config.scale);
+    params.capacityBytes = scaleBytes(Bytes{config.cacheCapacityBytes},
+                                      config.scale)
+                               .count();
     params.cores = config.cores;
     params.seed = config.seed;
     bool inclusive = config.design == DesignKind::InclusiveAlloy;
@@ -198,7 +200,11 @@ System::stats() const
     for (std::size_t i = 0; i < BloatTracker::kCategories; ++i) {
         s.bloatBreakdown.push_back(
             bloat_.categoryFactor(static_cast<BloatCategory>(i)));
+        s.bloatBytes.push_back(
+            bloat_.bytes(static_cast<BloatCategory>(i)));
     }
+    s.l4BytesTransferred = cache_dram_->totalBytesTransferred();
+    s.memBytesTransferred = main_memory_->totalBytesTransferred();
     s.measuredMpki = instructions
         ? 1000.0 * static_cast<double>(llc_misses_)
             / static_cast<double>(instructions)

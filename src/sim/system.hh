@@ -78,8 +78,11 @@ struct SystemStats
     double l4AvgLatency = 0.0;
     double bloatFactor = 0.0;
     std::vector<double> bloatBreakdown; ///< per BloatCategory
+    std::vector<Bytes> bloatBytes;      ///< per BloatCategory, absolute
     double measuredMpki = 0.0;          ///< L3 misses per kilo-instr
-    std::uint64_t sramOverheadBytes = 0;
+    Bytes sramOverheadBytes{0};
+    Bytes l4BytesTransferred{0};  ///< DRAM-cache bus traffic (measured)
+    Bytes memBytesTransferred{0}; ///< main-memory bus traffic (measured)
 };
 
 /** A configured, runnable system instance. */

@@ -11,10 +11,10 @@ namespace
 {
 
 std::uint64_t
-scaledLines(std::uint64_t bytes, double scale)
+scaledLines(Bytes volume, double scale)
 {
     const double lines =
-        static_cast<double>(bytes) * scale / static_cast<double>(kLineSize);
+        volume.toDouble() * scale / kLineSize.toDouble();
     return lines < 64.0 ? 64 : static_cast<std::uint64_t>(lines);
 }
 
@@ -38,15 +38,15 @@ WorkloadStream::WorkloadStream(const WorkloadProfile &profile,
     // and warm regions alias the beginning of the footprint (reuse of
     // the same data), the cold region covers everything.
     cold_.baseLine = 0;
-    cold_.sizeLines = scaledLines(profile.footprintBytes, scale);
+    cold_.sizeLines = scaledLines(Bytes{profile.footprintBytes}, scale);
     cold_.streaming = profile.coldStreams;
 
     hot_.baseLine = 0;
-    hot_.sizeLines = scaledLines(profile.hotBytes, scale);
+    hot_.sizeLines = scaledLines(Bytes{profile.hotBytes}, scale);
     hot_.streaming = false;
 
     warm_.baseLine = hot_.sizeLines;
-    warm_.sizeLines = scaledLines(profile.warmBytes, scale);
+    warm_.sizeLines = scaledLines(Bytes{profile.warmBytes}, scale);
     warm_.streaming = false;
 
     // Regions must nest inside the footprint.

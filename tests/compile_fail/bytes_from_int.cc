@@ -1,0 +1,16 @@
+// Must NOT compile: a raw integer is not a byte count until the caller
+// says so explicitly — implicit conversion would let an unconverted
+// beat count sneak into the bloat ledger.
+#include "common/units.hh"
+
+bear::Bytes
+leak()
+{
+    return 80; // needs Bytes{80}
+}
+
+int
+main()
+{
+    return static_cast<int>(leak().count());
+}

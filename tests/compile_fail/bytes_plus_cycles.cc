@@ -1,0 +1,13 @@
+// Must NOT compile: adding a data volume to a time duration is
+// dimensionally meaningless.  tests/CMakeLists.txt try_compiles this
+// file at configure time and fails the build if it ever succeeds.
+#include "common/units.hh"
+
+int
+main()
+{
+    bear::Bytes volume{64};
+    bear::Cycles delay{10};
+    auto nonsense = volume + delay;
+    return static_cast<int>(nonsense.count());
+}

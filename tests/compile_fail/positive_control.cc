@@ -1,0 +1,11 @@
+// MUST compile: proves the try_compile harness itself (include path,
+// language standard) is sound, so a failure of the negative cases can
+// only mean the illegal expression was rejected.
+#include "common/units.hh"
+
+int
+main()
+{
+    const bear::Bytes total = bear::Bytes{64} + bear::Bytes{16};
+    return static_cast<int>(total.count() - 80);
+}

@@ -44,7 +44,7 @@ TEST(Alloy, MissAccountsProbeAndFill)
     cache.read(0, 100, 0x400000, 0);
     EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), kTadTransfer);
     EXPECT_EQ(h.bloat.bytes(BloatCategory::MissFill), kTadTransfer);
-    EXPECT_EQ(h.bloat.usefulBytes(), 0u);
+    EXPECT_EQ(h.bloat.usefulBytes(), Bytes{0});
 }
 
 TEST(Alloy, HitMovesEightyBytesFor64Useful)
@@ -109,7 +109,7 @@ TEST(Alloy, WritebackMissForwardsToMemoryNoAllocate)
     cache.writeback(0, 555, false);
     EXPECT_EQ(mem_write, 555u);
     EXPECT_FALSE(cache.contains(555)); // no-allocate (Section 3.1)
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackFill), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackFill), Bytes{0});
     EXPECT_EQ(cache.writebackMisses(), 1u);
 }
 
@@ -148,7 +148,7 @@ TEST(Alloy, BypassedLineIsNotPresent)
     const auto outcome = cache.read(0, 100, 0x400000, 0);
     EXPECT_FALSE(outcome.presentAfter);
     EXPECT_FALSE(cache.contains(100));
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissFill), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissFill), Bytes{0});
 }
 
 TEST(AlloyDcp, PresenceBitSkipsWritebackProbe)
@@ -160,7 +160,7 @@ TEST(AlloyDcp, PresenceBitSkipsWritebackProbe)
     cache.read(0, 100, 0x400000, 0);
     h.bloat.reset();
     cache.writeback(2000, 100, /*dcp=*/true);
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), Bytes{0});
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate),
               kTadTransfer);
     EXPECT_EQ(cache.wbProbesAvoided(), 1u);
@@ -177,7 +177,7 @@ TEST(AlloyDcp, AbsenceBitGoesStraightToMemory)
     h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
     cache.writeback(0, 777, /*dcp=*/false);
     EXPECT_EQ(mem_write, 777u);
-    EXPECT_EQ(h.bloat.totalBytes(), 0u); // zero DRAM-cache traffic
+    EXPECT_EQ(h.bloat.totalBytes(), Bytes{0}); // zero DRAM-cache traffic
     EXPECT_EQ(cache.wbProbesAvoided(), 1u);
 }
 
@@ -208,7 +208,7 @@ TEST(AlloyNtc, NeighborTagAvoidsMissProbe)
     // Set 101 is empty: the NTC guarantees a miss, no probe needed.
     const auto outcome = cache.read(1000, 101, 0x400000, 0);
     EXPECT_FALSE(outcome.hit);
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), Bytes{0});
     EXPECT_EQ(cache.missProbesAvoided(), 1u);
 }
 
@@ -277,7 +277,7 @@ TEST(AlloyInclusive, WritebackSkipsProbe)
     cache.read(0, 100, 0x400000, 0);
     h.bloat.reset();
     cache.writeback(1000, 100, false);
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), Bytes{0});
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate),
               kTadTransfer);
 }
@@ -318,8 +318,8 @@ TEST(Alloy, SramOverheadIsTiny)
     config.fillPolicy = FillPolicy::BandwidthAware;
     AlloyCache cache(config, h.dram, h.memory, h.bloat);
     // Paper Table 5: a few kilobytes (DCP bits live in the L3).
-    EXPECT_LT(cache.sramOverheadBytes(), 8ULL << 10);
-    EXPECT_GT(cache.sramOverheadBytes(), 0u);
+    EXPECT_LT(cache.sramOverheadBytes(), Bytes{8ULL << 10});
+    EXPECT_GT(cache.sramOverheadBytes(), Bytes{0});
 }
 
 TEST(Alloy, ResetStatsKeepsContents)

@@ -9,8 +9,8 @@ using namespace bear;
 TEST(BloatTracker, StartsEmpty)
 {
     BloatTracker t;
-    EXPECT_EQ(t.totalBytes(), 0u);
-    EXPECT_EQ(t.usefulBytes(), 0u);
+    EXPECT_EQ(t.totalBytes(), Bytes{0});
+    EXPECT_EQ(t.usefulBytes(), Bytes{0});
     EXPECT_DOUBLE_EQ(t.bloatFactor(), 0.0);
 }
 
@@ -38,14 +38,14 @@ TEST(BloatTracker, BwOptIsExactlyOne)
 TEST(BloatTracker, CategoriesSumToTotal)
 {
     BloatTracker t;
-    t.note(BloatCategory::HitProbe, 80);
-    t.note(BloatCategory::MissProbe, 80);
-    t.note(BloatCategory::MissFill, 80);
-    t.note(BloatCategory::WritebackProbe, 80);
-    t.note(BloatCategory::WritebackUpdate, 80);
-    t.note(BloatCategory::WritebackFill, 64);
-    t.note(BloatCategory::DirtyEviction, 64);
-    EXPECT_EQ(t.totalBytes(), 80u * 5 + 64 * 2);
+    t.note(BloatCategory::HitProbe, kTadTransfer);
+    t.note(BloatCategory::MissProbe, kTadTransfer);
+    t.note(BloatCategory::MissFill, kTadTransfer);
+    t.note(BloatCategory::WritebackProbe, kTadTransfer);
+    t.note(BloatCategory::WritebackUpdate, kTadTransfer);
+    t.note(BloatCategory::WritebackFill, kLineSize);
+    t.note(BloatCategory::DirtyEviction, kLineSize);
+    EXPECT_EQ(t.totalBytes(), Bytes{80u * 5 + 64 * 2});
     t.noteUseful();
     double sum = 0.0;
     for (std::size_t i = 0; i < BloatTracker::kCategories; ++i)
@@ -56,17 +56,17 @@ TEST(BloatTracker, CategoriesSumToTotal)
 TEST(BloatTracker, ResetClears)
 {
     BloatTracker t;
-    t.note(BloatCategory::MissFill, 80);
+    t.note(BloatCategory::MissFill, kTadTransfer);
     t.noteUseful();
     t.reset();
-    EXPECT_EQ(t.totalBytes(), 0u);
-    EXPECT_EQ(t.usefulBytes(), 0u);
+    EXPECT_EQ(t.totalBytes(), Bytes{0});
+    EXPECT_EQ(t.usefulBytes(), Bytes{0});
 }
 
 TEST(BloatTracker, RenderMentionsNonzeroCategories)
 {
     BloatTracker t;
-    t.note(BloatCategory::MissProbe, 80);
+    t.note(BloatCategory::MissProbe, kTadTransfer);
     t.noteUseful();
     const std::string text = t.render();
     EXPECT_NE(text.find("MissProbe"), std::string::npos);

@@ -75,8 +75,8 @@ TEST(BloatEquations, AlloyBaseline)
                   * kTadTransfer);
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate),
               cache.writebackHits() * kTadTransfer);
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackFill), 0u);
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::DirtyEviction), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackFill), Bytes{0});
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::DirtyEviction), Bytes{0});
     EXPECT_EQ(h.bloat.usefulBytes(), cache.demandHits() * kLineSize);
 }
 
@@ -124,7 +124,7 @@ TEST(BloatEquations, AlloyWithDcp)
     }
 
     // DCP eliminates every Writeback Probe.
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), Bytes{0});
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate),
               cache.writebackHits() * kTadTransfer);
     EXPECT_EQ(cache.wbProbesAvoided(),
@@ -140,17 +140,17 @@ TEST(BloatEquations, LohHill)
 
     // Hit: 3 tag lines + data + LRU rewrite.
     EXPECT_EQ(h.bloat.bytes(BloatCategory::HitProbe),
-              cache.demandHits() * (192u + 64 + 64));
+              cache.demandHits() * (Bytes{192u + 64 + 64}));
     // MissMap: no Miss Probes ever.
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), Bytes{0});
     // Fill: data + tag line.
     EXPECT_EQ(h.bloat.bytes(BloatCategory::MissFill),
-              cache.demandMisses() * 128u);
+              cache.demandMisses() * Bytes{128});
     // Writebacks: tag probe always, data+tag update on hit.
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe),
-              (cache.writebackHits() + cache.writebackMisses()) * 192u);
+              (cache.writebackHits() + cache.writebackMisses()) * Bytes{192});
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate),
-              cache.writebackHits() * 128u);
+              cache.writebackHits() * Bytes{128});
 }
 
 TEST(BloatEquations, TagsInSram)
@@ -162,8 +162,8 @@ TEST(BloatEquations, TagsInSram)
     // Data-only transfers; presence always known on chip.
     EXPECT_EQ(h.bloat.bytes(BloatCategory::HitProbe),
               cache.demandHits() * kLineSize);
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), 0u);
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), Bytes{0});
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), Bytes{0});
     EXPECT_EQ(h.bloat.bytes(BloatCategory::MissFill),
               cache.demandMisses() * kLineSize);
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate),

@@ -15,11 +15,11 @@ smallConfig(bool full)
     HierarchyConfig config;
     config.modelL1L2 = full;
     config.cores = 2;
-    config.l1.capacityBytes = 4 * kLineSize;
+    config.l1.capacityBytes = (4 * kLineSize).count();
     config.l1.ways = 2;
-    config.l2.capacityBytes = 16 * kLineSize;
+    config.l2.capacityBytes = (16 * kLineSize).count();
     config.l2.ways = 4;
-    config.l3.capacityBytes = 64 * kLineSize;
+    config.l3.capacityBytes = (64 * kLineSize).count();
     config.l3.ways = 4;
     return config;
 }
@@ -41,7 +41,7 @@ TEST(CacheHierarchy, LlcModeMissesReachL4)
 TEST(CacheHierarchy, FillReturnsDirtyVictimAsWriteback)
 {
     HierarchyConfig config = smallConfig(false);
-    config.l3.capacityBytes = 2 * kLineSize;
+    config.l3.capacityBytes = (2 * kLineSize).count();
     config.l3.ways = 2; // one set
     CacheHierarchy h(config);
     h.fillLlc(10, true, true); // dirty, present in L4
@@ -55,7 +55,7 @@ TEST(CacheHierarchy, FillReturnsDirtyVictimAsWriteback)
 TEST(CacheHierarchy, CleanVictimGeneratesNoWriteback)
 {
     HierarchyConfig config = smallConfig(false);
-    config.l3.capacityBytes = 2 * kLineSize;
+    config.l3.capacityBytes = (2 * kLineSize).count();
     config.l3.ways = 2;
     CacheHierarchy h(config);
     h.fillLlc(10, false, false);

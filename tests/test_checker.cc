@@ -23,6 +23,7 @@ fuzzDesign(DesignKind kind, std::uint64_t seed, std::uint64_t refs)
     CacheHarness h;
     auto design = h.make(kind, 1ULL << 20, 2); // tiny: heavy conflicts
     DirtyDataChecker checker(*design, h.memory);
+    checker.attachBandwidthAudit(h.bloat, h.dram);
 
     // Writebacks must be for lines the "LLC" holds, and the DCP bit
     // must be maintained the way the hierarchy maintains it — model a
@@ -83,8 +84,8 @@ TEST_P(CheckerFuzz, NoDirtyDataLostSecondSeed)
 INSTANTIATE_TEST_SUITE_P(
     AllDesigns, CheckerFuzz,
     ::testing::ValuesIn(test::allCacheDesigns()),
-    [](const ::testing::TestParamInfo<DesignKind> &info) {
-        std::string name = designName(info.param);
+    [](const ::testing::TestParamInfo<DesignKind> &param_info) {
+        std::string name = designName(param_info.param);
         for (char &c : name)
             if (c == '-' || c == '+')
                 c = '_';
@@ -127,6 +128,46 @@ TEST(CheckerDeath, CatchesDroppedDirtyData)
     EXPECT_DEATH(checker.writeback(0, 42, false), "dirty data lost");
 }
 
+namespace
+{
+
+/** A deliberately broken cache that moves bytes it never notes. */
+class UnaccountedCache : public DramCache
+{
+  public:
+    using DramCache::DramCache;
+
+    DramCacheReadOutcome
+    read(Cycle at, LineAddr line, Pc, CoreId) override
+    {
+        // Bug: 80 bytes cross the DRAM-cache bus, the ledger sees none.
+        DramCacheReadOutcome o;
+        o.dataReady =
+            dram_.read(at, dram_.mapLine(line), kTadTransfer).dataReady;
+        return o;
+    }
+
+    void
+    writeback(Cycle at, LineAddr line, bool) override
+    {
+        memory_.writeLine(at, line);
+    }
+
+    std::string name() const override { return "Unaccounted"; }
+};
+
+} // namespace
+
+TEST(CheckerDeath, CatchesUnaccountedBusTraffic)
+{
+    CacheHarness h;
+    UnaccountedCache cache(h.dram, h.memory, h.bloat);
+    DirtyDataChecker checker(cache, h.memory);
+    checker.attachBandwidthAudit(h.bloat, h.dram);
+    EXPECT_DEATH(checker.read(0, 42, 0x400000, 0),
+                 "noted 0 bloat bytes but moved 80");
+}
+
 TEST(Checker, TracksAndReleasesDirtyLines)
 {
     CacheHarness h;
@@ -136,7 +177,7 @@ TEST(Checker, TracksAndReleasesDirtyLines)
     checker.writeback(1000, 42, false);
     EXPECT_EQ(checker.dirtyTracked(), 1u); // dirty copy in the cache
     // A conflicting fill pushes the victim to memory: tracker drains.
-    checker.read(2000, 42 + (1ULL << 20) / kLineSize, 0x400000, 0);
+    checker.read(2000, 42 + Bytes{1ULL << 20} / kLineSize, 0x400000, 0);
     EXPECT_EQ(checker.dirtyTracked(), 0u);
     checker.verifyAll();
 }

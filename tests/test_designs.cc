@@ -45,7 +45,7 @@ TEST(LohHill, HitMovesTagsDataAndLruUpdate)
     h.bloat.reset();
     cache.read(10000, 42, 0, 0);
     // 192 B tags + 64 B data + 64 B LRU write-back (footnote 3).
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::HitProbe), 192u + 64 + 64);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::HitProbe), Bytes{192 + 64 + 64});
     EXPECT_EQ(h.bloat.usefulBytes(), kLineSize);
 }
 
@@ -69,8 +69,8 @@ TEST(LohHill, NoMissProbeBandwidth)
     LohHillCache cache(makeLohHillConfig(8ULL << 20), h.dram, h.memory,
                        h.bloat);
     cache.read(0, 42, 0, 0); // cold miss
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), 0u);
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissFill), 128u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), Bytes{0});
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissFill), Bytes{128});
 }
 
 TEST(LohHill, WritebackProbesTags)
@@ -81,8 +81,8 @@ TEST(LohHill, WritebackProbesTags)
     cache.read(0, 42, 0, 0);
     h.bloat.reset();
     cache.writeback(10000, 42, false);
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), 192u);
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate), 128u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), Bytes{192});
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate), Bytes{128});
     EXPECT_TRUE(cache.holdsDirty(42));
 }
 
@@ -102,7 +102,7 @@ TEST(LohHill, DirtyEvictionReadsVictim)
         t += 1000;
     }
     EXPECT_EQ(mem_write, 42u);
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::DirtyEviction), 64u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::DirtyEviction), Bytes{64});
 }
 
 // ------------------------------------------------------------------ TIS
@@ -126,8 +126,8 @@ TEST(Tis, NoProbesAtAll)
     cache.read(0, 42, 0, 0);       // miss
     cache.writeback(1000, 42, false); // wb hit
     cache.writeback(2000, 777, false); // wb miss
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), 0u);
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), Bytes{0});
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), Bytes{0});
 }
 
 TEST(Tis, DirtyEvictionPaysARead)
@@ -168,7 +168,7 @@ TEST(Tis, SramOverheadIs4BytesPerLine)
 {
     CacheHarness h;
     TisCache cache(8ULL << 20, h.dram, h.memory, h.bloat);
-    EXPECT_EQ(cache.sramOverheadBytes(), (8ULL << 20) / kLineSize * 4);
+    EXPECT_EQ(cache.sramOverheadBytes(), Bytes{Bytes{8ULL << 20} / kLineSize * 4});
 }
 
 // ------------------------------------------------------------------- SC
@@ -231,7 +231,7 @@ TEST(Sector, WritebackToAbsentSectorGoesToMemory)
     h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
     cache.writeback(0, 999999, false);
     EXPECT_EQ(mem_write, 999999u);
-    EXPECT_EQ(h.bloat.totalBytes(), 0u);
+    EXPECT_EQ(h.bloat.totalBytes(), Bytes{0});
 }
 
 TEST(Sector, SramOverheadNearSixMegabytesAtFullSize)
@@ -239,7 +239,7 @@ TEST(Sector, SramOverheadNearSixMegabytesAtFullSize)
     CacheHarness h;
     SectorCache cache(1ULL << 30, h.dram, h.memory, h.bloat);
     // Paper Section 8: ~6 MB for a 1 GB sector cache.
-    EXPECT_NEAR(static_cast<double>(cache.sramOverheadBytes()),
+    EXPECT_NEAR(cache.sramOverheadBytes().toDouble(),
                 6.0 * (1 << 20), 1.5 * (1 << 20));
 }
 
@@ -264,10 +264,10 @@ TEST(BwOpt, FillsAndWritebacksAreFree)
     CacheHarness h;
     BwOptCache cache(8ULL << 20, h.dram, h.memory, h.bloat);
     cache.read(0, 42, 0, 0); // miss + logical fill
-    EXPECT_EQ(h.bloat.totalBytes(), 0u);
+    EXPECT_EQ(h.bloat.totalBytes(), Bytes{0});
     EXPECT_TRUE(cache.contains(42));
     cache.writeback(1000, 42, false); // logical update
-    EXPECT_EQ(h.bloat.totalBytes(), 0u);
+    EXPECT_EQ(h.bloat.totalBytes(), Bytes{0});
     EXPECT_TRUE(cache.holdsDirty(42));
 }
 
@@ -279,7 +279,7 @@ TEST(BwOpt, DirtyVictimStillReachesMemory)
     cache.read(0, 42, 0, 0);
     cache.writeback(500, 42, false);
     h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
-    cache.read(1000, 42 + (8ULL << 20) / kLineSize, 0, 0);
+    cache.read(1000, 42 + Bytes{8ULL << 20} / kLineSize, 0, 0);
     EXPECT_EQ(mem_write, 42u);
 }
 

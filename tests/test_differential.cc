@@ -172,6 +172,6 @@ INSTANTIATE_TEST_SUITE_P(
                          FillPolicy::BandwidthAware},
         DifferentialCase{"bear_ttc", true, true, true, true,
                          FillPolicy::BandwidthAware}),
-    [](const ::testing::TestParamInfo<DifferentialCase> &info) {
-        return info.param.name;
+    [](const ::testing::TestParamInfo<DifferentialCase> &param_info) {
+        return param_info.param.name;
     });

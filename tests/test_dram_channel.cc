@@ -54,7 +54,7 @@ TEST(BusTimeline, CoalescingKeepsTimelineCompact)
 TEST(DramChannel, ClosedBankLatency)
 {
     DramChannel ch = makeChannel();
-    const DramResult r = ch.read(0, 0, 7, 64);
+    const DramResult r = ch.read(0, 0, 7, kLineSize);
     // tRCD + tCAS + 4-beat burst on a 16 B/cycle bus.
     EXPECT_EQ(r.dataReady, 36u + 36u + 4u);
     EXPECT_FALSE(r.rowHit);
@@ -64,9 +64,9 @@ TEST(DramChannel, ClosedBankLatency)
 TEST(DramChannel, RowHitLatency)
 {
     DramChannel ch = makeChannel();
-    ch.read(0, 0, 7, 64);
+    ch.read(0, 0, 7, kLineSize);
     const Cycle start = 500;
-    const DramResult r = ch.read(start, 0, 7, 64);
+    const DramResult r = ch.read(start, 0, 7, kLineSize);
     EXPECT_TRUE(r.rowHit);
     EXPECT_EQ(r.dataReady, start + 36u + 4u); // tCAS + burst
 }
@@ -74,9 +74,9 @@ TEST(DramChannel, RowHitLatency)
 TEST(DramChannel, RowConflictPaysPrechargeAndRas)
 {
     DramChannel ch = makeChannel();
-    ch.read(0, 0, 7, 64); // activate row 7 at cycle 0
+    ch.read(0, 0, 7, kLineSize); // activate row 7 at cycle 0
     // Conflict long after tRAS expired: tRP + tRCD + tCAS + burst.
-    const DramResult r = ch.read(1000, 0, 9, 64);
+    const DramResult r = ch.read(1000, 0, 9, kLineSize);
     EXPECT_FALSE(r.rowHit);
     EXPECT_EQ(r.dataReady, 1000u + 36u + 36u + 36u + 4u);
 }
@@ -84,8 +84,8 @@ TEST(DramChannel, RowConflictPaysPrechargeAndRas)
 TEST(DramChannel, RowConflictWaitsForRas)
 {
     DramChannel ch = makeChannel();
-    ch.read(0, 0, 7, 64); // activation at cycle 0, tRAS = 144
-    const DramResult r = ch.read(80, 0, 9, 64);
+    ch.read(0, 0, 7, kLineSize); // activation at cycle 0, tRAS = 144
+    const DramResult r = ch.read(80, 0, 9, kLineSize);
     // Precharge cannot start before cycle 144.
     EXPECT_GE(r.dataReady, 144u + 36u + 36u + 36u + 4u);
 }
@@ -93,8 +93,8 @@ TEST(DramChannel, RowConflictWaitsForRas)
 TEST(DramChannel, DifferentBanksOverlapOnBus)
 {
     DramChannel ch = makeChannel();
-    const DramResult a = ch.read(0, 0, 1, 64);
-    const DramResult b = ch.read(0, 1, 1, 64);
+    const DramResult a = ch.read(0, 0, 1, kLineSize);
+    const DramResult b = ch.read(0, 1, 1, kLineSize);
     // Array access overlaps; only the 4-cycle bursts serialise.
     EXPECT_EQ(a.dataReady, 76u);
     EXPECT_EQ(b.dataReady, 80u);
@@ -103,19 +103,19 @@ TEST(DramChannel, DifferentBanksOverlapOnBus)
 TEST(DramChannel, TadBurstOccupiesFiveBeats)
 {
     DramChannel ch = makeChannel();
-    const DramResult a = ch.read(0, 0, 1, 80);
+    const DramResult a = ch.read(0, 0, 1, kTadTransfer);
     EXPECT_EQ(a.dataReady, 72u + 5u);
-    EXPECT_EQ(ch.bytesTransferred(), 80u);
+    EXPECT_EQ(ch.bytesTransferred(), kTadTransfer);
 }
 
 TEST(DramChannel, PostedWritesDoNotBlockImmediately)
 {
     DramChannel ch = makeChannel();
     for (int i = 0; i < 8; ++i)
-        ch.write(0, 0, 100 + i, 64);
+        ch.write(0, 0, 100 + i, kLineSize);
     // A read right after a few posted writes is unaffected: the queue
     // is below the drain threshold.
-    const DramResult r = ch.read(0, 1, 7, 64);
+    const DramResult r = ch.read(0, 1, 7, kLineSize);
     EXPECT_EQ(r.dataReady, 76u);
     EXPECT_EQ(ch.writeQueueDepth(), 8u);
 }
@@ -125,8 +125,8 @@ TEST(DramChannel, FullWriteQueueDrainsAheadOfRead)
     WriteQueuePolicy wq;
     DramChannel ch(DramTiming{}, makeCacheGeometry(), wq);
     for (std::uint32_t i = 0; i < wq.drainHigh; ++i)
-        ch.write(0, i % 16, 1000 + i, 64);
-    const DramResult r = ch.read(0, 0, 7, 64);
+        ch.write(0, i % 16, 1000 + i, kLineSize);
+    const DramResult r = ch.read(0, 0, 7, kLineSize);
     // The drain (down to drainLow) runs before the read is serviced.
     EXPECT_GT(r.queueDelay, 0u);
     EXPECT_LE(ch.writeQueueDepth(), wq.drainLow + 1u);
@@ -138,9 +138,9 @@ TEST(DramChannel, FutureStampedWritesAreInvisibleToEarlierReads)
     DramChannel ch(DramTiming{}, makeCacheGeometry(), wq);
     // Queue plenty of writes, all stamped far in the future.
     for (std::uint32_t i = 0; i < 2 * wq.drainHigh; ++i)
-        ch.write(1000000 + i, i % 16, 2000 + i, 64);
+        ch.write(1000000 + i, i % 16, 2000 + i, kLineSize);
     // An early read must not wait for them.
-    const DramResult r = ch.read(10, 0, 7, 64);
+    const DramResult r = ch.read(10, 0, 7, kLineSize);
     EXPECT_EQ(r.dataReady, 10u + 76u);
 }
 
@@ -148,7 +148,7 @@ TEST(DramChannel, DrainAllEmptiesTheQueue)
 {
     DramChannel ch = makeChannel();
     for (int i = 0; i < 10; ++i)
-        ch.write(100000 + i, 0, i, 64);
+        ch.write(100000 + i, 0, i, kLineSize);
     ch.drainAll(0);
     EXPECT_EQ(ch.writeQueueDepth(), 0u);
     EXPECT_EQ(ch.writeCount(), 10u);
@@ -157,17 +157,17 @@ TEST(DramChannel, DrainAllEmptiesTheQueue)
 TEST(DramChannel, StatsResetKeepsTimingState)
 {
     DramChannel ch = makeChannel();
-    ch.read(0, 0, 7, 64);
+    ch.read(0, 0, 7, kLineSize);
     ch.resetStats();
     EXPECT_EQ(ch.readCount(), 0u);
-    EXPECT_EQ(ch.bytesTransferred(), 0u);
+    EXPECT_EQ(ch.bytesTransferred(), Bytes{0});
     // The row is still open: next read is a row hit.
-    const DramResult r = ch.read(500, 0, 7, 64);
+    const DramResult r = ch.read(500, 0, 7, kLineSize);
     EXPECT_TRUE(r.rowHit);
 }
 
 TEST(DramChannelDeath, BankOutOfRange)
 {
     DramChannel ch = makeChannel();
-    EXPECT_DEATH(ch.read(0, 999, 0, 64), "bank");
+    EXPECT_DEATH(ch.read(0, 999, 0, kLineSize), "bank");
 }

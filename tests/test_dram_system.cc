@@ -23,10 +23,10 @@ TEST(DramSystem, GeometryFactoriesMatchTableOne)
     const DramGeometry memory = makeMemoryGeometry();
     EXPECT_EQ(cache.channels, 4u);
     EXPECT_EQ(cache.banksPerChannel, 16u);
-    EXPECT_EQ(cache.busBytesPerCycle, 16u);
+    EXPECT_EQ(cache.busBeatWidth, BeatWidth{16});
     EXPECT_EQ(memory.channels, 2u);
     EXPECT_EQ(memory.banksPerChannel, 8u);
-    EXPECT_EQ(memory.busBytesPerCycle, 4u);
+    EXPECT_EQ(memory.busBeatWidth, BeatWidth{4});
     // The 8x aggregate bandwidth ratio of the paper's baseline.
     EXPECT_EQ(cache.peakBytesPerCycle(), 8 * memory.peakBytesPerCycle());
 }

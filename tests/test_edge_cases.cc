@@ -28,7 +28,7 @@ TEST(DramChannelEdge, BackstopDrainsFutureStampedOverflow)
     // Flood with future-stamped writes and no reads: the structural
     // backstop must keep the queue bounded.
     for (std::uint32_t i = 0; i < 16 * wq.drainHigh; ++i)
-        ch.write(1000000 + i, i % 16, i, 64);
+        ch.write(1000000 + i, i % 16, i, kLineSize);
     EXPECT_LT(ch.writeQueueDepth(), 4 * wq.drainHigh);
 }
 
@@ -36,7 +36,7 @@ TEST(DramChannelEdge, ZeroByteAccessIsRejectedByBurstMath)
 {
     DramChannel ch(DramTiming{}, makeCacheGeometry(), {});
     // A 1-byte access still occupies one bus beat.
-    const DramResult r = ch.read(0, 0, 0, 1);
+    const DramResult r = ch.read(0, 0, 0, Bytes{1});
     EXPECT_EQ(r.dataReady, 36u + 36u + 1u);
 }
 
@@ -63,7 +63,7 @@ TEST(WorkloadEdge, ScaleOneKeepsTableFootprint)
 {
     const WorkloadProfile &p = profileByName("libquantum");
     WorkloadStream s(p, 1, 1.0);
-    EXPECT_EQ(s.footprintLines(), p.footprintBytes / kLineSize);
+    EXPECT_EQ(s.footprintLines(), Bytes{p.footprintBytes} / kLineSize);
 }
 
 TEST(WorkloadEdgeDeath, OverfullProbabilitiesRejected)
@@ -103,7 +103,7 @@ TEST(MixesEdge, GeneratedMixesKeepClassStructure)
 TEST(SramCacheEdge, RandomPolicyStillCorrect)
 {
     SramCacheConfig config;
-    config.capacityBytes = 8 * kLineSize;
+    config.capacityBytes = (8 * kLineSize).count();
     config.ways = 4;
     config.replacement = ReplacementKind::Random;
     SramCache cache(config);
@@ -120,7 +120,7 @@ TEST(SramCacheEdge, RandomPolicyStillCorrect)
 TEST(SramCacheEdge, NruPolicyStillCorrect)
 {
     SramCacheConfig config;
-    config.capacityBytes = 8 * kLineSize;
+    config.capacityBytes = (8 * kLineSize).count();
     config.ways = 4;
     config.replacement = ReplacementKind::NRU;
     SramCache cache(config);

@@ -20,7 +20,7 @@ using test::CacheHarness;
 TEST(TadLayout, TwentyEightTadsPerRow)
 {
     TadLayout layout(1 << 20, makeCacheGeometry());
-    EXPECT_EQ(layout.tadsPerRow(), 2048u / kTadSize); // 28
+    EXPECT_EQ(layout.tadsPerRow(), Bytes{2048} / kTadSize); // 28
 }
 
 TEST(TadLayout, ConsecutiveSetsShareRowWithinBoundary)
@@ -107,7 +107,7 @@ TEST(WbAllocate, NoAllocateBaselineLeavesCacheUntouched)
     AlloyCache cache(config, h.dram, h.memory, h.bloat);
     cache.writeback(0, 555, false);
     EXPECT_FALSE(cache.contains(555));
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackFill), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackFill), Bytes{0});
 }
 
 // ------------------------------------------------- system override
@@ -157,7 +157,7 @@ TEST(AlloyOverride, InclusiveOverrideWiresBackInvalidation)
     sys.resetStats();
     sys.run(10000);
     // Inclusion: never any Writeback Probe bandwidth.
-    EXPECT_EQ(sys.bloat().bytes(BloatCategory::WritebackProbe), 0u);
+    EXPECT_EQ(sys.bloat().bytes(BloatCategory::WritebackProbe), Bytes{0});
 }
 
 // --------------------------------------------------- mix-mode runs

@@ -89,7 +89,7 @@ TEST(Ntc, StorageMatchesPaperBudget)
     // Paper Table 5: 44 bytes per bank, 3.2 KB for 64 banks... with
     // 73 banks it scales linearly.
     NeighboringTagCache ntc(64, 8);
-    EXPECT_EQ(ntc.storageBytes(), 64u * 44);
+    EXPECT_EQ(ntc.storageBytes(), Bytes{64u * 44});
 }
 
 TEST(Ntc, ProbeAvoidanceStats)

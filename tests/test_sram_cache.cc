@@ -10,11 +10,11 @@ namespace
 {
 
 SramCache
-makeCache(std::uint64_t capacity = 16 * kLineSize, std::uint32_t ways = 4)
+makeCache(Bytes capacity = 16 * kLineSize, std::uint32_t ways = 4)
 {
     SramCacheConfig config;
     config.name = "test";
-    config.capacityBytes = capacity;
+    config.capacityBytes = capacity.count();
     config.ways = ways;
     return SramCache(config);
 }

@@ -87,7 +87,7 @@ TEST(SystemIntegration, DcpEliminatesWritebackProbes)
     sys.run(60000);
     sys.resetStats();
     sys.run(30000);
-    EXPECT_EQ(sys.bloat().bytes(BloatCategory::WritebackProbe), 0u);
+    EXPECT_EQ(sys.bloat().bytes(BloatCategory::WritebackProbe), Bytes{0});
 }
 
 TEST(SystemIntegration, NtcAvoidsSomeMissProbes)
@@ -114,7 +114,7 @@ TEST(SystemIntegration, StatsResetZeroesMeasurement)
     sys.resetStats();
     const SystemStats s = sys.stats();
     EXPECT_EQ(s.execCycles, 0u);
-    EXPECT_EQ(sys.bloat().totalBytes(), 0u);
+    EXPECT_EQ(sys.bloat().totalBytes(), Bytes{0});
 }
 
 TEST(SystemIntegration, DeterministicAcrossRuns)
@@ -195,8 +195,8 @@ TEST_P(DesignInvariants, EndToEndSanity)
 INSTANTIATE_TEST_SUITE_P(
     AllDesigns, DesignInvariants,
     ::testing::ValuesIn(bear::test::allCacheDesigns()),
-    [](const ::testing::TestParamInfo<DesignKind> &info) {
-        std::string name = designName(info.param);
+    [](const ::testing::TestParamInfo<DesignKind> &param_info) {
+        std::string name = designName(param_info.param);
         for (char &c : name)
             if (c == '-' || c == '+')
                 c = '_';

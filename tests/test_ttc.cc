@@ -38,7 +38,7 @@ TEST(Ttc, RevisitedEmptySetSkipsMissProbe)
     cache.read(0, 100, 0x400000, 0); // probe, bypass, snapshot set 100
     h.bloat.reset();
     cache.read(1000, 100, 0x400000, 0); // TTC: guaranteed still absent
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), Bytes{0});
     EXPECT_EQ(cache.ttcProbesAvoided(), 1u);
 }
 
@@ -52,7 +52,7 @@ TEST(Ttc, ConflictingTagGuaranteedAbsent)
     // absent by the snapshot; no probe needed, and the clean victim
     // needs no rescue.
     cache.read(1000, 100 + cache.sets(), 0x400000, 0);
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), Bytes{0});
     EXPECT_EQ(cache.ttcProbesAvoided(), 1u);
 }
 
@@ -104,7 +104,7 @@ TEST(Ttc, ComposesWithNtc)
     h.bloat.reset();
     cache.read(1000, 101, 0x400000, 0); // NTC path
     cache.read(2000, 100, 0x400000, 0); // TTC path (set 100, new tag)
-    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), 0u);
+    EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), Bytes{0});
     EXPECT_EQ(cache.missProbesAvoided(), 1u);
     EXPECT_EQ(cache.ttcProbesAvoided(), 1u);
 }

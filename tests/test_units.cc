@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the strong bandwidth-unit types (common/units.hh):
+ * operator legality, overflow-free accumulation at gigascale counts,
+ * and — via concepts — compile-time proofs that dimension-illegal
+ * expressions such as `Bytes + Cycles` do not compile.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+
+using namespace bear;
+
+// ----------------------------------------------------- negative proofs
+//
+// Each concept asks "does this expression compile for these types?".
+// The static_asserts below are the test: if someone later adds an
+// implicit conversion or a cross-dimension operator, the build breaks
+// here with a named explanation rather than silently weakening the
+// unit discipline.
+
+template <typename A, typename B>
+concept Addable = requires(A a, B b) { a + b; };
+
+template <typename A, typename B>
+concept Subtractable = requires(A a, B b) { a - b; };
+
+template <typename A, typename B>
+concept Multipliable = requires(A a, B b) { a * b; };
+
+template <typename A, typename B>
+concept EqComparable = requires(A a, B b) { a == b; };
+
+template <typename From, typename To>
+concept ImplicitlyConvertible = std::is_convertible_v<From, To>;
+
+// Cross-dimension arithmetic must not exist.
+static_assert(!Addable<Bytes, Cycles>);
+static_assert(!Addable<Bytes, Beats>);
+static_assert(!Addable<Bytes, Lines>);
+static_assert(!Addable<Beats, Cycles>);
+static_assert(!Subtractable<Bytes, Lines>);
+static_assert(!EqComparable<Bytes, Beats>);
+static_assert(!EqComparable<Lines, Cycles>);
+
+// Raw integers must not silently become (or absorb) a dimension.
+static_assert(!Addable<Bytes, std::uint64_t>);
+static_assert(!Addable<std::uint64_t, Bytes>);
+static_assert(!EqComparable<Bytes, std::uint64_t>);
+static_assert(!ImplicitlyConvertible<std::uint64_t, Bytes>);
+static_assert(!ImplicitlyConvertible<Bytes, std::uint64_t>);
+static_assert(!ImplicitlyConvertible<Bytes, double>);
+
+// Same-dimension products are meaningless (bytes-squared) and banned;
+// the only legal dimension crossing is through BeatWidth.
+static_assert(!Multipliable<Bytes, Bytes>);
+static_assert(!Multipliable<Bytes, BeatWidth>);
+static_assert(Multipliable<Beats, BeatWidth>);
+static_assert(Multipliable<BeatWidth, Beats>);
+
+// BeatWidth is a rate, not a volume: it must not accumulate.
+static_assert(!Addable<BeatWidth, BeatWidth>);
+static_assert(!Addable<Bytes, BeatWidth>);
+
+// The positive grammar, spelled out once.
+static_assert(Addable<Bytes, Bytes>);
+static_assert(Addable<Cycles, Cycles>);
+static_assert(EqComparable<Lines, Lines>);
+
+// ----------------------------------------------------- positive checks
+
+TEST(Units, SameDimensionArithmetic)
+{
+    Bytes a{100};
+    const Bytes b{28};
+    EXPECT_EQ(a + b, Bytes{128});
+    EXPECT_EQ(a - b, Bytes{72});
+    a += b;
+    EXPECT_EQ(a, Bytes{128});
+    a -= Bytes{64};
+    EXPECT_EQ(a, kLineSize);
+    EXPECT_LT(b, a);
+}
+
+TEST(Units, DimensionlessScalingAndRatio)
+{
+    EXPECT_EQ(3 * kLineSize, Bytes{192});
+    EXPECT_EQ(kLineSize * 3, Bytes{192});
+    EXPECT_EQ(Bytes{192} / 3, kLineSize);
+    // Quantity / Quantity is a raw count again.
+    const std::uint64_t ratio = Bytes{1ULL << 20} / kLineSize;
+    EXPECT_EQ(ratio, 16384u);
+    EXPECT_EQ(kTadSize % kLineSize, Bytes{8});
+}
+
+TEST(Units, BeatCrossingMatchesPaperTransferSizes)
+{
+    // A 72 B TAD on the 16 B stacked-DRAM bus occupies 5 beats and
+    // therefore moves 80 B — the 1.25x hit bloat of paper Figure 4.
+    const Beats beats = beatsToCover(kTadSize, kCacheBeatWidth);
+    EXPECT_EQ(beats, Beats{5});
+    EXPECT_EQ(beats * kCacheBeatWidth, Bytes{80});
+    EXPECT_EQ(kTadTransfer, Bytes{80});
+    // A bare line is an exact fit: no rounding bloat.
+    EXPECT_EQ(beatsToCover(kLineSize, kCacheBeatWidth) * kCacheBeatWidth,
+              kLineSize);
+    // Burst time is one beat per cycle.
+    EXPECT_EQ(cyclesOf(Beats{5}), Cycles{5});
+}
+
+TEST(Units, LineHelpersRoundTrip)
+{
+    EXPECT_EQ(bytesOfLines(Lines{3}), Bytes{192});
+    EXPECT_EQ(linesToCover(Bytes{65}), Lines{2});
+    EXPECT_EQ(linesToCover(kLineSize), Lines{1});
+}
+
+TEST(Units, OverflowFreeAtGigascale)
+{
+    // A year-long simulation of a 128 GB/s bus stays far below the
+    // 64-bit ceiling: accumulate a representative slice and check
+    // the arithmetic is exact where 32-bit counters would have
+    // wrapped thousands of times over.
+    Bytes total{0};
+    const Bytes per_access = kTadTransfer; // 80 B
+    for (int i = 0; i < 1000; ++i)
+        total += per_access * (1ULL << 32); // ~343 GB per step
+    EXPECT_EQ(total, Bytes{80ULL * 1000 * (1ULL << 32)});
+    EXPECT_GT(total, Bytes{1ULL << 40});
+}
+
+TEST(Units, StreamsAsRawCount)
+{
+    std::ostringstream os;
+    os << Bytes{80} << " " << kCacheBeatWidth;
+    EXPECT_EQ(os.str(), "80 16");
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification pipeline:
+#
+#   1. tier-1: default build, whole test suite
+#   2. sanitizers: rebuild and rerun the suite under ASan+UBSan
+#      (any report is fatal: -fno-sanitize-recover=all)
+#   3. static analysis: tools/lint.sh (skipped when clang-tidy absent)
+#
+#   tools/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+echo "=== [1/3] tier-1 build + tests"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${jobs}"
+ctest --test-dir build --output-on-failure -j "${jobs}"
+
+echo "=== [2/3] ASan+UBSan build + tests"
+cmake -B build-san -S . -DBEAR_SANITIZE=address,undefined >/dev/null
+cmake --build build-san -j "${jobs}"
+ctest --test-dir build-san --output-on-failure -j "${jobs}"
+
+echo "=== [3/3] clang-tidy"
+tools/lint.sh build
+
+echo "=== CI OK"

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over the simulator sources using
+# the compile database from the build tree.
+#
+#   tools/lint.sh [build-dir]
+#
+# The build dir defaults to ./build and must have been configured
+# (CMAKE_EXPORT_COMPILE_COMMANDS is always on, see CMakeLists.txt).
+# Exits 0 with a notice when clang-tidy is not installed so that
+# tools/ci.sh stays runnable on toolchains without clang.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "lint.sh: clang-tidy not found; skipping static analysis" >&2
+    exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+    echo "lint.sh: ${build_dir}/compile_commands.json missing;" \
+         "configure the build first (cmake -B ${build_dir} -S .)" >&2
+    exit 1
+fi
+
+# run-clang-tidy parallelises across the database when available.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+    exec run-clang-tidy -p "${build_dir}" -quiet "src/.*\.cc$"
+fi
+
+status=0
+while IFS= read -r file; do
+    echo "== clang-tidy ${file}"
+    clang-tidy -p "${build_dir}" --quiet "${file}" || status=1
+done < <(find src -name '*.cc' | sort)
+exit "${status}"
