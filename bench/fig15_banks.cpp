@@ -10,6 +10,9 @@
  * The sweep runs on the eight most memory-intensive rate benchmarks.
  */
 
+#include <algorithm>
+#include <cstdint>
+
 #include "bench/bench_util.hh"
 
 using namespace bear;
@@ -26,7 +29,11 @@ main()
         ">=512 banks",
         options);
 
-    Table table({"banks", "BEAR speedup vs Alloy"});
+    // Bank-conflict relief should be visible in the per-bank counters:
+    // as banks grow, per-bank utilization and the queue-delay tail both
+    // fall (the declining region of the paper's curve).
+    Table table({"banks", "BEAR speedup vs Alloy", "avgUtil%",
+                 "maxUtil%", "qDelay p95", "stall/read"});
     for (const std::uint32_t banks : {64u, 128u, 256u, 512u, 1024u,
                                       2048u}) {
         auto jobs = sensitivityJobs(DesignKind::Alloy);
@@ -34,8 +41,48 @@ main()
             job.totalBanks = banks;
         const Comparison cmp = compareDesigns(
             runner, jobs, DesignKind::Alloy, {DesignKind::Bear});
+
+        // Bank-level numbers from the Alloy baseline runs (the design
+        // whose bloat the sweep is relieving), averaged over workloads.
+        const double avg_util = averageOver(
+            cmp.rows, -1, [](const RunResult &r) {
+                double sum = 0.0;
+                for (const auto &bank : r.stats.l4Banks)
+                    sum += bank.utilization;
+                return r.stats.l4Banks.empty()
+                    ? 0.0
+                    : sum / static_cast<double>(r.stats.l4Banks.size());
+            });
+        const double max_util = averageOver(
+            cmp.rows, -1, [](const RunResult &r) {
+                double top = 0.0;
+                for (const auto &bank : r.stats.l4Banks)
+                    top = std::max(top, bank.utilization);
+                return top;
+            });
+        const double qdelay_p95 = averageOver(
+            cmp.rows, -1, [](const RunResult &r) {
+                return static_cast<double>(
+                    r.stats.l4QueueDelayHist.percentile(0.95).count());
+            });
+        const double stall_per_read = averageOver(
+            cmp.rows, -1, [](const RunResult &r) {
+                std::uint64_t stall = 0, reads = 0;
+                for (const auto &bank : r.stats.l4Banks) {
+                    stall += bank.conflictStallCycles.count();
+                    reads += bank.reads;
+                }
+                return reads ? static_cast<double>(stall)
+                        / static_cast<double>(reads)
+                             : 0.0;
+            });
+
         table.addRow({std::to_string(banks),
-                      Table::num(cmp.rateGeomean(0), 3)});
+                      Table::num(cmp.rateGeomean(0), 3),
+                      Table::num(100.0 * avg_util, 1),
+                      Table::num(100.0 * max_util, 1),
+                      Table::num(qdelay_p95, 0),
+                      Table::num(stall_per_read, 1)});
     }
     std::printf("%s\n", table.render().c_str());
     return 0;

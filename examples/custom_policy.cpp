@@ -37,8 +37,14 @@ class WriteThroughAlloy : public DramCache
     {
     }
 
+    std::string name() const override { return "WriteThroughAlloy"; }
+
+  protected:
+    // The base-class read() wrapper counts demand hits/misses and
+    // samples the latency histograms; the policy only reports where
+    // the data came from.
     DramCacheReadOutcome
-    read(Cycle at, LineAddr line, Pc, CoreId) override
+    serviceRead(Cycle at, LineAddr line, Pc, CoreId) override
     {
         const std::uint64_t set = line % sets_;
         const std::uint64_t tag = line / sets_;
@@ -48,17 +54,16 @@ class WriteThroughAlloy : public DramCache
         DramCacheReadOutcome outcome;
         const DramResult probe = dram_.read(at, coord, kTadTransfer);
         if (tad.valid && tad.tag == tag) {
-            ++demand_hits_;
             bloat_.note(BloatCategory::HitProbe, kTadTransfer);
             bloat_.noteUseful();
-            outcome.hit = true;
+            outcome.source = ServiceSource::L4Hit;
             outcome.presentAfter = true;
             outcome.dataReady = probe.dataReady;
             return outcome;
         }
-        ++demand_misses_;
         bloat_.note(BloatCategory::MissProbe, kTadTransfer);
         const DramResult mem = memory_.readLine(probe.dataReady, line);
+        outcome.source = ServiceSource::L4MissMemory;
         outcome.dataReady = mem.dataReady;
         // The cache is always clean: the victim needs no rescue.
         if (tad.valid)
@@ -72,7 +77,7 @@ class WriteThroughAlloy : public DramCache
     }
 
     void
-    writeback(Cycle at, LineAddr line, bool) override
+    serviceWriteback(const WritebackRequest &request) override
     {
         // Write-through: main memory always gets the data, and a
         // present line is refreshed without any probe (updating a
@@ -80,19 +85,18 @@ class WriteThroughAlloy : public DramCache
         // but a *mismatched* line must not be clobbered, so the update
         // is dropped unless the tag matches, which the controller
         // knows only from this cheap in-SRAM mirror in this toy).
-        const std::uint64_t set = line % sets_;
+        const std::uint64_t set = request.line % sets_;
         Tad &tad = tads_[set];
-        memory_.writeLine(at, line);
-        if (tad.valid && tad.tag == line / sets_) {
+        memory_.writeLine(request.issuedAt, request.line);
+        if (tad.valid && tad.tag == request.line / sets_) {
             ++writeback_hits_;
-            dram_.write(at, layout_.coordOf(set), kTadTransfer);
+            dram_.write(request.issuedAt, layout_.coordOf(set),
+                        kTadTransfer);
             bloat_.note(BloatCategory::WritebackUpdate, kTadTransfer);
         } else {
             ++writeback_misses_;
         }
     }
-
-    std::string name() const override { return "WriteThroughAlloy"; }
 
   private:
     struct Tad
@@ -148,10 +152,10 @@ main(int argc, char **argv)
     for (int i = 0; i < 400000; ++i) {
         const MemRef ref = stream.next();
         const auto out = custom.read(t, lineOf(ref.vaddr), ref.pc, 0);
-        hits += out.hit;
+        hits += out.hit() ? 1 : 0;
         ++accesses;
         if (ref.isWrite)
-            custom.writeback(out.dataReady, lineOf(ref.vaddr), false);
+            custom.writeback({lineOf(ref.vaddr), false, out.dataReady});
         t += 8 + ref.instGap / 2;
     }
 

@@ -66,17 +66,13 @@ CacheHierarchy::access(CoreId core, LineAddr line, bool is_write)
     return outcome;
 }
 
-WritebackRequest
+std::optional<WritebackRequest>
 CacheHierarchy::fillLlc(LineAddr line, bool is_write, bool dcp)
 {
     const SramEviction ev = l3_->fill(line, is_write, dcp);
-    WritebackRequest wb;
-    if (ev.valid && ev.dirty) {
-        wb.valid = true;
-        wb.line = ev.line;
-        wb.dcp = ev.dcp;
-    }
-    return wb;
+    if (!ev.valid || !ev.dirty)
+        return std::nullopt;
+    return WritebackRequest{ev.line, ev.dcp, 0};
 }
 
 void

@@ -1,6 +1,8 @@
 #include "common/json.hh"
 
 #include <cinttypes>
+#include <cstdlib>
+#include <cstring>
 #include <cstdio>
 
 #include "common/log.hh"
@@ -192,6 +194,329 @@ JsonWriter::str() const
 {
     bear_assert(stack_.empty(), "JSON: unbalanced nesting at str()");
     return out_.str();
+}
+
+
+std::string
+JsonParseError::message() const
+{
+    std::ostringstream os;
+    os << "offset " << offset << ": " << reason;
+    return os.str();
+}
+
+/** Recursive-descent parser over the document text. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Expected<JsonValue, JsonParseError>
+    parseDocument()
+    {
+        JsonValue value;
+        if (!parseValue(value))
+            return unexpected(error_);
+        skipWhitespace();
+        if (pos_ != text_.size())
+            return unexpected(fail("trailing characters after document"));
+        return value;
+    }
+
+  private:
+    JsonParseError
+    fail(const std::string &reason)
+    {
+        error_ = JsonParseError{pos_, reason};
+        return error_;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size()
+               && (text_[pos_] == ' ' || text_[pos_] == '\t'
+                   || text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseLiteral(const char *word, JsonValue &out, JsonValue::Kind kind,
+                 bool truth)
+    {
+        const std::size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0) {
+            fail(std::string("expected '") + word + "'");
+            return false;
+        }
+        pos_ += n;
+        out.kind_ = kind;
+        out.bool_ = truth;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"')) {
+            fail("expected '\"'");
+            return false;
+        }
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+                return false;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  if (pos_ + 4 > text_.size()) {
+                      fail("truncated \\u escape");
+                      return false;
+                  }
+                  unsigned code = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      const char h = text_[pos_++];
+                      code <<= 4;
+                      if (h >= '0' && h <= '9')
+                          code |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          code |= static_cast<unsigned>(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          code |= static_cast<unsigned>(h - 'A' + 10);
+                      else {
+                          fail("bad hex digit in \\u escape");
+                          return false;
+                      }
+                  }
+                  // UTF-8 encode the code point (BMP only; the writer
+                  // emits \u only for control characters anyway).
+                  if (code < 0x80) {
+                      out += static_cast<char>(code);
+                  } else if (code < 0x800) {
+                      out += static_cast<char>(0xC0 | (code >> 6));
+                      out += static_cast<char>(0x80 | (code & 0x3F));
+                  } else {
+                      out += static_cast<char>(0xE0 | (code >> 12));
+                      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                      out += static_cast<char>(0x80 | (code & 0x3F));
+                  }
+                  break;
+              }
+              default:
+                fail("unknown escape character");
+                return false;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < text_.size()
+               && ((text_[pos_] >= '0' && text_[pos_] <= '9')
+                   || text_[pos_] == '.' || text_[pos_] == 'e'
+                   || text_[pos_] == 'E' || text_[pos_] == '+'
+                   || text_[pos_] == '-'))
+            ++pos_;
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end == token.c_str() || *end != '\0') {
+            pos_ = start;
+            fail("malformed number");
+            return false;
+        }
+        out.kind_ = JsonValue::Kind::Number;
+        out.number_ = v;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWhitespace();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of document");
+            return false;
+        }
+        const char c = text_[pos_];
+        switch (c) {
+          case '{': {
+              ++pos_;
+              out.kind_ = JsonValue::Kind::Object;
+              skipWhitespace();
+              if (consume('}'))
+                  return true;
+              for (;;) {
+                  skipWhitespace();
+                  std::string key;
+                  if (!parseString(key))
+                      return false;
+                  skipWhitespace();
+                  if (!consume(':')) {
+                      fail("expected ':'");
+                      return false;
+                  }
+                  JsonValue member;
+                  if (!parseValue(member))
+                      return false;
+                  out.members_.emplace_back(std::move(key),
+                                            std::move(member));
+                  skipWhitespace();
+                  if (consume(','))
+                      continue;
+                  if (consume('}'))
+                      return true;
+                  fail("expected ',' or '}'");
+                  return false;
+              }
+          }
+          case '[': {
+              ++pos_;
+              out.kind_ = JsonValue::Kind::Array;
+              skipWhitespace();
+              if (consume(']'))
+                  return true;
+              for (;;) {
+                  JsonValue element;
+                  if (!parseValue(element))
+                      return false;
+                  out.elements_.push_back(std::move(element));
+                  skipWhitespace();
+                  if (consume(','))
+                      continue;
+                  if (consume(']'))
+                      return true;
+                  fail("expected ',' or ']'");
+                  return false;
+              }
+          }
+          case '"':
+            out.kind_ = JsonValue::Kind::String;
+            return parseString(out.string_);
+          case 't':
+            return parseLiteral("true", out, JsonValue::Kind::Bool, true);
+          case 'f':
+            return parseLiteral("false", out, JsonValue::Kind::Bool,
+                                false);
+          case 'n':
+            return parseLiteral("null", out, JsonValue::Kind::Null,
+                                false);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    JsonParseError error_;
+};
+
+Expected<JsonValue, JsonParseError>
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
+}
+
+bool
+JsonValue::asBool() const
+{
+    bear_assert(kind_ == Kind::Bool, "JSON: not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    bear_assert(kind_ == Kind::Number, "JSON: not a number");
+    return number_;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    bear_assert(kind_ == Kind::Number, "JSON: not a number");
+    bear_assert(number_ >= 0.0, "JSON: negative value for unsigned");
+    return static_cast<std::uint64_t>(number_);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    bear_assert(kind_ == Kind::String, "JSON: not a string");
+    return string_;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::Array)
+        return elements_.size();
+    if (kind_ == Kind::Object)
+        return members_.size();
+    return 0;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t i) const
+{
+    bear_assert(kind_ == Kind::Array, "JSON: not an array");
+    bear_assert(i < elements_.size(), "JSON: index out of range");
+    return elements_[i];
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::operator[](const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    bear_assert(v, "JSON: missing member \"", key, "\"");
+    return *v;
 }
 
 } // namespace bear

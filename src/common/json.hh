@@ -1,6 +1,6 @@
 /**
  * @file
- * Minimal JSON writer for machine-readable experiment output.
+ * Minimal JSON writer and reader for machine-readable experiment data.
  *
  * The bench binaries print human-readable tables; downstream plotting
  * wants structured data.  JsonWriter emits well-formed JSON with a
@@ -8,6 +8,11 @@
  * in between.  Strings are escaped; doubles use round-trippable
  * formatting.  The writer panics on misuse (value without a key inside
  * an object, key inside an array) so malformed output is impossible.
+ *
+ * JsonValue is the matching reader: a recursive-descent parser into a
+ * small DOM, enough for tools/trace_stats to consume the BEAR_JSON
+ * report stream without an external dependency.  Parse errors are
+ * reported with their byte offset, never silently absorbed.
  */
 
 #ifndef BEAR_COMMON_JSON_HH
@@ -16,7 +21,10 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/expected.hh"
 
 namespace bear
 {
@@ -66,6 +74,70 @@ class JsonWriter
     std::vector<Scope> stack_;
     std::vector<bool> has_items_;
     bool pending_key_ = false;
+};
+
+/** Where and why a JsonValue::parse() failed. */
+struct JsonParseError
+{
+    std::size_t offset = 0;
+    std::string reason;
+
+    /** `offset 17: expected ':'` — ready to print. */
+    std::string message() const;
+};
+
+/** A parsed JSON document node. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    /** Parse one complete document (trailing whitespace allowed). */
+    static Expected<JsonValue, JsonParseError>
+    parse(const std::string &text);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /** Scalar accessors; panic when the node has another kind. */
+    bool asBool() const;
+    double asDouble() const;
+    std::uint64_t asU64() const;
+    const std::string &asString() const;
+
+    /** Array/object size; 0 for scalars. */
+    std::size_t size() const;
+
+    /** Array element; panics when out of range or not an array. */
+    const JsonValue &at(std::size_t i) const;
+
+    /** Object member, or nullptr when absent / not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member; panics when absent (use find() to probe). */
+    const JsonValue &operator[](const std::string &key) const;
+
+    /** Object members in document order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+    /** Array elements. */
+    const std::vector<JsonValue> &elements() const { return elements_; }
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> elements_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+
+    friend class JsonParser;
 };
 
 } // namespace bear

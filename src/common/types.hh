@@ -77,6 +77,23 @@ linesToCover(Bytes volume)
 static_assert(bytesOfLines(Lines{3}) == Bytes{192});
 static_assert(linesToCover(Bytes{65}) == Lines{2});
 
+/**
+ * A dirty LLC eviction headed for the DRAM cache.  Carried as a struct
+ * so new fields (trace ids, priorities) extend every writeback path at
+ * once instead of rippling a fresh positional parameter through nine
+ * designs and the system's pending-writeback queue.
+ */
+struct WritebackRequest
+{
+    LineAddr line = 0;
+    /** The victim's DRAM-cache-presence bit (BEAR's DCP scheme;
+     *  designs without DCP ignore it). */
+    bool dcpPresent = false;
+    /** When the eviction left the LLC (the writeback's arrival time at
+     *  the DRAM cache controller). */
+    Cycle issuedAt = 0;
+};
+
 /** Convert a byte address to a line address. */
 constexpr LineAddr
 lineOf(Addr addr)

@@ -156,13 +156,18 @@ using Lines = units_detail::Quantity<struct LinesTag>;
 /** CPU-cycle durations (timestamps stay `Cycle` in types.hh). */
 using Cycles = units_detail::Quantity<struct CyclesTag>;
 
+/** Dimensionless occupancy counts (queue depths, outstanding ops). */
+using Count = units_detail::Quantity<struct CountTag>;
+
 static_assert(sizeof(Bytes) == 8 && sizeof(Beats) == 8
-                  && sizeof(Lines) == 8 && sizeof(Cycles) == 8,
+                  && sizeof(Lines) == 8 && sizeof(Cycles) == 8
+                  && sizeof(Count) == 8,
               "unit wrappers must stay register-sized");
 static_assert(std::is_trivially_copyable_v<Bytes>
                   && std::is_trivially_copyable_v<Beats>
                   && std::is_trivially_copyable_v<Lines>
-                  && std::is_trivially_copyable_v<Cycles>,
+                  && std::is_trivially_copyable_v<Cycles>
+                  && std::is_trivially_copyable_v<Count>,
               "unit wrappers must stay zero-cost");
 
 /**

@@ -109,6 +109,10 @@ AlloyCache::install(Cycle at, std::uint64_t set, LineAddr line,
     tad.dirty = false;
     dram_.write(at, coord, kTadTransfer);
     bloat_.note(BloatCategory::MissFill, kTadTransfer);
+    if (trace_) {
+        trace_->record(obs::TraceEventKind::Fill, at, line,
+                       kTadTransfer.count());
+    }
     if (ntc_)
         ntc_->updateIfCached(bankIdOf(coord), set, tad.tag, true, false);
     if (ttc_)
@@ -116,7 +120,7 @@ AlloyCache::install(Cycle at, std::uint64_t set, LineAddr line,
 }
 
 DramCacheReadOutcome
-AlloyCache::read(Cycle at, LineAddr line, Pc pc, CoreId core)
+AlloyCache::serviceRead(Cycle at, LineAddr line, Pc pc, CoreId core)
 {
     const std::uint64_t set = setOf(line);
     const std::uint64_t tag = tagOf(line);
@@ -167,13 +171,14 @@ AlloyCache::read(Cycle at, LineAddr line, Pc pc, CoreId core)
             ntc_->noteProbeAvoided();
             ++probes_avoided_;
         }
-        ++demand_misses_;
+        if (trace_)
+            trace_->record(obs::TraceEventKind::NtcAvoidedProbe, at, line);
         if (mapi_)
             mapi_->update(core, pc, false);
 
         const DramResult mem = memory_.readLine(at, line);
+        outcome.source = ServiceSource::NtcAvoidedProbe;
         outcome.dataReady = mem.dataReady;
-        miss_latency_.sample(static_cast<double>(mem.dataReady - at));
 
         if (!decideBypass(set)) {
             if (verdict == NtcVerdict::AbsentDirty) {
@@ -186,6 +191,8 @@ AlloyCache::read(Cycle at, LineAddr line, Pc pc, CoreId core)
             outcome.presentAfter = true;
         } else {
             ++fills_bypassed_;
+            if (trace_)
+                trace_->record(obs::TraceEventKind::Bypass, at, line);
         }
         recordTemporal(set);
         return outcome;
@@ -212,19 +219,16 @@ AlloyCache::read(Cycle at, LineAddr line, Pc pc, CoreId core)
         mapi_->update(core, pc, actual_hit);
 
     if (actual_hit) {
-        ++demand_hits_;
         bloat_.note(BloatCategory::HitProbe, kTadTransfer);
         bloat_.noteUseful();
-        outcome.hit = true;
+        outcome.source = ServiceSource::L4Hit;
         outcome.presentAfter = true;
         outcome.dataReady = probe.dataReady;
-        hit_latency_.sample(static_cast<double>(probe.dataReady - at));
         recordTemporal(set);
         return outcome;
     }
 
     // Actual miss through the probe path.
-    ++demand_misses_;
     bloat_.note(BloatCategory::MissProbe, kTadTransfer);
     if (!parallel_mem) {
         // Predicted hit but missed: memory access serialises behind
@@ -232,21 +236,27 @@ AlloyCache::read(Cycle at, LineAddr line, Pc pc, CoreId core)
         const DramResult mem = memory_.readLine(probe.dataReady, line);
         outcome.dataReady = mem.dataReady;
     }
-    miss_latency_.sample(static_cast<double>(outcome.dataReady - at));
 
     if (!decideBypass(set)) {
+        outcome.source = ServiceSource::L4MissMemory;
         install(probe.dataReady, set, line, coord, /*victim_known=*/true);
         outcome.presentAfter = true;
     } else {
+        outcome.source = ServiceSource::BypassedMemory;
         ++fills_bypassed_;
+        if (trace_)
+            trace_->record(obs::TraceEventKind::Bypass, at, line);
     }
     recordTemporal(set);
     return outcome;
 }
 
 void
-AlloyCache::writeback(Cycle at, LineAddr line, bool dcp)
+AlloyCache::serviceWriteback(const WritebackRequest &request)
 {
+    const Cycle at = request.issuedAt;
+    const LineAddr line = request.line;
+    const bool dcp = request.dcpPresent;
     const std::uint64_t set = setOf(line);
     const std::uint64_t tag = tagOf(line);
     const DramCoord coord = layout_.coordOf(set);
@@ -283,6 +293,8 @@ AlloyCache::writeback(Cycle at, LineAddr line, bool dcp)
 
     if (config_.useDcp) {
         ++wb_probes_avoided_;
+        if (trace_)
+            trace_->record(obs::TraceEventKind::DcpShortCircuit, at, line);
         if (dcp && present) {
             // The common case: guaranteed resident, update in place.
             do_update(at);
@@ -310,6 +322,10 @@ AlloyCache::writeback(Cycle at, LineAddr line, bool dcp)
     // Baseline: Writeback Probe, then update or forward to memory.
     const DramResult probe = dram_.read(at, coord, kTadTransfer);
     bloat_.note(BloatCategory::WritebackProbe, kTadTransfer);
+    if (trace_) {
+        trace_->record(obs::TraceEventKind::WritebackProbe, at, line,
+                       kTadTransfer.count());
+    }
     if (ntc_)
         captureNeighbor(set, coord);
     if (present) {
@@ -377,8 +393,6 @@ void
 AlloyCache::resetStats()
 {
     DramCache::resetStats();
-    hit_latency_.reset();
-    miss_latency_.reset();
     fills_bypassed_ = 0;
     wb_races_ = 0;
     probes_avoided_ = 0;

@@ -28,7 +28,6 @@
 #include <vector>
 
 #include "common/rng.hh"
-#include "common/stats.hh"
 #include "dramcache/bab.hh"
 #include "dramcache/dram_cache.hh"
 #include "dramcache/map_i.hh"
@@ -90,9 +89,6 @@ class AlloyCache : public DramCache
     AlloyCache(const AlloyConfig &config, DramSystem &dram,
                DramSystem &memory, BloatTracker &bloat);
 
-    DramCacheReadOutcome read(Cycle at, LineAddr line, Pc pc,
-                              CoreId core) override;
-    void writeback(Cycle at, LineAddr line, bool dcp) override;
     std::string name() const override { return config_.name; }
     Bytes sramOverheadBytes() const override;
     void resetStats() override;
@@ -111,9 +107,6 @@ class AlloyCache : public DramCache
     std::uint64_t sets() const { return sets_; }
     const AlloyConfig &config() const { return config_; }
 
-    double avgHitLatency() const { return hit_latency_.mean(); }
-    double avgMissLatency() const { return miss_latency_.mean(); }
-
     std::uint64_t fillsBypassed() const { return fills_bypassed_; }
     std::uint64_t wbRaces() const { return wb_races_; }
     std::uint64_t missProbesAvoided() const { return probes_avoided_; }
@@ -126,6 +119,11 @@ class AlloyCache : public DramCache
     const BandwidthAwareBypass *bab() const { return bab_.get(); }
     const NeighboringTagCache *ntc() const { return ntc_.get(); }
     const NeighboringTagCache *ttc() const { return ttc_.get(); }
+
+  protected:
+    DramCacheReadOutcome serviceRead(Cycle at, LineAddr line, Pc pc,
+                                     CoreId core) override;
+    void serviceWriteback(const WritebackRequest &request) override;
 
   private:
     /** One TAD's metadata (the 64 B of data are not materialised). */
@@ -172,8 +170,6 @@ class AlloyCache : public DramCache
     /** Temporal tag cache: one "bank", LRU over recently used sets. */
     std::unique_ptr<NeighboringTagCache> ttc_;
 
-    Average hit_latency_;
-    Average miss_latency_;
     std::uint64_t fills_bypassed_ = 0;
     std::uint64_t wb_races_ = 0;
     std::uint64_t probes_avoided_ = 0;

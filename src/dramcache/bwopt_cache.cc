@@ -15,7 +15,7 @@ BwOptCache::BwOptCache(std::uint64_t capacity_bytes, DramSystem &dram,
 }
 
 DramCacheReadOutcome
-BwOptCache::read(Cycle at, LineAddr line, Pc, CoreId)
+BwOptCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
 {
     const std::uint64_t set = setOf(line);
     const std::uint64_t tag = tagOf(line);
@@ -28,19 +28,16 @@ BwOptCache::read(Cycle at, LineAddr line, Pc, CoreId)
             dram_.read(at, layout_.coordOf(set), kLineSize);
         bloat_.note(BloatCategory::HitProbe, kLineSize);
         bloat_.noteUseful();
-        ++demand_hits_;
-        outcome.hit = true;
+        outcome.source = ServiceSource::L4Hit;
         outcome.presentAfter = true;
         outcome.dataReady = res.dataReady;
-        hit_latency_.sample(static_cast<double>(res.dataReady - at));
         return outcome;
     }
 
     // Miss detection is free and instantaneous.
-    ++demand_misses_;
     const DramResult mem = memory_.readLine(at, line);
+    outcome.source = ServiceSource::L4MissMemory;
     outcome.dataReady = mem.dataReady;
-    miss_latency_.sample(static_cast<double>(mem.dataReady - at));
 
     // Logical fill: no DRAM-cache bus traffic.  A dirty victim's data
     // still has to reach main memory (that is main-memory bandwidth).
@@ -52,22 +49,24 @@ BwOptCache::read(Cycle at, LineAddr line, Pc, CoreId)
     tad.tag = tag;
     tad.valid = true;
     tad.dirty = false;
+    if (trace_)
+        trace_->record(obs::TraceEventKind::Fill, at, line);
     outcome.presentAfter = true;
     return outcome;
 }
 
 void
-BwOptCache::writeback(Cycle at, LineAddr line, bool)
+BwOptCache::serviceWriteback(const WritebackRequest &request)
 {
-    const std::uint64_t set = setOf(line);
+    const std::uint64_t set = setOf(request.line);
     Tad &tad = tads_[set];
-    if (tad.valid && tad.tag == tagOf(line)) {
+    if (tad.valid && tad.tag == tagOf(request.line)) {
         // Logical update: free.
         tad.dirty = true;
         ++writeback_hits_;
     } else {
         ++writeback_misses_;
-        memory_.writeLine(at, line);
+        memory_.writeLine(request.issuedAt, request.line);
     }
 }
 
@@ -76,14 +75,6 @@ BwOptCache::contains(LineAddr line) const
 {
     const Tad &tad = tads_[setOf(line)];
     return tad.valid && tad.tag == tagOf(line);
-}
-
-void
-BwOptCache::resetStats()
-{
-    DramCache::resetStats();
-    hit_latency_.reset();
-    miss_latency_.reset();
 }
 
 } // namespace bear

@@ -16,7 +16,6 @@
 
 #include <vector>
 
-#include "common/stats.hh"
 #include "dramcache/dram_cache.hh"
 
 namespace bear
@@ -29,11 +28,7 @@ class BwOptCache : public DramCache
     BwOptCache(std::uint64_t capacity_bytes, DramSystem &dram,
                DramSystem &memory, BloatTracker &bloat);
 
-    DramCacheReadOutcome read(Cycle at, LineAddr line, Pc pc,
-                              CoreId core) override;
-    void writeback(Cycle at, LineAddr line, bool dcp) override;
     std::string name() const override { return "BW-Opt"; }
-    void resetStats() override;
 
     bool contains(LineAddr line) const;
 
@@ -43,8 +38,10 @@ class BwOptCache : public DramCache
         return tad.valid && tad.tag == tagOf(line) && tad.dirty;
     }
 
-    double avgHitLatency() const { return hit_latency_.mean(); }
-    double avgMissLatency() const { return miss_latency_.mean(); }
+  protected:
+    DramCacheReadOutcome serviceRead(Cycle at, LineAddr line, Pc pc,
+                                     CoreId core) override;
+    void serviceWriteback(const WritebackRequest &request) override;
 
   private:
     struct Tad
@@ -60,8 +57,6 @@ class BwOptCache : public DramCache
     std::uint64_t sets_;
     TadLayout layout_;
     std::vector<Tad> tads_;
-    Average hit_latency_;
-    Average miss_latency_;
 };
 
 } // namespace bear

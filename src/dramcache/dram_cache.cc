@@ -1,0 +1,22 @@
+#include "dramcache/dram_cache.hh"
+
+namespace bear
+{
+
+const char *
+serviceSourceName(ServiceSource source)
+{
+    switch (source) {
+      case ServiceSource::L4Hit:
+        return "l4Hit";
+      case ServiceSource::L4MissMemory:
+        return "l4MissMemory";
+      case ServiceSource::BypassedMemory:
+        return "bypassedMemory";
+      case ServiceSource::NtcAvoidedProbe:
+        return "ntcAvoidedProbe";
+    }
+    return "unknown";
+}
+
+} // namespace bear

@@ -7,6 +7,14 @@
  * instances) from the system.  Demand reads return completion timing
  * so the core model can account latency; writebacks are posted.
  *
+ * The public entry points read() and writeback() are non-virtual
+ * template methods: they delegate to serviceRead()/serviceWriteback()
+ * and centralise the bookkeeping every design used to repeat — demand
+ * hit/miss counters, latency histograms, demand-read trace events.  A
+ * design implements only its policy; the observable statistics are
+ * defined once, here, so they cannot drift between designs and the
+ * system never needs to downcast to harvest them.
+ *
  * The eviction listener is how a design tells the on-chip hierarchy
  * that a line left the DRAM cache: the DCP flow clears presence bits,
  * and inclusive designs back-invalidate.  The listener returns true if
@@ -24,16 +32,38 @@
 #include "common/types.hh"
 #include "dramcache/bloat.hh"
 #include "mem/dram_system.hh"
+#include "obs/event_trace.hh"
+#include "obs/histogram.hh"
 
 namespace bear
 {
 
+/**
+ * Who ultimately serviced a demand read.  The event trace and the
+ * bloat breakdown both need more than a hit bool: a miss that bypassed
+ * the fill and a miss that installed are different traffic classes,
+ * and an NTC guaranteed-miss never even paid the probe.
+ */
+enum class ServiceSource : std::uint8_t
+{
+    L4Hit,          ///< data came from the DRAM cache
+    L4MissMemory,   ///< probe missed; memory serviced, line installed
+    BypassedMemory, ///< memory serviced and the fill was bypassed
+    NtcAvoidedProbe ///< NTC/TTC proved a miss without probing the array
+};
+
+/** Stable lower-case name for reports. */
+const char *serviceSourceName(ServiceSource source);
+
 /** Result of a demand (LLC-miss) read. */
 struct DramCacheReadOutcome
 {
-    bool hit = false;       ///< serviced by the DRAM cache
+    ServiceSource source = ServiceSource::L4MissMemory;
     Cycle dataReady = 0;    ///< cycle at which the demand data arrives
     bool presentAfter = false; ///< line resides in the L4 afterwards (DCP)
+
+    /** Serviced by the DRAM cache? */
+    constexpr bool hit() const { return source == ServiceSource::L4Hit; }
 };
 
 /** Notification that the DRAM cache evicted/invalidated a line. */
@@ -57,17 +87,35 @@ class DramCache
 
     /**
      * Service an LLC demand miss for @p line issued at @p at.  @p pc
-     * and @p core feed PC-indexed predictors (MAP-I).
+     * and @p core feed PC-indexed predictors (MAP-I).  Non-virtual:
+     * counts the hit/miss, samples the latency distribution and emits
+     * the trace event around the design's serviceRead().
      */
-    virtual DramCacheReadOutcome read(Cycle at, LineAddr line, Pc pc,
-                                      CoreId core) = 0;
+    DramCacheReadOutcome
+    read(Cycle at, LineAddr line, Pc pc, CoreId core)
+    {
+        const DramCacheReadOutcome out = serviceRead(at, line, pc, core);
+        const Cycles latency{out.dataReady - at};
+        if (out.hit()) {
+            ++demand_hits_;
+            hit_latency_.sample(latency);
+        } else {
+            ++demand_misses_;
+            miss_latency_.sample(latency);
+        }
+        if (trace_) {
+            trace_->record(obs::TraceEventKind::DemandRead, at, line,
+                           latency.count());
+        }
+        return out;
+    }
 
-    /**
-     * Handle a dirty eviction from the LLC.  @p dcp is the victim's
-     * DRAM-cache-presence bit (meaningful only to BEAR's DCP scheme;
-     * other designs ignore it).
-     */
-    virtual void writeback(Cycle at, LineAddr line, bool dcp) = 0;
+    /** Handle a dirty eviction from the LLC (non-virtual wrapper). */
+    void
+    writeback(const WritebackRequest &request)
+    {
+        serviceWriteback(request);
+    }
 
     /** Design name for reports. */
     virtual std::string name() const = 0;
@@ -87,10 +135,30 @@ class DramCache
         eviction_listener_ = std::move(listener);
     }
 
+    /** Attach (or detach with nullptr) an event trace sink. */
+    void setTrace(obs::EventTrace *trace) { trace_ = trace; }
+
     std::uint64_t demandHits() const { return demand_hits_; }
     std::uint64_t demandMisses() const { return demand_misses_; }
     std::uint64_t writebackHits() const { return writeback_hits_; }
     std::uint64_t writebackMisses() const { return writeback_misses_; }
+
+    /** Demand-hit service-latency distribution. */
+    const obs::LatencyHistogram &
+    hitLatencyHistogram() const
+    {
+        return hit_latency_;
+    }
+
+    /** Demand-miss service-latency distribution. */
+    const obs::LatencyHistogram &
+    missLatencyHistogram() const
+    {
+        return miss_latency_;
+    }
+
+    double avgHitLatency() const { return hit_latency_.mean(); }
+    double avgMissLatency() const { return miss_latency_.mean(); }
 
     double
     hitRate() const
@@ -108,9 +176,23 @@ class DramCache
         demand_misses_ = 0;
         writeback_hits_ = 0;
         writeback_misses_ = 0;
+        hit_latency_.reset();
+        miss_latency_.reset();
     }
 
   protected:
+    /**
+     * The design's read policy.  Must fill `source`, `dataReady` and
+     * `presentAfter`; must NOT touch the demand counters or latency
+     * histograms — the read() wrapper owns those.
+     */
+    virtual DramCacheReadOutcome serviceRead(Cycle at, LineAddr line,
+                                             Pc pc, CoreId core) = 0;
+
+    /** The design's writeback policy (updates writeback_{hits,misses}_
+     *  itself: only the probe knows whether the line was present). */
+    virtual void serviceWriteback(const WritebackRequest &request) = 0;
+
     /** Tell the hierarchy a line left the cache; true => dirty on-chip
      *  copy dropped (inclusive designs must push it to memory). */
     bool
@@ -122,6 +204,7 @@ class DramCache
     DramSystem &dram_;
     DramSystem &memory_;
     BloatTracker &bloat_;
+    obs::EventTrace *trace_ = nullptr;
 
     std::uint64_t demand_hits_ = 0;
     std::uint64_t demand_misses_ = 0;
@@ -130,6 +213,9 @@ class DramCache
 
   private:
     EvictionListener eviction_listener_;
+
+    obs::LatencyHistogram hit_latency_;
+    obs::LatencyHistogram miss_latency_;
 };
 
 /**

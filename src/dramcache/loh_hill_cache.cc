@@ -85,10 +85,14 @@ LohHillCache::install(Cycle at, std::uint64_t set, LineAddr line)
     // New data line plus the tag line holding this way's tag.
     dram_.write(at, coord, kLineSize + kLineSize);
     bloat_.note(BloatCategory::MissFill, kLineSize + kLineSize);
+    if (trace_) {
+        trace_->record(obs::TraceEventKind::Fill, at, line,
+                       (kLineSize + kLineSize).count());
+    }
 }
 
 DramCacheReadOutcome
-LohHillCache::read(Cycle at, LineAddr line, Pc, CoreId)
+LohHillCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
 {
     const std::uint64_t set = setOf(line);
     const std::uint64_t tag = tagOf(line);
@@ -102,7 +106,6 @@ LohHillCache::read(Cycle at, LineAddr line, Pc, CoreId)
 
     DramCacheReadOutcome outcome;
     if (hit) {
-        ++demand_hits_;
         // Read the 3 tag lines, then the data line from the open row.
         const DramResult tag_read = dram_.read(dispatch, coord, kTagBytes);
         const DramResult data_read =
@@ -113,20 +116,18 @@ LohHillCache::read(Cycle at, LineAddr line, Pc, CoreId)
         dram_.write(data_read.dataReady, coord, kLineSize);
         bloat_.note(BloatCategory::HitProbe, kLineSize);
         touch(set, way);
-        outcome.hit = true;
+        outcome.source = ServiceSource::L4Hit;
         outcome.presentAfter = true;
         outcome.dataReady = data_read.dataReady;
-        hit_latency_.sample(static_cast<double>(outcome.dataReady - at));
         return outcome;
     }
 
-    ++demand_misses_;
     // MissMap/predictor filters the miss: no Miss Probe is issued.
     const Cycle mem_issue =
         config_.perfectPredictor ? at : dispatch;
     const DramResult mem = memory_.readLine(mem_issue, line);
+    outcome.source = ServiceSource::L4MissMemory;
     outcome.dataReady = mem.dataReady;
-    miss_latency_.sample(static_cast<double>(mem.dataReady - at));
 
     install(mem.dataReady, set, line);
     outcome.presentAfter = true;
@@ -134,8 +135,10 @@ LohHillCache::read(Cycle at, LineAddr line, Pc, CoreId)
 }
 
 void
-LohHillCache::writeback(Cycle at, LineAddr line, bool)
+LohHillCache::serviceWriteback(const WritebackRequest &request)
 {
+    const Cycle at = request.issuedAt;
+    const LineAddr line = request.line;
     const std::uint64_t set = setOf(line);
     const std::uint64_t tag = tagOf(line);
     const DramCoord coord = coordOf(set);
@@ -144,6 +147,10 @@ LohHillCache::writeback(Cycle at, LineAddr line, bool)
     // tag lines are read to locate the way.
     const DramResult probe = dram_.read(at, coord, kTagBytes);
     bloat_.note(BloatCategory::WritebackProbe, kTagBytes);
+    if (trace_) {
+        trace_->record(obs::TraceEventKind::WritebackProbe, at, line,
+                       kTagBytes.count());
+    }
 
     const std::uint32_t way = findWay(set, tag);
     if (way != kWays) {
@@ -172,14 +179,6 @@ LohHillCache::holdsDirty(LineAddr line) const
     const std::uint64_t set = setOf(line);
     const std::uint32_t way = findWay(set, tagOf(line));
     return way != kWays && ways_[set * kWays + way].dirty;
-}
-
-void
-LohHillCache::resetStats()
-{
-    DramCache::resetStats();
-    hit_latency_.reset();
-    miss_latency_.reset();
 }
 
 } // namespace bear

@@ -8,7 +8,6 @@
 #ifndef BEAR_DRAMCACHE_NO_CACHE_HH
 #define BEAR_DRAMCACHE_NO_CACHE_HH
 
-#include "common/stats.hh"
 #include "dramcache/dram_cache.hh"
 
 namespace bear
@@ -23,35 +22,24 @@ class NoCache : public DramCache
     {
     }
 
+    std::string name() const override { return "NoDRAMCache"; }
+
+  protected:
     DramCacheReadOutcome
-    read(Cycle at, LineAddr line, Pc, CoreId) override
+    serviceRead(Cycle at, LineAddr line, Pc, CoreId) override
     {
-        ++demand_misses_;
         DramCacheReadOutcome outcome;
+        outcome.source = ServiceSource::BypassedMemory;
         outcome.dataReady = memory_.readLine(at, line).dataReady;
-        miss_latency_.sample(static_cast<double>(outcome.dataReady - at));
         return outcome;
     }
 
     void
-    writeback(Cycle at, LineAddr line, bool) override
+    serviceWriteback(const WritebackRequest &request) override
     {
         ++writeback_misses_;
-        memory_.writeLine(at, line);
+        memory_.writeLine(request.issuedAt, request.line);
     }
-
-    std::string name() const override { return "NoDRAMCache"; }
-    double avgMissLatency() const { return miss_latency_.mean(); }
-
-    void
-    resetStats() override
-    {
-        DramCache::resetStats();
-        miss_latency_.reset();
-    }
-
-  private:
-    Average miss_latency_;
 };
 
 } // namespace bear

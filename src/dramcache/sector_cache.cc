@@ -106,7 +106,7 @@ SectorCache::evictSector(Cycle at, std::uint64_t set, std::uint32_t way)
 }
 
 DramCacheReadOutcome
-SectorCache::read(Cycle at, LineAddr line, Pc, CoreId)
+SectorCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
 {
     const std::uint64_t sector = sectorOf(line);
     const std::uint64_t set = setOf(sector);
@@ -116,23 +116,20 @@ SectorCache::read(Cycle at, LineAddr line, Pc, CoreId)
 
     DramCacheReadOutcome outcome;
     if (way != kWays && sectors_[set * kWays + way].blockValid[block]) {
-        ++demand_hits_;
         const DramResult res =
             dram_.read(at, coordOf(set, way, block), kLineSize);
         bloat_.note(BloatCategory::HitProbe, kLineSize);
         bloat_.noteUseful();
         touch(set, way);
-        outcome.hit = true;
+        outcome.source = ServiceSource::L4Hit;
         outcome.presentAfter = true;
         outcome.dataReady = res.dataReady;
-        hit_latency_.sample(static_cast<double>(res.dataReady - at));
         return outcome;
     }
 
-    ++demand_misses_;
     const DramResult mem = memory_.readLine(at, line);
+    outcome.source = ServiceSource::L4MissMemory;
     outcome.dataReady = mem.dataReady;
-    miss_latency_.sample(static_cast<double>(mem.dataReady - at));
 
     if (way == kWays) {
         // Allocate the sector, evicting an LRU victim if needed.
@@ -151,13 +148,19 @@ SectorCache::read(Cycle at, LineAddr line, Pc, CoreId)
     touch(set, way);
     dram_.write(at, coordOf(set, way, block), kLineSize);
     bloat_.note(BloatCategory::MissFill, kLineSize);
+    if (trace_) {
+        trace_->record(obs::TraceEventKind::Fill, at, line,
+                       kLineSize.count());
+    }
     outcome.presentAfter = true;
     return outcome;
 }
 
 void
-SectorCache::writeback(Cycle at, LineAddr line, bool)
+SectorCache::serviceWriteback(const WritebackRequest &request)
 {
+    const Cycle at = request.issuedAt;
+    const LineAddr line = request.line;
     const std::uint64_t sector = sectorOf(line);
     const std::uint64_t set = setOf(sector);
     const std::uint32_t block = blockOf(line);
@@ -244,8 +247,6 @@ void
 SectorCache::resetStats()
 {
     DramCache::resetStats();
-    hit_latency_.reset();
-    miss_latency_.reset();
     sector_evictions_ = 0;
     dirty_flushed_ = 0;
     blocks_prefetched_ = 0;

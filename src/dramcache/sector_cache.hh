@@ -21,7 +21,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/stats.hh"
 #include "dramcache/dram_cache.hh"
 
 namespace bear
@@ -60,9 +59,6 @@ class SectorCache : public DramCache
     SectorCache(const SectorCacheConfig &config, DramSystem &dram,
                 DramSystem &memory, BloatTracker &bloat);
 
-    DramCacheReadOutcome read(Cycle at, LineAddr line, Pc pc,
-                              CoreId core) override;
-    void writeback(Cycle at, LineAddr line, bool dcp) override;
     std::string name() const override { return config_.name; }
     Bytes sramOverheadBytes() const override;
     void resetStats() override;
@@ -70,11 +66,14 @@ class SectorCache : public DramCache
     bool contains(LineAddr line) const;
     bool holdsDirty(LineAddr line) const override;
     std::uint64_t sets() const { return sets_; }
-    double avgHitLatency() const { return hit_latency_.mean(); }
-    double avgMissLatency() const { return miss_latency_.mean(); }
     std::uint64_t sectorEvictions() const { return sector_evictions_; }
     std::uint64_t dirtyBlocksFlushed() const { return dirty_flushed_; }
     std::uint64_t blocksPrefetched() const { return blocks_prefetched_; }
+
+  protected:
+    DramCacheReadOutcome serviceRead(Cycle at, LineAddr line, Pc pc,
+                                     CoreId core) override;
+    void serviceWriteback(const WritebackRequest &request) override;
 
   private:
     struct Sector
@@ -132,8 +131,6 @@ class SectorCache : public DramCache
     std::unordered_map<std::uint64_t, std::bitset<kBlocksPerSector>>
         footprints_;
 
-    Average hit_latency_;
-    Average miss_latency_;
     std::uint64_t sector_evictions_ = 0;
     std::uint64_t dirty_flushed_ = 0;
     std::uint64_t blocks_prefetched_ = 0;

@@ -69,7 +69,7 @@ TisCache::touch(std::uint64_t set, std::uint32_t way)
 }
 
 DramCacheReadOutcome
-TisCache::read(Cycle at, LineAddr line, Pc, CoreId)
+TisCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
 {
     const std::uint64_t set = setOf(line);
     const std::uint64_t tag = tagOf(line);
@@ -77,23 +77,20 @@ TisCache::read(Cycle at, LineAddr line, Pc, CoreId)
 
     DramCacheReadOutcome outcome;
     if (way != kWays) {
-        ++demand_hits_;
         // Tags are on chip: the DRAM access moves only the data line.
         const DramResult res = dram_.read(at, coordOf(set, way), kLineSize);
         bloat_.note(BloatCategory::HitProbe, kLineSize);
         bloat_.noteUseful();
         touch(set, way);
-        outcome.hit = true;
+        outcome.source = ServiceSource::L4Hit;
         outcome.presentAfter = true;
         outcome.dataReady = res.dataReady;
-        hit_latency_.sample(static_cast<double>(res.dataReady - at));
         return outcome;
     }
 
-    ++demand_misses_;
     const DramResult mem = memory_.readLine(at, line);
+    outcome.source = ServiceSource::L4MissMemory;
     outcome.dataReady = mem.dataReady;
-    miss_latency_.sample(static_cast<double>(mem.dataReady - at));
 
     // Fill, evicting the LRU way.
     const std::uint32_t victim = victimWay(set);
@@ -113,13 +110,19 @@ TisCache::read(Cycle at, LineAddr line, Pc, CoreId)
     touch(set, victim);
     dram_.write(at, coordOf(set, victim), kLineSize);
     bloat_.note(BloatCategory::MissFill, kLineSize);
+    if (trace_) {
+        trace_->record(obs::TraceEventKind::Fill, at, line,
+                       kLineSize.count());
+    }
     outcome.presentAfter = true;
     return outcome;
 }
 
 void
-TisCache::writeback(Cycle at, LineAddr line, bool)
+TisCache::serviceWriteback(const WritebackRequest &request)
 {
+    const Cycle at = request.issuedAt;
+    const LineAddr line = request.line;
     const std::uint64_t set = setOf(line);
     const std::uint32_t way = findWay(set, tagOf(line));
     if (way != kWays) {
@@ -153,14 +156,6 @@ Bytes
 TisCache::sramOverheadBytes() const
 {
     return Bytes{sets_ * kWays * kTagBytesPerLine};
-}
-
-void
-TisCache::resetStats()
-{
-    DramCache::resetStats();
-    hit_latency_.reset();
-    miss_latency_.reset();
 }
 
 } // namespace bear

@@ -19,7 +19,6 @@
 #include <string>
 #include <vector>
 
-#include "common/stats.hh"
 #include "dramcache/dram_cache.hh"
 
 namespace bear
@@ -35,18 +34,17 @@ class TisCache : public DramCache
     TisCache(std::uint64_t capacity_bytes, DramSystem &dram,
              DramSystem &memory, BloatTracker &bloat);
 
-    DramCacheReadOutcome read(Cycle at, LineAddr line, Pc pc,
-                              CoreId core) override;
-    void writeback(Cycle at, LineAddr line, bool dcp) override;
     std::string name() const override { return "TIS"; }
     Bytes sramOverheadBytes() const override;
-    void resetStats() override;
 
     bool contains(LineAddr line) const;
     bool holdsDirty(LineAddr line) const override;
     std::uint64_t sets() const { return sets_; }
-    double avgHitLatency() const { return hit_latency_.mean(); }
-    double avgMissLatency() const { return miss_latency_.mean(); }
+
+  protected:
+    DramCacheReadOutcome serviceRead(Cycle at, LineAddr line, Pc pc,
+                                     CoreId core) override;
+    void serviceWriteback(const WritebackRequest &request) override;
 
   private:
     struct WayState
@@ -70,9 +68,6 @@ class TisCache : public DramCache
     std::vector<WayState> ways_;
     std::vector<std::uint64_t> lru_;
     std::uint64_t tick_ = 1;
-
-    Average hit_latency_;
-    Average miss_latency_;
 };
 
 } // namespace bear

@@ -63,7 +63,8 @@ DramChannel::DramChannel(const DramTiming &timing,
                          const DramGeometry &geometry,
                          const WriteQueuePolicy &wq)
     : timing_(timing), geometry_(geometry), wq_policy_(wq),
-      banks_(geometry.banksPerChannel)
+      banks_(geometry.banksPerChannel),
+      bank_stats_(geometry.banksPerChannel)
 {
     bear_assert(geometry.banksPerChannel > 0, "channel needs banks");
     bear_assert(geometry.busBeatWidth > BeatWidth{0}, "bus must move data");
@@ -84,14 +85,25 @@ DramChannel::service(Cycle at, std::uint32_t bank_idx, std::uint64_t row,
 {
     bear_assert(bank_idx < banks_.size(), "bank ", bank_idx, " out of range");
     Bank &bank = banks_[bank_idx];
+    BankCounters &counters = bank_stats_[bank_idx];
 
     const Cycle start = std::max(at, bank.ready);
+    if (start > at) {
+        // The request waited for the bank to free up: the contention
+        // the paper's Figure 15 sweeps banks to relieve.
+        counters.conflictStallCycles += Cycles{start - at};
+        if (trace_) {
+            trace_->record(obs::TraceEventKind::BankConflictStall, at,
+                           bank_id_base_ + bank_idx, start - at);
+        }
+    }
     Cycle array_latency;
     bool row_hit = false;
     if (bank.rowOpen && bank.openRow == row) {
         array_latency = timing_.tCAS;
         row_hit = true;
     } else if (bank.rowOpen) {
+        ++counters.rowConflicts;
         // Row conflict: precharge (respecting tRAS since the previous
         // activate), activate the new row, then CAS.
         const Cycle precharge_start =
@@ -120,8 +132,13 @@ DramChannel::service(Cycle at, std::uint32_t bank_idx, std::uint64_t row,
     if (account_bytes)
         bytes_transferred_ += volume;
     bus_busy_cycles_ += burst;
-    if (row_hit)
+    if (row_hit) {
         ++row_hits_;
+        ++counters.rowHits;
+    }
+    counters.busyCycles += Cycles{bank.ready - start};
+    activity_start_ = std::min(activity_start_, at);
+    activity_end_ = std::max(activity_end_, data_end);
 
     DramResult result;
     result.dataReady = data_end;
@@ -141,12 +158,16 @@ DramChannel::read(Cycle at, std::uint32_t bank, std::uint64_t row,
     // actually arrived by now may delay this read; a large backlog of
     // arrived writes forces a drain ahead of the read (the read-
     // priority scheduler can no longer defer them).
+    bear_assert(bank < banks_.size(), "bank ", bank, " out of range");
     if (arrivedWrites(at) >= wq_policy_.drainHigh)
         drainWrites(at, wq_policy_.drainLow);
     ++reads_;
+    ++bank_stats_[bank].reads;
     const DramResult result = service(at, bank, row, volume);
     read_queue_delay_.sample(static_cast<double>(result.queueDelay));
     read_latency_.sample(static_cast<double>(result.dataReady - at));
+    queue_delay_hist_.sample(Cycles{result.queueDelay});
+    read_latency_hist_.sample(Cycles{result.dataReady - at});
     return result;
 }
 
@@ -167,7 +188,9 @@ void
 DramChannel::write(Cycle at, std::uint32_t bank, std::uint64_t row,
                    Bytes volume)
 {
+    bear_assert(bank < banks_.size(), "bank ", bank, " out of range");
     ++writes_;
+    ++bank_stats_[bank].writes;
     // Posted writes are accounted when they enter the queue so that
     // byte counters line up with the bloat tracker's post-time view
     // (the data burst itself happens at drain time).
@@ -179,6 +202,7 @@ DramChannel::write(Cycle at, std::uint32_t bank, std::uint64_t row,
     while (it != write_queue_.begin() && (it - 1)->arrival > at)
         --it;
     write_queue_.insert(it, w);
+    write_queue_depth_hist_.sample(Count{write_queue_.size()});
 
     // Backstop: never let the physical queue structure overflow even
     // if no read arrives to trigger a drain.
@@ -208,6 +232,13 @@ DramChannel::resetStats()
     writes_ = 0;
     row_hits_ = 0;
     bus_busy_cycles_ = 0;
+    for (auto &b : bank_stats_)
+        b = BankCounters{};
+    read_latency_hist_.reset();
+    queue_delay_hist_.reset();
+    write_queue_depth_hist_.reset();
+    activity_start_ = ~Cycle{0};
+    activity_end_ = 0;
 }
 
 } // namespace bear

@@ -27,9 +27,27 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/dram_config.hh"
+#include "obs/event_trace.hh"
+#include "obs/histogram.hh"
 
 namespace bear
 {
+
+/**
+ * Per-bank activity counters (paper Section 7.4: bank conflicts are
+ * where bandwidth bloat turns into queueing delay).  busyCycles is the
+ * time the bank was occupied servicing commands; conflictStallCycles is
+ * the time requests spent waiting for this bank to free up.
+ */
+struct BankCounters
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowConflicts = 0;
+    Cycles busyCycles{0};
+    Cycles conflictStallCycles{0};
+};
 
 /** Timing outcome of one DRAM access. */
 struct DramResult
@@ -125,6 +143,52 @@ class DramChannel
     std::uint64_t busBusyCycles() const { return bus_busy_cycles_; }
     std::size_t writeQueueDepth() const { return write_queue_.size(); }
 
+    /** Per-bank activity since the last resetStats(). */
+    const BankCounters &
+    bankCounters(std::uint32_t bank) const
+    {
+        return bank_stats_[bank];
+    }
+
+    /** Read service-latency distribution (arrival to last data beat). */
+    const obs::LatencyHistogram &
+    readLatencyHistogram() const
+    {
+        return read_latency_hist_;
+    }
+
+    /** Read queueing-delay distribution (bank/bus contention time). */
+    const obs::LatencyHistogram &
+    queueDelayHistogram() const
+    {
+        return queue_delay_hist_;
+    }
+
+    /** Write-queue occupancy distribution, sampled at each post. */
+    const obs::DepthHistogram &
+    writeQueueDepthHistogram() const
+    {
+        return write_queue_depth_hist_;
+    }
+
+    /** First request arrival observed since the last resetStats(). */
+    Cycle activityStart() const { return activity_start_; }
+
+    /** Last data-beat completion observed since the last resetStats(). */
+    Cycle activityEnd() const { return activity_end_; }
+
+    /**
+     * Attach (or detach with nullptr) an event trace; @p bank_id_base
+     * offsets this channel's bank indices into the system-wide flat
+     * bank id recorded with BankConflictStall events.
+     */
+    void
+    setTrace(obs::EventTrace *trace, std::uint32_t bank_id_base)
+    {
+        trace_ = trace;
+        bank_id_base_ = bank_id_base;
+    }
+
     /** Zero all statistics (warm-up boundary); timing state is kept. */
     void resetStats();
 
@@ -168,6 +232,15 @@ class DramChannel
     std::uint64_t writes_ = 0;
     std::uint64_t row_hits_ = 0;
     std::uint64_t bus_busy_cycles_ = 0;
+
+    std::vector<BankCounters> bank_stats_;
+    obs::LatencyHistogram read_latency_hist_;
+    obs::LatencyHistogram queue_delay_hist_;
+    obs::DepthHistogram write_queue_depth_hist_;
+    Cycle activity_start_ = ~Cycle{0};
+    Cycle activity_end_ = 0;
+    obs::EventTrace *trace_ = nullptr;
+    std::uint32_t bank_id_base_ = 0;
 };
 
 } // namespace bear

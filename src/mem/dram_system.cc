@@ -1,5 +1,7 @@
 #include "mem/dram_system.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace bear
@@ -93,6 +95,78 @@ DramSystem::totalBusBusyCycles() const
     for (const auto &c : channels_)
         total += c.busBusyCycles();
     return total;
+}
+
+std::vector<BankUtilization>
+DramSystem::bankUtilization() const
+{
+    // One shared span keeps utilizations comparable across banks: a
+    // bank idle all run reads as ~0 even if it briefly served a burst.
+    Cycle span_start = ~Cycle{0};
+    Cycle span_end = 0;
+    for (const auto &c : channels_) {
+        span_start = std::min(span_start, c.activityStart());
+        span_end = std::max(span_end, c.activityEnd());
+    }
+    const double span = span_end > span_start
+        ? static_cast<double>(span_end - span_start)
+        : 0.0;
+
+    std::vector<BankUtilization> out;
+    out.reserve(static_cast<std::size_t>(geometry_.channels)
+                * geometry_.banksPerChannel);
+    for (std::uint32_t ch = 0; ch < geometry_.channels; ++ch) {
+        for (std::uint32_t b = 0; b < geometry_.banksPerChannel; ++b) {
+            const BankCounters &counters = channels_[ch].bankCounters(b);
+            BankUtilization u;
+            u.channel = ch;
+            u.bank = b;
+            u.reads = counters.reads;
+            u.writes = counters.writes;
+            u.rowHits = counters.rowHits;
+            u.rowConflicts = counters.rowConflicts;
+            u.busyCycles = counters.busyCycles;
+            u.conflictStallCycles = counters.conflictStallCycles;
+            u.utilization =
+                span > 0.0 ? counters.busyCycles.toDouble() / span : 0.0;
+            out.push_back(u);
+        }
+    }
+    return out;
+}
+
+obs::LatencyHistogram
+DramSystem::readLatencyHistogram() const
+{
+    obs::LatencyHistogram merged;
+    for (const auto &c : channels_)
+        merged.merge(c.readLatencyHistogram());
+    return merged;
+}
+
+obs::LatencyHistogram
+DramSystem::queueDelayHistogram() const
+{
+    obs::LatencyHistogram merged;
+    for (const auto &c : channels_)
+        merged.merge(c.queueDelayHistogram());
+    return merged;
+}
+
+obs::DepthHistogram
+DramSystem::writeQueueDepthHistogram() const
+{
+    obs::DepthHistogram merged;
+    for (const auto &c : channels_)
+        merged.merge(c.writeQueueDepthHistogram());
+    return merged;
+}
+
+void
+DramSystem::setTrace(obs::EventTrace *trace)
+{
+    for (std::uint32_t ch = 0; ch < geometry_.channels; ++ch)
+        channels_[ch].setTrace(trace, ch * geometry_.banksPerChannel);
 }
 
 void

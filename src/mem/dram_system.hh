@@ -36,6 +36,22 @@ struct DramCoord
     std::uint64_t row = 0;
 };
 
+/** One bank's activity snapshot, for reports and the bank sweep. */
+struct BankUtilization
+{
+    std::uint32_t channel = 0;
+    std::uint32_t bank = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowConflicts = 0;
+    Cycles busyCycles{0};
+    Cycles conflictStallCycles{0};
+    /** busyCycles over the system's observed activity span (0..1+;
+     *  pipelined row hits can push a hot bank past 1.0 briefly). */
+    double utilization = 0.0;
+};
+
 /** Multi-channel DRAM with line-interleaved default address mapping. */
 class DramSystem
 {
@@ -114,6 +130,27 @@ class DramSystem
         }
         return n ? sum / static_cast<double>(n) : 0.0;
     }
+
+    /**
+     * Per-bank activity snapshot since the last resetStats(), with
+     * utilization computed against the busiest observed activity span
+     * across all channels.  Ordered channel-major (flat bank id =
+     * channel * banksPerChannel + bank).
+     */
+    std::vector<BankUtilization> bankUtilization() const;
+
+    /** Read service-latency distribution, merged over channels. */
+    obs::LatencyHistogram readLatencyHistogram() const;
+
+    /** Read queueing-delay distribution, merged over channels. */
+    obs::LatencyHistogram queueDelayHistogram() const;
+
+    /** Write-queue depth distribution, merged over channels. */
+    obs::DepthHistogram writeQueueDepthHistogram() const;
+
+    /** Attach (or detach with nullptr) an event trace to every
+     *  channel; flat bank ids in events are channel-major. */
+    void setTrace(obs::EventTrace *trace);
 
     void resetStats();
     void drainAll(Cycle at);

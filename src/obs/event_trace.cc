@@ -1,0 +1,67 @@
+#include "obs/event_trace.hh"
+
+#include <algorithm>
+
+namespace bear::obs
+{
+
+const char *
+traceEventName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::DemandRead:
+        return "demandRead";
+      case TraceEventKind::Fill:
+        return "fill";
+      case TraceEventKind::Bypass:
+        return "bypass";
+      case TraceEventKind::WritebackProbe:
+        return "writebackProbe";
+      case TraceEventKind::NtcAvoidedProbe:
+        return "ntcAvoidedProbe";
+      case TraceEventKind::DcpShortCircuit:
+        return "dcpShortCircuit";
+      case TraceEventKind::BankConflictStall:
+        return "bankConflictStall";
+    }
+    return "unknown";
+}
+
+EventTrace::EventTrace(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1))
+{
+}
+
+void
+EventTrace::record(TraceEventKind kind, Cycle at, std::uint64_t where,
+                   std::uint64_t value)
+{
+    ring_[next_] = TraceEvent{at, where, value, kind};
+    next_ = (next_ + 1) % ring_.size();
+    ++recorded_;
+    ++kind_counts_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<TraceEvent>
+EventTrace::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    const std::size_t held =
+        std::min<std::uint64_t>(recorded_, ring_.size());
+    out.reserve(held);
+    // Oldest retained event sits at next_ once the ring has wrapped.
+    const std::size_t start = recorded_ > ring_.size() ? next_ : 0;
+    for (std::size_t i = 0; i < held; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+void
+EventTrace::reset()
+{
+    next_ = 0;
+    recorded_ = 0;
+    kind_counts_.fill(0);
+}
+
+} // namespace bear::obs

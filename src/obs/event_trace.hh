@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Typed, ring-buffered event tracing.
+ *
+ * Scalar counters say *how much* bloat a run produced; the trace says
+ * *when*: the cycle BAB flipped its bypass decision, the window where
+ * a bank serialized behind row conflicts, the DCP short-circuits that
+ * made a writeback free.  Events are small fixed-size records in a
+ * bounded ring, so a trace of any length costs O(capacity) memory and
+ * the newest events survive — the tail of a run is where steady-state
+ * behaviour lives.
+ *
+ * Zero cost when disabled: producers hold an `EventTrace *` that is
+ * null by default, and every emission site guards with `if (trace_)`.
+ * No trace object, no branch taken, no bytes written; the simulator's
+ * hot loop is unchanged unless the user opts in (BEAR_TRACE=N).
+ */
+
+#ifndef BEAR_OBS_EVENT_TRACE_HH
+#define BEAR_OBS_EVENT_TRACE_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bear::obs
+{
+
+/** What happened.  Keep in sync with traceEventName(). */
+enum class TraceEventKind : std::uint8_t
+{
+    DemandRead,       ///< CPU-side demand read reached the DRAM cache.
+    Fill,             ///< A line was installed into the DRAM cache.
+    Bypass,           ///< BAB sent a fill (or NoCache a read) around it.
+    WritebackProbe,   ///< A writeback paid a tag probe in the cache.
+    NtcAvoidedProbe,  ///< NTC/TTC guaranteed-miss skipped the probe.
+    DcpShortCircuit,  ///< DCP bit resolved a writeback without a probe.
+    BankConflictStall ///< A DRAM access waited on a busy bank.
+};
+
+constexpr int kTraceEventKinds = 7;
+
+/** Stable lower-case name for reports and the trace_stats tool. */
+const char *traceEventName(TraceEventKind kind);
+
+/**
+ * One traced occurrence.  `value` is kind-specific: bytes moved for
+ * traffic events, stall cycles for BankConflictStall, zero otherwise.
+ * `where` is a line address for cache-level events and a flat bank id
+ * for DRAM-level ones.
+ */
+struct TraceEvent
+{
+    Cycle at = 0;
+    std::uint64_t where = 0;
+    std::uint64_t value = 0;
+    TraceEventKind kind = TraceEventKind::DemandRead;
+};
+
+/**
+ * Bounded ring of TraceEvents plus always-exact per-kind counts.
+ * When the ring wraps, the oldest events are overwritten; recorded()
+ * and kindCount() keep counting, so the drop is observable.
+ */
+class EventTrace
+{
+  public:
+    explicit EventTrace(std::size_t capacity);
+
+    void record(TraceEventKind kind, Cycle at, std::uint64_t where,
+                std::uint64_t value = 0);
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Total events ever recorded (including overwritten ones). */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Events lost to ring wraparound. */
+    std::uint64_t
+    dropped() const
+    {
+        return recorded_ <= ring_.size() ? 0 : recorded_ - ring_.size();
+    }
+
+    std::uint64_t
+    kindCount(TraceEventKind kind) const
+    {
+        return kind_counts_[static_cast<std::size_t>(kind)];
+    }
+
+    /** The retained events, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    void reset();
+
+  private:
+    std::vector<TraceEvent> ring_;
+    std::size_t next_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::array<std::uint64_t, kTraceEventKinds> kind_counts_ = {};
+};
+
+} // namespace bear::obs
+
+#endif // BEAR_OBS_EVENT_TRACE_HH

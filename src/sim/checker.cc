@@ -66,17 +66,17 @@ DirtyDataChecker::read(Cycle at, LineAddr line, Pc pc, CoreId core)
 }
 
 void
-DirtyDataChecker::writeback(Cycle at, LineAddr line, bool dcp)
+DirtyDataChecker::writeback(const WritebackRequest &request)
 {
     // Tentatively mark the newest copy as cache-resident; if the
     // design forwards it to main memory instead, the write hook clears
     // the mark during the call.  A design that does neither is caught
     // by the verify below.
     snapshotBandwidth();
-    cache_dirty_.insert(line);
-    design_.writeback(at, line, dcp);
-    verify(line);
-    verifyBandwidth("writeback", line);
+    cache_dirty_.insert(request.line);
+    design_.writeback(request);
+    verify(request.line);
+    verifyBandwidth("writeback", request.line);
 }
 
 void

@@ -42,7 +42,7 @@ class DirtyDataChecker
                               CoreId core);
 
     /** Issue a writeback through the design, then verify. */
-    void writeback(Cycle at, LineAddr line, bool dcp);
+    void writeback(const WritebackRequest &request);
 
     /** Lines whose newest copy currently lives only in the cache. */
     std::size_t dirtyTracked() const { return cache_dirty_.size(); }

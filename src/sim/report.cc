@@ -12,10 +12,39 @@ namespace bear
 namespace
 {
 
+/** Summary + the populated log2 buckets of one distribution. */
+template <typename Unit>
+void
+writeHistogram(JsonWriter &json, const std::string &key,
+               const obs::Histogram<Unit> &hist)
+{
+    json.beginObject(key);
+    json.field("count", hist.count());
+    json.field("mean", hist.mean());
+    json.field("min", hist.min().count());
+    json.field("max", hist.max().count());
+    json.field("p50", hist.percentile(0.50).count());
+    json.field("p95", hist.percentile(0.95).count());
+    json.field("p99", hist.percentile(0.99).count());
+    json.beginArray("buckets");
+    for (int i = 0; i < obs::Histogram<Unit>::kBuckets; ++i) {
+        if (hist.bucketCount(i) == 0)
+            continue;
+        json.beginObject();
+        json.field("low", obs::Histogram<Unit>::bucketLow(i));
+        json.field("count", hist.bucketCount(i));
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
 void
 writeStats(JsonWriter &json, const SystemStats &stats)
 {
     json.beginObject("stats");
+    json.field("schemaVersion",
+               static_cast<std::int64_t>(SystemStats::kSchemaVersion));
     json.field("ipcTotal", stats.ipcTotal);
     json.field("execCycles",
                static_cast<std::uint64_t>(stats.execCycles));
@@ -43,6 +72,47 @@ writeStats(JsonWriter &json, const SystemStats &stats)
     for (double ipc : stats.ipcPerCore)
         json.value(ipc);
     json.endArray();
+
+    // Schema v2: full distributions behind the scalar summaries.
+    json.beginObject("histograms");
+    writeHistogram(json, "l4HitLatency", stats.l4HitLatencyHist);
+    writeHistogram(json, "l4MissLatency", stats.l4MissLatencyHist);
+    writeHistogram(json, "l4QueueDelay", stats.l4QueueDelayHist);
+    writeHistogram(json, "memQueueDelay", stats.memQueueDelayHist);
+    writeHistogram(json, "l4WriteQueueDepth",
+                   stats.l4WriteQueueDepthHist);
+    json.endObject();
+
+    json.beginArray("perBank");
+    for (const BankUtilization &bank : stats.l4Banks) {
+        json.beginObject();
+        json.field("channel", static_cast<std::uint64_t>(bank.channel));
+        json.field("bank", static_cast<std::uint64_t>(bank.bank));
+        json.field("reads", bank.reads);
+        json.field("writes", bank.writes);
+        json.field("rowHits", bank.rowHits);
+        json.field("rowConflicts", bank.rowConflicts);
+        json.field("busyCycles", bank.busyCycles.count());
+        json.field("conflictStallCycles",
+                   bank.conflictStallCycles.count());
+        json.field("utilization", bank.utilization);
+        json.endObject();
+    }
+    json.endArray();
+
+    if (stats.trace.enabled) {
+        json.beginObject("trace");
+        json.field("recorded", stats.trace.recorded);
+        json.field("dropped", stats.trace.dropped);
+        json.beginObject("kinds");
+        for (std::size_t k = 0; k < stats.trace.kindCounts.size(); ++k) {
+            json.field(obs::traceEventName(
+                           static_cast<obs::TraceEventKind>(k)),
+                       stats.trace.kindCounts[k]);
+        }
+        json.endObject();
+        json.endObject();
+    }
     json.endObject();
 }
 

@@ -1,6 +1,8 @@
 #include "sim/runner.hh"
 
 #include <atomic>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <thread>
@@ -13,36 +15,124 @@ namespace bear
 namespace
 {
 
-std::uint64_t
-envU64(const char *name, std::uint64_t fallback)
+/**
+ * Strict full-string parsers: the whole value must be consumed, so
+ * "12x" or "" is an error, not a truncated-but-accepted number.
+ * std::optional-of-nothing would lose the reason; return it directly.
+ */
+const char *
+parseU64(const char *text, std::uint64_t &out)
 {
-    const char *value = std::getenv(name);
-    return value ? std::strtoull(value, nullptr, 10) : fallback;
+    if (*text == '\0')
+        return "empty value";
+    if (*text == '-')
+        return "negative value";
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        return "not an unsigned integer";
+    if (errno == ERANGE)
+        return "out of range";
+    out = v;
+    return nullptr;
 }
 
-double
-envDouble(const char *name, double fallback)
+const char *
+parseDouble(const char *text, double &out)
 {
-    const char *value = std::getenv(name);
-    return value ? std::strtod(value, nullptr) : fallback;
+    if (*text == '\0')
+        return "empty value";
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        return "not a number";
+    if (errno == ERANGE || !std::isfinite(v))
+        return "out of range";
+    out = v;
+    return nullptr;
+}
+
+/** One override: parse $name into @p out if set; nullptr on success. */
+template <typename T, typename Parse>
+Expected<bool, EnvError>
+envOverride(const char *name, T &out, Parse parse,
+            const char *constraint(const T &) = nullptr)
+{
+    const char *text = std::getenv(name);
+    if (!text)
+        return false;
+    T parsed{};
+    if (const char *why = parse(text, parsed))
+        return unexpected(EnvError{name, text, why});
+    if (constraint) {
+        if (const char *why = constraint(parsed))
+            return unexpected(EnvError{name, text, why});
+    }
+    out = parsed;
+    return true;
 }
 
 } // namespace
 
+std::string
+EnvError::message() const
+{
+    return variable + "=\"" + value + "\": " + reason;
+}
+
+Expected<RunnerOptions, EnvError>
+RunnerOptions::tryFromEnv()
+{
+    RunnerOptions options;
+
+    std::uint64_t full = 0;
+    auto r = envOverride("BEAR_FULL", full, parseU64);
+    if (!r)
+        return unexpected(r.error());
+    if (full)
+        options.scale = 1.0;
+
+    r = envOverride("BEAR_SCALE", options.scale, parseDouble,
+                    +[](const double &v) {
+                        return v > 0.0
+                            ? nullptr
+                            : "scale must be positive";
+                    });
+    if (!r)
+        return unexpected(r.error());
+
+    r = envOverride("BEAR_WARMUP", options.warmupRefsPerCore, parseU64);
+    if (!r)
+        return unexpected(r.error());
+    r = envOverride("BEAR_MEASURE", options.measureRefsPerCore, parseU64);
+    if (!r)
+        return unexpected(r.error());
+
+    std::uint64_t workers = options.workers;
+    r = envOverride("BEAR_WORKERS", workers, parseU64);
+    if (!r)
+        return unexpected(r.error());
+    options.workers = static_cast<std::uint32_t>(workers);
+
+    std::uint64_t trace = options.traceCapacity;
+    r = envOverride("BEAR_TRACE", trace, parseU64);
+    if (!r)
+        return unexpected(r.error());
+    options.traceCapacity = static_cast<std::size_t>(trace);
+
+    return options;
+}
+
 RunnerOptions
 RunnerOptions::fromEnv()
 {
-    RunnerOptions options;
-    if (envU64("BEAR_FULL", 0))
-        options.scale = 1.0;
-    options.scale = envDouble("BEAR_SCALE", options.scale);
-    options.warmupRefsPerCore =
-        envU64("BEAR_WARMUP", options.warmupRefsPerCore);
-    options.measureRefsPerCore =
-        envU64("BEAR_MEASURE", options.measureRefsPerCore);
-    options.workers = static_cast<std::uint32_t>(
-        envU64("BEAR_WORKERS", options.workers));
-    return options;
+    auto options = tryFromEnv();
+    if (!options)
+        bear_fatal("bad environment override: ",
+                   options.error().message());
+    return *options;
 }
 
 Runner::Runner(const RunnerOptions &options) : options_(options)
@@ -66,6 +156,7 @@ Runner::systemConfig(const RunJob &job) const
     config.totalBanks = job.totalBanks ? job.totalBanks
                                        : options_.totalBanks;
     config.seed = options_.seed;
+    config.traceCapacity = options_.traceCapacity;
     return config;
 }
 

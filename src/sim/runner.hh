@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/expected.hh"
 #include "sim/metrics.hh"
 #include "sim/system.hh"
 #include "workloads/mixes.hh"
@@ -27,6 +28,20 @@
 
 namespace bear
 {
+
+/**
+ * A malformed environment override: which variable, what it held, and
+ * why it was rejected.
+ */
+struct EnvError
+{
+    std::string variable;
+    std::string value;
+    std::string reason;
+
+    /** `BEAR_SCALE="abc": not a number` — ready to print. */
+    std::string message() const;
+};
 
 /** Knobs shared by every run of a bench binary. */
 struct RunnerOptions
@@ -40,11 +55,19 @@ struct RunnerOptions
     std::uint64_t cacheCapacityBytes = 1ULL << 30; ///< pre-scale
     std::uint64_t seed = 0x5EED;
     std::uint32_t workers = 0; ///< 0 = hardware concurrency
+    std::size_t traceCapacity = 0; ///< event-trace ring; 0 = off
 
     /**
-     * Environment overrides: BEAR_SCALE, BEAR_WARMUP, BEAR_MEASURE,
-     * BEAR_WORKERS, BEAR_FULL=1 (paper-size, scale 1.0).
+     * Parse the environment overrides strictly: BEAR_SCALE,
+     * BEAR_WARMUP, BEAR_MEASURE, BEAR_WORKERS, BEAR_TRACE,
+     * BEAR_FULL=1 (paper-size, scale 1.0).  A set-but-malformed
+     * variable is an error naming the variable — never a silent
+     * fallback to the default.
      */
+    static Expected<RunnerOptions, EnvError> tryFromEnv();
+
+    /** tryFromEnv(), exiting with the error message on failure; the
+     *  convenience entry point for bench/example main()s. */
     static RunnerOptions fromEnv();
 };
 

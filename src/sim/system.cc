@@ -80,6 +80,12 @@ System::System(const SystemConfig &config,
         });
     }
 
+    if (config.traceCapacity > 0) {
+        trace_ = std::make_unique<obs::EventTrace>(config.traceCapacity);
+        dram_cache_->setTrace(trace_.get());
+        cache_dram_->setTrace(trace_.get());
+    }
+
     cores_.reserve(config.cores);
     for (CoreId c = 0; c < config.cores; ++c)
         cores_.emplace_back(c, config.baseCpi);
@@ -91,12 +97,12 @@ System::~System() = default;
 void
 System::flushWritebacks(Cycle now)
 {
-    while (!wb_queue_.empty() && wb_queue_.front().at <= now) {
-        const PendingWriteback wb = wb_queue_.front();
+    while (!wb_queue_.empty() && wb_queue_.front().issuedAt <= now) {
+        const WritebackRequest wb = wb_queue_.front();
         std::pop_heap(wb_queue_.begin(), wb_queue_.end(),
-                      std::greater<>{});
+                      IssuedLater{});
         wb_queue_.pop_back();
-        dram_cache_->writeback(wb.at, wb.line, wb.dcp);
+        dram_cache_->writeback(wb);
     }
 }
 
@@ -130,12 +136,12 @@ System::step(CoreId core_id)
     // records whether the line now also lives in the DRAM cache.  A
     // dirty victim becomes a writeback that issues when the fill data
     // arrives.
-    const WritebackRequest wb =
-        hierarchy_->fillLlc(line, ref.isWrite, read.presentAfter);
-    if (wb.valid) {
-        wb_queue_.push_back({read.dataReady, wb.line, wb.dcp});
+    if (auto wb = hierarchy_->fillLlc(line, ref.isWrite,
+                                      read.presentAfter)) {
+        wb->issuedAt = read.dataReady;
+        wb_queue_.push_back(*wb);
         std::push_heap(wb_queue_.begin(), wb_queue_.end(),
-                       std::greater<>{});
+                       IssuedLater{});
     }
 
     core.completeMiss(read.dataReady, ref.dependent);
@@ -179,6 +185,8 @@ System::resetStats()
     hierarchy_->resetStats();
     for (auto &core : cores_)
         core.markEpoch();
+    if (trace_)
+        trace_->reset();
     demand_accesses_ = 0;
     llc_misses_ = 0;
 }
@@ -211,33 +219,31 @@ System::stats() const
         : 0.0;
     s.sramOverheadBytes = dram_cache_->sramOverheadBytes();
 
-    // Hit/miss latency, where the design exposes it.
-    if (const auto *alloy = dynamic_cast<const AlloyCache *>(
-            dram_cache_.get())) {
-        s.l4HitLatency = alloy->avgHitLatency();
-        s.l4MissLatency = alloy->avgMissLatency();
-    } else if (const auto *lh = dynamic_cast<const LohHillCache *>(
-                   dram_cache_.get())) {
-        s.l4HitLatency = lh->avgHitLatency();
-        s.l4MissLatency = lh->avgMissLatency();
-    } else if (const auto *tis = dynamic_cast<const TisCache *>(
-                   dram_cache_.get())) {
-        s.l4HitLatency = tis->avgHitLatency();
-        s.l4MissLatency = tis->avgMissLatency();
-    } else if (const auto *sc = dynamic_cast<const SectorCache *>(
-                   dram_cache_.get())) {
-        s.l4HitLatency = sc->avgHitLatency();
-        s.l4MissLatency = sc->avgMissLatency();
-    } else if (const auto *bwopt = dynamic_cast<const BwOptCache *>(
-                   dram_cache_.get())) {
-        s.l4HitLatency = bwopt->avgHitLatency();
-        s.l4MissLatency = bwopt->avgMissLatency();
-    } else if (const auto *none = dynamic_cast<const NoCache *>(
-                   dram_cache_.get())) {
-        s.l4MissLatency = none->avgMissLatency();
-    }
+    // Hit/miss latency: every design inherits these from the DramCache
+    // read() wrapper, so no per-design downcasting is needed (this used
+    // to be a dynamic_cast chain over all concrete designs).
+    s.l4HitLatency = dram_cache_->avgHitLatency();
+    s.l4MissLatency = dram_cache_->avgMissLatency();
     s.l4AvgLatency = s.l4HitRate * s.l4HitLatency
         + (1.0 - s.l4HitRate) * s.l4MissLatency;
+
+    s.l4HitLatencyHist = dram_cache_->hitLatencyHistogram();
+    s.l4MissLatencyHist = dram_cache_->missLatencyHistogram();
+    s.l4QueueDelayHist = cache_dram_->queueDelayHistogram();
+    s.memQueueDelayHist = main_memory_->queueDelayHistogram();
+    s.l4WriteQueueDepthHist = cache_dram_->writeQueueDepthHistogram();
+    s.l4Banks = cache_dram_->bankUtilization();
+
+    if (trace_) {
+        s.trace.enabled = true;
+        s.trace.recorded = trace_->recorded();
+        s.trace.dropped = trace_->dropped();
+        s.trace.kindCounts.reserve(obs::kTraceEventKinds);
+        for (std::size_t k = 0; k < obs::kTraceEventKinds; ++k) {
+            s.trace.kindCounts.push_back(trace_->kindCount(
+                static_cast<obs::TraceEventKind>(k)));
+        }
+    }
     return s;
 }
 

@@ -30,6 +30,8 @@
 #include "dramcache/alloy_cache.hh"
 #include "dramcache/bear_cache.hh"
 #include "mem/dram_system.hh"
+#include "obs/event_trace.hh"
+#include "obs/histogram.hh"
 #include "vm/page_mapper.hh"
 
 namespace bear
@@ -59,6 +61,13 @@ struct SystemConfig
     bool modelL1L2 = false;
 
     /**
+     * Event-trace ring capacity; 0 (the default) disables tracing
+     * entirely — no trace object exists and the hot paths skip their
+     * emission branches (BEAR_TRACE env knob via RunnerOptions).
+     */
+    std::size_t traceCapacity = 0;
+
+    /**
      * Ablation hook: build the L4 from this Alloy-family configuration
      * instead of the named design (capacity and core count are still
      * taken from the fields above).
@@ -66,9 +75,21 @@ struct SystemConfig
     std::optional<AlloyConfig> alloyOverride;
 };
 
+/** Trace-activity summary carried in SystemStats (empty if no trace). */
+struct TraceSummary
+{
+    bool enabled = false;
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+    std::vector<std::uint64_t> kindCounts; ///< per obs::TraceEventKind
+};
+
 /** Per-run results gathered after the measurement phase. */
 struct SystemStats
 {
+    /** Bumped whenever the JSON stats layout changes shape. */
+    static constexpr int kSchemaVersion = 2;
+
     double ipcTotal = 0.0;             ///< sum of per-core IPCs
     std::vector<double> ipcPerCore;
     Cycle execCycles = 0;              ///< max per-core measured cycles
@@ -83,6 +104,17 @@ struct SystemStats
     Bytes sramOverheadBytes{0};
     Bytes l4BytesTransferred{0};  ///< DRAM-cache bus traffic (measured)
     Bytes memBytesTransferred{0}; ///< main-memory bus traffic (measured)
+
+    // Distributions (tentpole): the scalar latencies above are the
+    // exact means of these histograms.
+    obs::LatencyHistogram l4HitLatencyHist;
+    obs::LatencyHistogram l4MissLatencyHist;
+    obs::LatencyHistogram l4QueueDelayHist;  ///< DRAM-cache array reads
+    obs::LatencyHistogram memQueueDelayHist; ///< main-memory reads
+    obs::DepthHistogram l4WriteQueueDepthHist;
+
+    std::vector<BankUtilization> l4Banks; ///< per DRAM-cache bank
+    TraceSummary trace;
 };
 
 /** A configured, runnable system instance. */
@@ -114,6 +146,9 @@ class System
     BloatTracker &bloat() { return bloat_; }
     const SystemConfig &config() const { return config_; }
 
+    /** The event trace, or nullptr when traceCapacity == 0. */
+    obs::EventTrace *trace() { return trace_.get(); }
+
   private:
     /** Process one reference of @p core. */
     void step(CoreId core);
@@ -122,24 +157,24 @@ class System
     void flushWritebacks(Cycle now);
 
     /**
-     * A dirty L3 eviction waiting for its logical issue time.  The
-     * eviction physically happens when the displacing fill's data
-     * arrives, which lies in the simulated future when the miss is
-     * processed; deferring keeps DRAM-bus arrivals time-ordered (the
-     * reservation timing model requires it).
+     * Dirty L3 evictions waiting for their logical issue time
+     * (issuedAt).  The eviction physically happens when the displacing
+     * fill's data arrives, which lies in the simulated future when the
+     * miss is processed; deferring keeps DRAM-bus arrivals time-ordered
+     * (the reservation timing model requires it).  Min-heap on issuedAt
+     * via issuedLater.
      */
-    struct PendingWriteback
+    struct IssuedLater
     {
-        Cycle at;
-        LineAddr line;
-        bool dcp;
-        bool operator>(const PendingWriteback &o) const
+        bool
+        operator()(const WritebackRequest &a,
+                   const WritebackRequest &b) const
         {
-            return at > o.at;
+            return a.issuedAt > b.issuedAt;
         }
     };
 
-    std::vector<PendingWriteback> wb_queue_; ///< min-heap by time
+    std::vector<WritebackRequest> wb_queue_; ///< min-heap by issuedAt
 
     SystemConfig config_;
     std::vector<std::unique_ptr<RefStream>> streams_;
@@ -152,6 +187,7 @@ class System
     BloatTracker bloat_;
     std::unique_ptr<CacheHierarchy> hierarchy_;
     std::unique_ptr<DramCache> dram_cache_;
+    std::unique_ptr<obs::EventTrace> trace_;
 
     std::uint64_t demand_accesses_ = 0; ///< L3 accesses (measured)
     std::uint64_t llc_misses_ = 0;      ///< L3 misses (measured)

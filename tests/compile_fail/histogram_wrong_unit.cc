@@ -1,0 +1,13 @@
+// Must NOT compile: a latency histogram must reject a Bytes sample —
+// the dimension discipline of units.hh extends to the observability
+// layer.  tests/CMakeLists.txt try_compiles this file at configure
+// time and fails the build if it ever succeeds.
+#include "obs/histogram.hh"
+
+int
+main()
+{
+    bear::obs::Histogram<bear::Cycles> latency;
+    latency.sample(bear::Bytes{64});
+    return static_cast<int>(latency.count());
+}

@@ -28,10 +28,10 @@ TEST(Alloy, MissThenHit)
     CacheHarness h;
     AlloyCache cache(baseConfig(), h.dram, h.memory, h.bloat);
     const auto miss = cache.read(0, 100, 0x400000, 0);
-    EXPECT_FALSE(miss.hit);
+    EXPECT_FALSE(miss.hit());
     EXPECT_TRUE(miss.presentAfter);
     const auto hit = cache.read(miss.dataReady, 100, 0x400000, 0);
-    EXPECT_TRUE(hit.hit);
+    EXPECT_TRUE(hit.hit());
     EXPECT_EQ(cache.demandHits(), 1u);
     EXPECT_EQ(cache.demandMisses(), 1u);
     EXPECT_TRUE(cache.contains(100));
@@ -91,7 +91,7 @@ TEST(Alloy, WritebackProbeAndUpdateOnHit)
     AlloyCache cache(baseConfig(), h.dram, h.memory, h.bloat);
     cache.read(0, 100, 0x400000, 0);
     h.bloat.reset();
-    cache.writeback(2000, 100, false);
+    cache.writeback({100, false, 2000});
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe),
               kTadTransfer);
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate),
@@ -106,7 +106,7 @@ TEST(Alloy, WritebackMissForwardsToMemoryNoAllocate)
     AlloyCache cache(baseConfig(), h.dram, h.memory, h.bloat);
     LineAddr mem_write = ~0ULL;
     h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
-    cache.writeback(0, 555, false);
+    cache.writeback({555, false, 0});
     EXPECT_EQ(mem_write, 555u);
     EXPECT_FALSE(cache.contains(555)); // no-allocate (Section 3.1)
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackFill), Bytes{0});
@@ -119,7 +119,7 @@ TEST(Alloy, DirtyVictimGoesToMainMemory)
     AlloyCache cache(baseConfig(), h.dram, h.memory, h.bloat);
     LineAddr mem_write = ~0ULL;
     cache.read(0, 100, 0x400000, 0);
-    cache.writeback(1000, 100, false); // dirty the resident line
+    cache.writeback({100, false, 1000}); // dirty the resident line
     h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
     cache.read(2000, 100 + cache.sets(), 0x400000, 0); // conflict fill
     EXPECT_EQ(mem_write, 100u);
@@ -159,7 +159,7 @@ TEST(AlloyDcp, PresenceBitSkipsWritebackProbe)
     AlloyCache cache(config, h.dram, h.memory, h.bloat);
     cache.read(0, 100, 0x400000, 0);
     h.bloat.reset();
-    cache.writeback(2000, 100, /*dcp=*/true);
+    cache.writeback({100, /*dcp=*/true, 2000});
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), Bytes{0});
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate),
               kTadTransfer);
@@ -175,7 +175,7 @@ TEST(AlloyDcp, AbsenceBitGoesStraightToMemory)
     AlloyCache cache(config, h.dram, h.memory, h.bloat);
     LineAddr mem_write = ~0ULL;
     h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
-    cache.writeback(0, 777, /*dcp=*/false);
+    cache.writeback({777, /*dcp=*/false, 0});
     EXPECT_EQ(mem_write, 777u);
     EXPECT_EQ(h.bloat.totalBytes(), Bytes{0}); // zero DRAM-cache traffic
     EXPECT_EQ(cache.wbProbesAvoided(), 1u);
@@ -191,7 +191,7 @@ TEST(AlloyDcp, StalePresenceBitResolvedByActualState)
     h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
     // dcp=1 but the line is long gone: an in-flight race.  The dirty
     // data must reach main memory.
-    cache.writeback(0, 888, /*dcp=*/true);
+    cache.writeback({888, /*dcp=*/true, 0});
     EXPECT_EQ(mem_write, 888u);
     EXPECT_EQ(cache.wbRaces(), 1u);
 }
@@ -207,7 +207,7 @@ TEST(AlloyNtc, NeighborTagAvoidsMissProbe)
     h.bloat.reset();
     // Set 101 is empty: the NTC guarantees a miss, no probe needed.
     const auto outcome = cache.read(1000, 101, 0x400000, 0);
-    EXPECT_FALSE(outcome.hit);
+    EXPECT_FALSE(outcome.hit());
     EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), Bytes{0});
     EXPECT_EQ(cache.missProbesAvoided(), 1u);
 }
@@ -219,7 +219,7 @@ TEST(AlloyNtc, DirtyNeighborStillProbesBeforeFill)
     config.useNtc = true;
     AlloyCache cache(config, h.dram, h.memory, h.bloat);
     cache.read(0, 101, 0x400000, 0);      // fill set 101
-    cache.writeback(500, 101, false);     // dirty it
+    cache.writeback({101, false, 500});     // dirty it
     cache.read(1000, 100, 0x400000, 0);   // snapshot 101 into the NTC
     h.bloat.reset();
     // A conflicting read of set 101: NTC says absent-but-dirty; the
@@ -242,7 +242,7 @@ TEST(AlloyNtc, SnapshotTracksFills)
     h.bloat.reset();
     // NTC now guarantees presence: the access is a hit.
     const auto outcome = cache.read(1000, 101, 0x400000, 0);
-    EXPECT_TRUE(outcome.hit);
+    EXPECT_TRUE(outcome.hit());
 }
 
 TEST(AlloyMapI, ParallelAccessShortensMissLatency)
@@ -265,7 +265,7 @@ TEST(AlloyMapI, ParallelAccessShortensMissLatency)
     const auto o = cache.read(t + 10000, 999999, pc, 0);
     const Cycle latency = o.dataReady - (t + 10000);
     EXPECT_LT(latency, 140u);
-    EXPECT_FALSE(o.hit);
+    EXPECT_FALSE(o.hit());
 }
 
 TEST(AlloyInclusive, WritebackSkipsProbe)
@@ -276,7 +276,7 @@ TEST(AlloyInclusive, WritebackSkipsProbe)
     AlloyCache cache(config, h.dram, h.memory, h.bloat);
     cache.read(0, 100, 0x400000, 0);
     h.bloat.reset();
-    cache.writeback(1000, 100, false);
+    cache.writeback({100, false, 1000});
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), Bytes{0});
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate),
               kTadTransfer);

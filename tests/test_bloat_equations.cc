@@ -41,10 +41,10 @@ drive(Design &design, std::uint64_t seed, int refs)
             resident.push_back(line);
         if (!resident.empty() && rng.chance(0.3)) {
             const LineAddr wb = resident[rng.below(resident.size())];
-            design.writeback(t + 20, wb, false);
+            design.writeback({wb, false, t + 20});
         }
         if (rng.chance(0.1))
-            design.writeback(t + 30, rng.below(1 << 14), false);
+            design.writeback({rng.below(1 << 14), false, t + 30});
         t += 150;
     }
 }
@@ -118,7 +118,7 @@ TEST(BloatEquations, AlloyWithDcp)
         cache.read(t, line, 0x400000, 0);
         if (rng.chance(0.4)) {
             const LineAddr wb = rng.below(1 << 14);
-            cache.writeback(t + 20, wb, cache.contains(wb));
+            cache.writeback({wb, cache.contains(wb), t + 20});
         }
         t += 150;
     }

@@ -46,10 +46,10 @@ TEST(CacheHierarchy, FillReturnsDirtyVictimAsWriteback)
     CacheHierarchy h(config);
     h.fillLlc(10, true, true); // dirty, present in L4
     h.fillLlc(20, false, false);
-    const WritebackRequest wb = h.fillLlc(30, false, false);
-    ASSERT_TRUE(wb.valid);
-    EXPECT_EQ(wb.line, 10u);
-    EXPECT_TRUE(wb.dcp);
+    const std::optional<WritebackRequest> wb = h.fillLlc(30, false, false);
+    ASSERT_TRUE(wb.has_value());
+    EXPECT_EQ(wb->line, 10u);
+    EXPECT_TRUE(wb->dcpPresent);
 }
 
 TEST(CacheHierarchy, CleanVictimGeneratesNoWriteback)
@@ -60,7 +60,7 @@ TEST(CacheHierarchy, CleanVictimGeneratesNoWriteback)
     CacheHierarchy h(config);
     h.fillLlc(10, false, false);
     h.fillLlc(20, false, false);
-    EXPECT_FALSE(h.fillLlc(30, false, false).valid);
+    EXPECT_FALSE(h.fillLlc(30, false, false).has_value());
 }
 
 TEST(CacheHierarchy, DramCacheEvictionClearsPresence)

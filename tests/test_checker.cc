@@ -56,7 +56,7 @@ fuzzDesign(DesignKind kind, std::uint64_t seed, std::uint64_t refs)
         // "Fill the LLC": evict the previously held line; if it was
         // dirtied, that eviction is a writeback.
         if (held != ~0ULL && held_dirty)
-            checker.writeback(t + 50, held, held_dcp);
+            checker.writeback({held, held_dcp, t + 50});
         held = line;
         held_dcp = outcome.presentAfter;
         held_dirty = rng.chance(0.4);
@@ -102,7 +102,7 @@ class LossyCache : public DramCache
     using DramCache::DramCache;
 
     DramCacheReadOutcome
-    read(Cycle at, LineAddr line, Pc, CoreId) override
+    serviceRead(Cycle at, LineAddr line, Pc, CoreId) override
     {
         DramCacheReadOutcome o;
         o.dataReady = memory_.readLine(at, line).dataReady;
@@ -110,7 +110,7 @@ class LossyCache : public DramCache
     }
 
     void
-    writeback(Cycle, LineAddr, bool) override
+    serviceWriteback(const WritebackRequest &) override
     {
         // Bug: neither keeps the line dirty nor writes memory.
     }
@@ -125,7 +125,7 @@ TEST(CheckerDeath, CatchesDroppedDirtyData)
     CacheHarness h;
     LossyCache lossy(h.dram, h.memory, h.bloat);
     DirtyDataChecker checker(lossy, h.memory);
-    EXPECT_DEATH(checker.writeback(0, 42, false), "dirty data lost");
+    EXPECT_DEATH(checker.writeback({42, false, 0}), "dirty data lost");
 }
 
 namespace
@@ -138,7 +138,7 @@ class UnaccountedCache : public DramCache
     using DramCache::DramCache;
 
     DramCacheReadOutcome
-    read(Cycle at, LineAddr line, Pc, CoreId) override
+    serviceRead(Cycle at, LineAddr line, Pc, CoreId) override
     {
         // Bug: 80 bytes cross the DRAM-cache bus, the ledger sees none.
         DramCacheReadOutcome o;
@@ -148,9 +148,9 @@ class UnaccountedCache : public DramCache
     }
 
     void
-    writeback(Cycle at, LineAddr line, bool) override
+    serviceWriteback(const WritebackRequest &request) override
     {
-        memory_.writeLine(at, line);
+        memory_.writeLine(request.issuedAt, request.line);
     }
 
     std::string name() const override { return "Unaccounted"; }
@@ -174,7 +174,7 @@ TEST(Checker, TracksAndReleasesDirtyLines)
     auto design = h.make(DesignKind::Alloy, 1ULL << 20, 2);
     DirtyDataChecker checker(*design, h.memory);
     checker.read(0, 42, 0x400000, 0);
-    checker.writeback(1000, 42, false);
+    checker.writeback({42, false, 1000});
     EXPECT_EQ(checker.dirtyTracked(), 1u); // dirty copy in the cache
     // A conflicting fill pushes the victim to memory: tracker drains.
     checker.read(2000, 42 + Bytes{1ULL << 20} / kLineSize, 0x400000, 0);

@@ -80,7 +80,7 @@ TEST(LohHill, WritebackProbesTags)
                        h.bloat);
     cache.read(0, 42, 0, 0);
     h.bloat.reset();
-    cache.writeback(10000, 42, false);
+    cache.writeback({42, false, 10000});
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), Bytes{192});
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackUpdate), Bytes{128});
     EXPECT_TRUE(cache.holdsDirty(42));
@@ -93,7 +93,7 @@ TEST(LohHill, DirtyEvictionReadsVictim)
                        h.bloat);
     LineAddr mem_write = ~0ULL;
     cache.read(0, 42, 0, 0);
-    cache.writeback(1000, 42, false);
+    cache.writeback({42, false, 1000});
     Cycle t = 10000;
     h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
     h.bloat.reset();
@@ -114,7 +114,7 @@ TEST(Tis, HitMovesOnlyData)
     cache.read(0, 42, 0, 0);
     h.bloat.reset();
     const auto hit = cache.read(10000, 42, 0, 0);
-    EXPECT_TRUE(hit.hit);
+    EXPECT_TRUE(hit.hit());
     EXPECT_EQ(h.bloat.totalBytes(), kLineSize);
     EXPECT_DOUBLE_EQ(h.bloat.bloatFactor(), 1.0);
 }
@@ -124,8 +124,8 @@ TEST(Tis, NoProbesAtAll)
     CacheHarness h;
     TisCache cache(8ULL << 20, h.dram, h.memory, h.bloat);
     cache.read(0, 42, 0, 0);       // miss
-    cache.writeback(1000, 42, false); // wb hit
-    cache.writeback(2000, 777, false); // wb miss
+    cache.writeback({42, false, 1000}); // wb hit
+    cache.writeback({777, false, 2000}); // wb miss
     EXPECT_EQ(h.bloat.bytes(BloatCategory::MissProbe), Bytes{0});
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackProbe), Bytes{0});
 }
@@ -136,7 +136,7 @@ TEST(Tis, DirtyEvictionPaysARead)
     TisCache cache(8ULL << 20, h.dram, h.memory, h.bloat);
     LineAddr mem_write = ~0ULL;
     cache.read(0, 42, 0, 0);
-    cache.writeback(1000, 42, false);
+    cache.writeback({42, false, 1000});
     h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
     h.bloat.reset();
     Cycle t = 10000;
@@ -193,7 +193,7 @@ TEST(Sector, SectorEvictionFlushesDirtyBlocks)
     Cycle t = 0;
     for (int b = 0; b < 5; ++b) {
         cache.read(t, base + b, 0, 0);
-        cache.writeback(t + 500, base + b, false);
+        cache.writeback({base + b, false, t + 500});
         t += 1000;
     }
     h.memory.setLineWriteHook(
@@ -218,7 +218,7 @@ TEST(Sector, WritebackToResidentSectorAllocatesBlock)
     SectorCache cache(16ULL << 20, h.dram, h.memory, h.bloat);
     cache.read(0, 64, 0, 0); // sector resident, block 0 valid
     h.bloat.reset();
-    cache.writeback(1000, 65, false); // block 1 invalid but sector here
+    cache.writeback({65, false, 1000}); // block 1 invalid but sector here
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackFill), kLineSize);
     EXPECT_TRUE(cache.holdsDirty(65));
 }
@@ -229,7 +229,7 @@ TEST(Sector, WritebackToAbsentSectorGoesToMemory)
     SectorCache cache(16ULL << 20, h.dram, h.memory, h.bloat);
     LineAddr mem_write = ~0ULL;
     h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
-    cache.writeback(0, 999999, false);
+    cache.writeback({999999, false, 0});
     EXPECT_EQ(mem_write, 999999u);
     EXPECT_EQ(h.bloat.totalBytes(), Bytes{0});
 }
@@ -253,7 +253,7 @@ TEST(BwOpt, BloatFactorIsExactlyOne)
     for (LineAddr l = 0; l < 100; ++l) {
         cache.read(t, l % 10, 0, 0);
         if (l % 3 == 0)
-            cache.writeback(t + 100, l % 10, false);
+            cache.writeback({l % 10, false, t + 100});
         t += 1000;
     }
     EXPECT_DOUBLE_EQ(h.bloat.bloatFactor(), 1.0);
@@ -266,7 +266,7 @@ TEST(BwOpt, FillsAndWritebacksAreFree)
     cache.read(0, 42, 0, 0); // miss + logical fill
     EXPECT_EQ(h.bloat.totalBytes(), Bytes{0});
     EXPECT_TRUE(cache.contains(42));
-    cache.writeback(1000, 42, false); // logical update
+    cache.writeback({42, false, 1000}); // logical update
     EXPECT_EQ(h.bloat.totalBytes(), Bytes{0});
     EXPECT_TRUE(cache.holdsDirty(42));
 }
@@ -277,7 +277,7 @@ TEST(BwOpt, DirtyVictimStillReachesMemory)
     BwOptCache cache(8ULL << 20, h.dram, h.memory, h.bloat);
     LineAddr mem_write = ~0ULL;
     cache.read(0, 42, 0, 0);
-    cache.writeback(500, 42, false);
+    cache.writeback({42, false, 500});
     h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
     cache.read(1000, 42 + Bytes{8ULL << 20} / kLineSize, 0, 0);
     EXPECT_EQ(mem_write, 42u);
@@ -290,11 +290,11 @@ TEST(NoCache, EverythingGoesToMemory)
     CacheHarness h;
     NoCache cache(h.dram, h.memory, h.bloat);
     const auto r = cache.read(0, 42, 0, 0);
-    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.hit());
     EXPECT_FALSE(r.presentAfter);
     EXPECT_EQ(h.dram.totalReads(), 0u);
     EXPECT_EQ(h.memory.totalReads(), 1u);
-    cache.writeback(100, 43, false);
+    cache.writeback({43, false, 100});
     EXPECT_EQ(h.memory.totalWrites(), 1u);
 }
 

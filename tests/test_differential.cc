@@ -134,14 +134,14 @@ TEST_P(Differential, MatchesReferenceModel)
 
         const auto outcome =
             cache.read(t, line, 0x400000 + (rng.below(32) << 2), 0);
-        ASSERT_EQ(outcome.hit, expected_hit)
+        ASSERT_EQ(outcome.hit(), expected_hit)
             << dc.name << " hit/miss diverged at access " << i;
         if (!expected_hit && outcome.presentAfter)
             reference.install(line);
 
         // Occasionally write the previously held line back.
         if (held != ~0ULL && held_dirty) {
-            cache.writeback(t + 10, held, held_dcp);
+            cache.writeback({held, held_dcp, t + 10});
             reference.markDirty(held); // only if still resident
         }
         held = line;

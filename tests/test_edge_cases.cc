@@ -178,7 +178,7 @@ TEST(AlloyEdge, ZeroProbabilityBypassEqualsBaseline)
     Cycle t = 0;
     for (int i = 0; i < 5000; ++i) {
         const LineAddr line = rng.below(1 << 18);
-        EXPECT_EQ(a.read(t, line, 0, 0).hit, b.read(t, line, 0, 0).hit);
+        EXPECT_EQ(a.read(t, line, 0, 0).hit(), b.read(t, line, 0, 0).hit());
         t += 100;
     }
     EXPECT_EQ(a.demandHits(), b.demandHits());

@@ -80,7 +80,7 @@ TEST(WbAllocate, WritebackMissInstallsDirtyLine)
 {
     CacheHarness h;
     AlloyCache cache(allocConfig(), h.dram, h.memory, h.bloat);
-    cache.writeback(0, 555, false);
+    cache.writeback({555, false, 0});
     EXPECT_TRUE(cache.contains(555));
     EXPECT_TRUE(cache.isDirty(555));
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackFill), kTadTransfer);
@@ -92,9 +92,9 @@ TEST(WbAllocate, DirtyVictimOfWritebackFillRescued)
     CacheHarness h;
     AlloyCache cache(allocConfig(), h.dram, h.memory, h.bloat);
     LineAddr mem_write = ~0ULL;
-    cache.writeback(0, 555, false); // dirty line in set
+    cache.writeback({555, false, 0}); // dirty line in set
     h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });
-    cache.writeback(1000, 555 + cache.sets(), false); // conflicting fill
+    cache.writeback({555 + cache.sets(), false, 1000}); // conflicting fill
     EXPECT_EQ(mem_write, 555u);
     EXPECT_TRUE(cache.isDirty(555 + cache.sets()));
 }
@@ -105,7 +105,7 @@ TEST(WbAllocate, NoAllocateBaselineLeavesCacheUntouched)
     AlloyConfig config = allocConfig();
     config.writebackAllocate = false;
     AlloyCache cache(config, h.dram, h.memory, h.bloat);
-    cache.writeback(0, 555, false);
+    cache.writeback({555, false, 0});
     EXPECT_FALSE(cache.contains(555));
     EXPECT_EQ(h.bloat.bytes(BloatCategory::WritebackFill), Bytes{0});
 }

@@ -65,7 +65,7 @@ TEST(FootprintCache, ReallocationPrefetchesLastFootprint)
 
     // The prefetched blocks now hit.
     const auto hit = cache.read(t + 1000, base + 3, 0, 0);
-    EXPECT_TRUE(hit.hit);
+    EXPECT_TRUE(hit.hit());
 }
 
 TEST(FootprintCache, PrefetchTrafficCountsAsFillBloat)
@@ -130,7 +130,7 @@ TEST(FootprintCache, PrefetchedDirtyVictimStillSafe)
     const LineAddr base = 2 * SectorCache::kBlocksPerSector;
     Cycle t = 0;
     cache.read(t += 1000, base, 0, 0);
-    cache.writeback(t += 1000, base, false); // dirty block 0
+    cache.writeback({base, false, t += 1000}); // dirty block 0
     const std::uint64_t stride =
         cache.sets() * SectorCache::kBlocksPerSector;
     for (std::uint32_t w = 1; w <= SectorCache::kWays; ++w)

@@ -198,3 +198,58 @@ TEST(RunnerOptions, FullRestoresPaperScale)
     EXPECT_DOUBLE_EQ(RunnerOptions::fromEnv().scale, 1.0);
     unsetenv("BEAR_FULL");
 }
+
+TEST(RunnerOptions, TraceCapacityParsed)
+{
+    setenv("BEAR_TRACE", "4096", 1);
+    EXPECT_EQ(RunnerOptions::fromEnv().traceCapacity, 4096u);
+    unsetenv("BEAR_TRACE");
+}
+
+TEST(RunnerOptions, MalformedValueNamesTheVariable)
+{
+    setenv("BEAR_SCALE", "abc", 1);
+    const auto result = RunnerOptions::tryFromEnv();
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().variable, "BEAR_SCALE");
+    EXPECT_EQ(result.error().value, "abc");
+    EXPECT_NE(result.error().message().find("BEAR_SCALE"),
+              std::string::npos);
+    unsetenv("BEAR_SCALE");
+}
+
+TEST(RunnerOptions, PartiallyNumericValueIsRejected)
+{
+    // The legacy parser would happily read "123x" as 123; strict
+    // parsing requires the whole value to be consumed.
+    setenv("BEAR_WARMUP", "123x", 1);
+    EXPECT_FALSE(RunnerOptions::tryFromEnv().hasValue());
+    unsetenv("BEAR_WARMUP");
+
+    setenv("BEAR_MEASURE", "", 1);
+    EXPECT_FALSE(RunnerOptions::tryFromEnv().hasValue());
+    unsetenv("BEAR_MEASURE");
+
+    setenv("BEAR_TRACE", "-5", 1);
+    const auto negative = RunnerOptions::tryFromEnv();
+    ASSERT_FALSE(negative.hasValue());
+    EXPECT_EQ(negative.error().variable, "BEAR_TRACE");
+    unsetenv("BEAR_TRACE");
+}
+
+TEST(RunnerOptions, OutOfDomainScaleIsRejected)
+{
+    setenv("BEAR_SCALE", "0", 1);
+    const auto result = RunnerOptions::tryFromEnv();
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().variable, "BEAR_SCALE");
+    unsetenv("BEAR_SCALE");
+}
+
+TEST(RunnerOptions, ValidEnvironmentRoundTrips)
+{
+    const auto clean = RunnerOptions::tryFromEnv();
+    ASSERT_TRUE(clean.hasValue());
+    EXPECT_DOUBLE_EQ(clean->scale, RunnerOptions{}.scale);
+    EXPECT_EQ(clean->traceCapacity, 0u);
+}

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Observability layer: histogram arithmetic (golden percentiles, the
+ * exact-mean contract), event-trace ring semantics, and the end-to-end
+ * wiring through System — the histogram mean must reproduce the scalar
+ * latency statistics it replaced.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/event_trace.hh"
+#include "obs/histogram.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+using namespace bear;
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, EmptyIsAllZero)
+{
+    obs::LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.5).count(), 0u);
+    EXPECT_EQ(h.min().count(), 0u);
+    EXPECT_EQ(h.max().count(), 0u);
+}
+
+TEST(Histogram, OneSampleIsItsOwnDistribution)
+{
+    obs::LatencyHistogram h;
+    h.sample(Cycles{7});
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+    // 7 fills bucket [4,7]; the observed max tightens the upper edge.
+    EXPECT_EQ(h.percentile(0.5).count(), 7u);
+    EXPECT_EQ(h.percentile(0.0).count(), 7u);
+    EXPECT_EQ(h.percentile(1.0).count(), 7u);
+}
+
+TEST(Histogram, GoldenPercentiles)
+{
+    // 90 fast probes, 9 slower misses, 1 outlier.
+    obs::LatencyHistogram h;
+    for (int i = 0; i < 90; ++i)
+        h.sample(Cycles{10}); // bucket [8,15]
+    for (int i = 0; i < 9; ++i)
+        h.sample(Cycles{100}); // bucket [64,127]
+    h.sample(Cycles{1000});    // bucket [512,1023]
+
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 28.0); // exact: (900+900+1000)/100
+    EXPECT_EQ(h.min().count(), 10u);
+    EXPECT_EQ(h.max().count(), 1000u);
+    EXPECT_EQ(h.percentile(0.50).count(), 15u);   // bucket upper edge
+    EXPECT_EQ(h.percentile(0.95).count(), 127u);
+    EXPECT_EQ(h.percentile(0.99).count(), 127u);
+    EXPECT_EQ(h.percentile(0.999).count(), 1000u); // capped by max
+}
+
+TEST(Histogram, OverflowBucketAbsorbsHugeValues)
+{
+    obs::LatencyHistogram h;
+    const std::uint64_t huge = 1ULL << 60;
+    h.sample(Cycles{huge});
+    EXPECT_EQ(h.bucketCount(obs::LatencyHistogram::kBuckets - 1), 1u);
+    EXPECT_EQ(h.percentile(0.5).count(), huge); // max caps the edge
+    EXPECT_EQ(h.max().count(), huge);
+}
+
+TEST(Histogram, MergeIsSampleUnion)
+{
+    obs::LatencyHistogram a, b;
+    for (int i = 0; i < 4; ++i)
+        a.sample(Cycles{10});
+    for (int i = 0; i < 6; ++i)
+        b.sample(Cycles{1000});
+    a.merge(b);
+    EXPECT_EQ(a.count(), 10u);
+    EXPECT_EQ(a.min().count(), 10u);
+    EXPECT_EQ(a.max().count(), 1000u);
+    EXPECT_DOUBLE_EQ(a.mean(), (4 * 10 + 6 * 1000) / 10.0);
+    EXPECT_EQ(a.percentile(0.2).count(), 15u);
+    EXPECT_EQ(a.percentile(0.9).count(), 1000u);
+
+    // Merging an empty histogram is the identity, min included.
+    obs::LatencyHistogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 10u);
+    EXPECT_EQ(a.min().count(), 10u);
+}
+
+TEST(Histogram, ResetForgetsEverything)
+{
+    obs::DepthHistogram h;
+    h.sample(Count{32});
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max().count(), 0u);
+    EXPECT_EQ(h.percentile(0.99).count(), 0u);
+}
+
+// --------------------------------------------------------------- event trace
+
+TEST(EventTrace, CountsAndKeepsEverythingBelowCapacity)
+{
+    obs::EventTrace trace(8);
+    trace.record(obs::TraceEventKind::DemandRead, 10, 42, 64);
+    trace.record(obs::TraceEventKind::Fill, 20, 42, 80);
+    trace.record(obs::TraceEventKind::Fill, 30, 43, 80);
+    EXPECT_EQ(trace.recorded(), 3u);
+    EXPECT_EQ(trace.dropped(), 0u);
+    EXPECT_EQ(trace.kindCount(obs::TraceEventKind::Fill), 2u);
+    EXPECT_EQ(trace.kindCount(obs::TraceEventKind::Bypass), 0u);
+
+    const auto events = trace.snapshot();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].at, 10u);
+    EXPECT_EQ(events[0].kind, obs::TraceEventKind::DemandRead);
+    EXPECT_EQ(events[2].at, 30u);
+    EXPECT_EQ(events[2].value, 80u);
+}
+
+TEST(EventTrace, RingWraparoundKeepsNewestOldestFirst)
+{
+    obs::EventTrace trace(4);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        trace.record(obs::TraceEventKind::DemandRead, i, i, 0);
+    EXPECT_EQ(trace.recorded(), 6u);
+    EXPECT_EQ(trace.dropped(), 2u);
+    EXPECT_EQ(trace.kindCount(obs::TraceEventKind::DemandRead), 6u);
+
+    const auto events = trace.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::uint64_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].at, i + 2); // 2,3,4,5: newest survive
+}
+
+TEST(EventTrace, ResetZeroesCountsAndRing)
+{
+    obs::EventTrace trace(4);
+    trace.record(obs::TraceEventKind::BankConflictStall, 5, 1, 17);
+    trace.reset();
+    EXPECT_EQ(trace.recorded(), 0u);
+    EXPECT_EQ(trace.kindCount(obs::TraceEventKind::BankConflictStall),
+              0u);
+    EXPECT_TRUE(trace.snapshot().empty());
+}
+
+TEST(EventTrace, KindNamesAreStable)
+{
+    EXPECT_STREQ(obs::traceEventName(obs::TraceEventKind::DemandRead),
+                 "demandRead");
+    EXPECT_STREQ(
+        obs::traceEventName(obs::TraceEventKind::DcpShortCircuit),
+        "dcpShortCircuit");
+    EXPECT_STREQ(
+        obs::traceEventName(obs::TraceEventKind::BankConflictStall),
+        "bankConflictStall");
+}
+
+TEST(ServiceSource, NamesAreStable)
+{
+    EXPECT_STREQ(serviceSourceName(ServiceSource::L4Hit), "l4Hit");
+    EXPECT_STREQ(serviceSourceName(ServiceSource::NtcAvoidedProbe),
+                 "ntcAvoidedProbe");
+}
+
+// ------------------------------------------------------------ system wiring
+
+namespace
+{
+
+constexpr double kTestScale = 0.015625;
+
+SystemStats
+profiledRun(DesignKind design, std::size_t trace_capacity)
+{
+    SystemConfig config;
+    config.design = design;
+    config.scale = kTestScale;
+    config.traceCapacity = trace_capacity;
+    std::vector<std::unique_ptr<RefStream>> streams;
+    for (std::uint32_t c = 0; c < config.cores; ++c) {
+        streams.push_back(std::make_unique<WorkloadStream>(
+            profileByName("soplex"), 1000 + c, kTestScale));
+    }
+    System sys(config, std::move(streams));
+    sys.run(40000);
+    sys.resetStats();
+    sys.run(20000);
+    return sys.stats();
+}
+
+} // namespace
+
+TEST(SystemObservability, HistogramMeanMatchesScalarLatency)
+{
+    // The differential contract: the histogram replaced the legacy
+    // Average, so its mean must reproduce the scalar latency (the
+    // acceptance bound is 0.1%; the implementation is exact).
+    const SystemStats s = profiledRun(DesignKind::Alloy, 0);
+    ASSERT_GT(s.l4HitLatencyHist.count(), 0u);
+    ASSERT_GT(s.l4MissLatencyHist.count(), 0u);
+    EXPECT_NEAR(s.l4HitLatencyHist.mean(), s.l4HitLatency,
+                1e-3 * s.l4HitLatency);
+    EXPECT_NEAR(s.l4MissLatencyHist.mean(), s.l4MissLatency,
+                1e-3 * s.l4MissLatency);
+    // Percentiles bracket the mean the way a distribution must.
+    EXPECT_LE(s.l4HitLatencyHist.percentile(0.0).count(),
+              static_cast<std::uint64_t>(s.l4HitLatency));
+    EXPECT_GE(s.l4HitLatencyHist.percentile(0.99).count(),
+              static_cast<std::uint64_t>(s.l4HitLatencyHist
+                                             .percentile(0.50)
+                                             .count()));
+}
+
+TEST(SystemObservability, TraceIsOffByDefaultAndCountsWhenOn)
+{
+    const SystemStats off = profiledRun(DesignKind::Alloy, 0);
+    EXPECT_FALSE(off.trace.enabled);
+    EXPECT_EQ(off.trace.recorded, 0u);
+
+    const SystemStats on = profiledRun(DesignKind::Alloy, 1 << 12);
+    ASSERT_TRUE(on.trace.enabled);
+    ASSERT_EQ(on.trace.kindCounts.size(),
+              static_cast<std::size_t>(obs::kTraceEventKinds));
+    const std::uint64_t demand_reads = on.trace.kindCounts
+        [static_cast<std::size_t>(obs::TraceEventKind::DemandRead)];
+    // Every L4 demand read leaves exactly one DemandRead event, so the
+    // trace agrees with the latency histograms' sample counts.
+    EXPECT_EQ(demand_reads,
+              on.l4HitLatencyHist.count() + on.l4MissLatencyHist.count());
+    EXPECT_GT(on.trace.kindCounts[static_cast<std::size_t>(
+                  obs::TraceEventKind::Fill)],
+              0u);
+}
+
+TEST(SystemObservability, TracingDoesNotPerturbTiming)
+{
+    // Observation must be free: the same run with and without the
+    // trace attached produces bit-identical statistics.
+    const SystemStats off = profiledRun(DesignKind::Bear, 0);
+    const SystemStats on = profiledRun(DesignKind::Bear, 1 << 10);
+    EXPECT_EQ(off.execCycles, on.execCycles);
+    EXPECT_DOUBLE_EQ(off.ipcTotal, on.ipcTotal);
+    EXPECT_DOUBLE_EQ(off.l4AvgLatency, on.l4AvgLatency);
+    EXPECT_EQ(off.l4BytesTransferred.count(),
+              on.l4BytesTransferred.count());
+}
+
+TEST(SystemObservability, PerBankAccountingCoversTheCache)
+{
+    const SystemStats s = profiledRun(DesignKind::Alloy, 0);
+    ASSERT_FALSE(s.l4Banks.empty());
+
+    std::uint64_t reads = 0;
+    double max_util = 0.0;
+    for (const BankUtilization &bank : s.l4Banks) {
+        reads += bank.reads;
+        max_util = std::max(max_util, bank.utilization);
+        EXPECT_GE(bank.utilization, 0.0);
+        // Row hits and conflicts partition a subset of accesses.
+        EXPECT_LE(bank.rowHits, bank.reads + bank.writes);
+    }
+    // Every L4 access hit some bank, and somebody was busy.
+    EXPECT_GT(reads, 0u);
+    EXPECT_GT(max_util, 0.0);
+
+    // Queue-depth and queue-delay distributions were populated.
+    EXPECT_GT(s.l4WriteQueueDepthHist.count(), 0u);
+    EXPECT_GT(s.l4QueueDelayHist.count(), 0u);
+}

@@ -73,7 +73,7 @@ TEST(Ttc, SnapshotTracksFillsAndGuaranteesPresence)
     const LineAddr line = 5000; // still resident, snapshot present
     const std::uint64_t squashed_before = cache.parallelSquashed();
     const auto o = cache.read(t, line, pc, 0);
-    EXPECT_TRUE(o.hit);
+    EXPECT_TRUE(o.hit());
     EXPECT_GE(cache.parallelSquashed(), squashed_before);
 }
 
@@ -82,7 +82,7 @@ TEST(Ttc, DirtySnapshotStillForcesProbeOnFill)
     CacheHarness h;
     AlloyCache cache(ttcConfig(), h.dram, h.memory, h.bloat);
     cache.read(0, 100, 0x400000, 0);
-    cache.writeback(500, 100, false); // dirty + snapshot refresh
+    cache.writeback({100, false, 500}); // dirty + snapshot refresh
     h.bloat.reset();
     LineAddr mem_write = ~0ULL;
     h.memory.setLineWriteHook([&](LineAddr l) { mem_write = l; });

@@ -2,9 +2,11 @@
 # Full verification pipeline:
 #
 #   1. tier-1: default build, whole test suite
-#   2. sanitizers: rebuild and rerun the suite under ASan+UBSan
+#   2. observability smoke: trace_stats selftest plus a short traced
+#      run whose report must round-trip through the analyzer
+#   3. sanitizers: rebuild and rerun the suite under ASan+UBSan
 #      (any report is fatal: -fno-sanitize-recover=all)
-#   3. static analysis: tools/lint.sh (skipped when clang-tidy absent)
+#   4. static analysis: tools/lint.sh (skipped when clang-tidy absent)
 #
 #   tools/ci.sh [jobs]
 set -euo pipefail
@@ -12,17 +14,25 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs="${1:-$(nproc)}"
 
-echo "=== [1/3] tier-1 build + tests"
+echo "=== [1/4] tier-1 build + tests"
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
-echo "=== [2/3] ASan+UBSan build + tests"
+echo "=== [2/4] observability smoke (trace_stats + traced run)"
+build/tools/trace_stats --selftest
+report="$(mktemp)"
+trap 'rm -f "${report}"' EXIT
+BEAR_JSON="${report}" BEAR_TRACE=1024 BEAR_WARMUP=10000 \
+    BEAR_MEASURE=5000 build/examples/latency_profile mcf BEAR >/dev/null
+build/tools/trace_stats "${report}" >/dev/null
+
+echo "=== [3/4] ASan+UBSan build + tests"
 cmake -B build-san -S . -DBEAR_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j "${jobs}"
 ctest --test-dir build-san --output-on-failure -j "${jobs}"
 
-echo "=== [3/3] clang-tidy"
+echo "=== [4/4] clang-tidy"
 tools/lint.sh build
 
 echo "=== CI OK"

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Offline analyzer for the BEAR_JSON report stream.
+ *
+ * Every bench binary appends one JSON document per invocation when
+ * BEAR_JSON=<path> is set (JSON-lines).  This tool digests that stream
+ * without rerunning anything: per run it prints the schema-v2 latency
+ * distributions (p50/p95/p99 against the scalar mean), the event-trace
+ * activity breakdown, and the busiest DRAM-cache banks — the numbers
+ * one actually wants when asking "where did the cycles go?".
+ *
+ *   trace_stats <report.jsonl> [--top N]
+ *   trace_stats --selftest
+ *
+ * The self-test runs an embedded report line through the same parse
+ * and summarise path, so CI exercises the tool with zero simulation.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace
+{
+
+using bear::JsonValue;
+
+struct BankRow
+{
+    std::uint64_t channel = 0;
+    std::uint64_t bank = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t conflictStall = 0;
+    double utilization = 0.0;
+};
+
+/** One histogram line: name, count, mean, tail percentiles. */
+void
+printHistogram(const std::string &name, const JsonValue &hist)
+{
+    std::printf("    %-18s n=%-10llu mean=%-9.1f p50=%-7llu "
+                "p95=%-7llu p99=%-7llu max=%llu\n",
+                name.c_str(),
+                static_cast<unsigned long long>(hist["count"].asU64()),
+                hist["mean"].asDouble(),
+                static_cast<unsigned long long>(hist["p50"].asU64()),
+                static_cast<unsigned long long>(hist["p95"].asU64()),
+                static_cast<unsigned long long>(hist["p99"].asU64()),
+                static_cast<unsigned long long>(hist["max"].asU64()));
+}
+
+/** Digest one run's "stats" object. */
+void
+summarizeStats(const std::string &workload, const std::string &design,
+               const JsonValue &stats, std::size_t top_banks)
+{
+    std::printf("%s / %s\n", workload.c_str(), design.c_str());
+
+    const JsonValue *schema = stats.find("schemaVersion");
+    if (!schema) {
+        std::printf("    (schema v1 document: no distributions)\n");
+        return;
+    }
+
+    if (const JsonValue *hists = stats.find("histograms")) {
+        for (const auto &[name, hist] : hists->members())
+            printHistogram(name, hist);
+    }
+
+    if (const JsonValue *trace = stats.find("trace")) {
+        std::printf("    trace: %llu recorded, %llu dropped |",
+                    static_cast<unsigned long long>(
+                        (*trace)["recorded"].asU64()),
+                    static_cast<unsigned long long>(
+                        (*trace)["dropped"].asU64()));
+        for (const auto &[kind, count] : (*trace)["kinds"].members()) {
+            if (count.asU64())
+                std::printf(" %s=%llu", kind.c_str(),
+                            static_cast<unsigned long long>(
+                                count.asU64()));
+        }
+        std::printf("\n");
+    }
+
+    if (const JsonValue *per_bank = stats.find("perBank")) {
+        std::vector<BankRow> banks;
+        for (const JsonValue &b : per_bank->elements()) {
+            BankRow row;
+            row.channel = b["channel"].asU64();
+            row.bank = b["bank"].asU64();
+            row.reads = b["reads"].asU64();
+            row.conflictStall = b["conflictStallCycles"].asU64();
+            row.utilization = b["utilization"].asDouble();
+            banks.push_back(row);
+        }
+        std::sort(banks.begin(), banks.end(),
+                  [](const BankRow &a, const BankRow &b) {
+                      return a.utilization > b.utilization;
+                  });
+        if (banks.size() > top_banks)
+            banks.resize(top_banks);
+        for (const BankRow &b : banks) {
+            std::printf("    bank %llu.%llu: util=%.1f%% reads=%llu "
+                        "conflictStall=%llu\n",
+                        static_cast<unsigned long long>(b.channel),
+                        static_cast<unsigned long long>(b.bank),
+                        100.0 * b.utilization,
+                        static_cast<unsigned long long>(b.reads),
+                        static_cast<unsigned long long>(
+                            b.conflictStall));
+        }
+    }
+}
+
+/** Walk one report document; handles runResult and comparison shapes. */
+void
+summarizeDocument(const JsonValue &doc, std::size_t top_banks)
+{
+    if (const JsonValue *stats = doc.find("stats")) {
+        summarizeStats(doc["workload"].asString(),
+                       doc["design"].asString(), *stats, top_banks);
+        return;
+    }
+    if (const JsonValue *rows = doc.find("rows")) {
+        if (const JsonValue *name = doc.find("experiment"))
+            std::printf("== experiment: %s ==\n",
+                        name->asString().c_str());
+        for (const JsonValue &row : rows->elements()) {
+            if (const JsonValue *baseline = row.find("baseline"))
+                summarizeDocument(*baseline, top_banks);
+            if (const JsonValue *runs = row.find("runs")) {
+                for (const JsonValue &run : runs->elements())
+                    summarizeDocument(run, top_banks);
+            }
+        }
+        return;
+    }
+    std::printf("(document with neither \"stats\" nor \"rows\" — "
+                "skipped)\n");
+}
+
+int
+processFile(const char *path, std::size_t top_banks)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "trace_stats: cannot open %s\n", path);
+        return 1;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    std::size_t documents = 0;
+    int rc = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        const auto doc = JsonValue::parse(line);
+        if (!doc) {
+            std::fprintf(stderr, "trace_stats: %s:%zu: %s\n", path,
+                         lineno, doc.error().message().c_str());
+            rc = 1;
+            continue;
+        }
+        summarizeDocument(*doc, top_banks);
+        ++documents;
+    }
+    if (documents == 0 && rc == 0) {
+        std::fprintf(stderr, "trace_stats: %s contains no documents\n",
+                     path);
+        rc = 1;
+    }
+    return rc;
+}
+
+/** A tiny schema-v2 runResult document exercising every section. */
+const char *const kSelftestLine =
+    R"({"workload":"selftest","design":"Alloy","isMix":false,)"
+    R"("stats":{"schemaVersion":2,"ipcTotal":4.2,)"
+    R"("histograms":{"l4HitLatency":{"count":3,"mean":100.0,)"
+    R"("min":64,"max":160,"p50":127,"p95":160,"p99":160,)"
+    R"("buckets":[{"low":64,"count":2},{"low":128,"count":1}]}},)"
+    R"("perBank":[{"channel":0,"bank":1,"reads":7,"writes":3,)"
+    R"("rowHits":5,"rowConflicts":1,"busyCycles":900,)"
+    R"("conflictStallCycles":40,"utilization":0.75}],)"
+    R"("trace":{"recorded":12,"dropped":4,)"
+    R"("kinds":{"demandRead":8,"fill":4}}}})";
+
+int
+selftest()
+{
+    const auto doc = JsonValue::parse(kSelftestLine);
+    if (!doc) {
+        std::fprintf(stderr, "selftest: parse failed: %s\n",
+                     doc.error().message().c_str());
+        return 1;
+    }
+    const JsonValue &stats = (*doc)["stats"];
+    bool ok = true;
+    auto check = [&](bool cond, const char *what) {
+        if (!cond) {
+            std::fprintf(stderr, "selftest: FAILED: %s\n", what);
+            ok = false;
+        }
+    };
+    check(stats["schemaVersion"].asU64() == 2, "schemaVersion == 2");
+    const JsonValue &hit = stats["histograms"]["l4HitLatency"];
+    check(hit["count"].asU64() == 3, "histogram count");
+    check(hit["p95"].asU64() == 160, "histogram p95");
+    check(hit["buckets"].size() == 2, "two populated buckets");
+    check(stats["perBank"].at(0)["utilization"].asDouble() == 0.75,
+          "bank utilization");
+    check(stats["trace"]["kinds"]["demandRead"].asU64() == 8,
+          "trace kind count");
+    check(!JsonValue::parse("{\"unterminated\": ").hasValue(),
+          "malformed document rejected");
+
+    if (ok) {
+        summarizeDocument(*doc, 4);
+        std::printf("selftest passed\n");
+        return 0;
+    }
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t top_banks = 8;
+    const char *path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--selftest") == 0)
+            return selftest();
+        if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+            top_banks = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+            continue;
+        }
+        path = argv[i];
+    }
+    if (!path) {
+        std::fprintf(stderr,
+                     "usage: trace_stats <report.jsonl> [--top N]\n"
+                     "       trace_stats --selftest\n");
+        return 2;
+    }
+    return processFile(path, top_banks);
+}
