@@ -8,12 +8,24 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "trace/trace_reader.hh"
+#include "trace/trace_writer.hh"
 
 namespace bear
 {
 
 namespace
 {
+
+/**
+ * Accepted ranges of the numeric knobs.  Values above these are
+ * either physically meaningless (a 2^40-reference warm-up would run
+ * for months) or would silently truncate on the narrower option
+ * fields — both are rejected with the range in the error instead.
+ */
+constexpr std::uint64_t kMaxRefsPerCore = 1ULL << 40;
+constexpr std::uint64_t kMaxWorkers = 4096;
+constexpr std::uint64_t kMaxEventTraceCapacity = 1ULL << 24;
 
 /**
  * Strict full-string parsers: the whole value must be consumed, so
@@ -74,6 +86,45 @@ envOverride(const char *name, T &out, Parse parse,
     return true;
 }
 
+/**
+ * Unsigned override with an explicit domain: negative, non-numeric,
+ * and overflowing values are all rejected with the accepted range
+ * spelled out, so `BEAR_WORKERS=5000000000` is an error message and
+ * not a silently truncated 32-bit worker count.
+ */
+Expected<bool, EnvError>
+envBoundedU64(const char *name, std::uint64_t &out, std::uint64_t max)
+{
+    const char *text = std::getenv(name);
+    if (!text)
+        return false;
+    std::uint64_t parsed = 0;
+    const char *why = parseU64(text, parsed);
+    if (!why && parsed > max)
+        why = "out of range";
+    if (why) {
+        return unexpected(EnvError{
+            name, text,
+            std::string(why) + " (accepted range 0.."
+                + std::to_string(max) + ")"});
+    }
+    out = parsed;
+    return true;
+}
+
+/** String override; set-but-empty is a config error, not "unset". */
+Expected<bool, EnvError>
+envString(const char *name, std::string &out)
+{
+    const char *text = std::getenv(name);
+    if (!text)
+        return false;
+    if (*text == '\0')
+        return unexpected(EnvError{name, text, "empty value"});
+    out = text;
+    return true;
+}
+
 } // namespace
 
 std::string
@@ -88,7 +139,7 @@ RunnerOptions::tryFromEnv()
     RunnerOptions options;
 
     std::uint64_t full = 0;
-    auto r = envOverride("BEAR_FULL", full, parseU64);
+    auto r = envBoundedU64("BEAR_FULL", full, 1);
     if (!r)
         return unexpected(r.error());
     if (full)
@@ -96,31 +147,40 @@ RunnerOptions::tryFromEnv()
 
     r = envOverride("BEAR_SCALE", options.scale, parseDouble,
                     +[](const double &v) {
-                        return v > 0.0
+                        return v > 0.0 && v <= 16.0
                             ? nullptr
-                            : "scale must be positive";
+                            : "scale must be in (0, 16]";
                     });
     if (!r)
         return unexpected(r.error());
 
-    r = envOverride("BEAR_WARMUP", options.warmupRefsPerCore, parseU64);
+    r = envBoundedU64("BEAR_WARMUP", options.warmupRefsPerCore,
+                      kMaxRefsPerCore);
     if (!r)
         return unexpected(r.error());
-    r = envOverride("BEAR_MEASURE", options.measureRefsPerCore, parseU64);
+    r = envBoundedU64("BEAR_MEASURE", options.measureRefsPerCore,
+                      kMaxRefsPerCore);
     if (!r)
         return unexpected(r.error());
 
     std::uint64_t workers = options.workers;
-    r = envOverride("BEAR_WORKERS", workers, parseU64);
+    r = envBoundedU64("BEAR_WORKERS", workers, kMaxWorkers);
     if (!r)
         return unexpected(r.error());
     options.workers = static_cast<std::uint32_t>(workers);
 
     std::uint64_t trace = options.traceCapacity;
-    r = envOverride("BEAR_TRACE", trace, parseU64);
+    r = envBoundedU64("BEAR_TRACE", trace, kMaxEventTraceCapacity);
     if (!r)
         return unexpected(r.error());
     options.traceCapacity = static_cast<std::size_t>(trace);
+
+    r = envString("BEAR_TRACE_IN", options.traceInPath);
+    if (!r)
+        return unexpected(r.error());
+    r = envString("BEAR_TRACE_OUT", options.traceOutPath);
+    if (!r)
+        return unexpected(r.error());
 
     return options;
 }
@@ -175,11 +235,29 @@ RunResult
 Runner::execute(const RunJob &job)
 {
     const SystemConfig config = systemConfig(job);
+    const std::string workload_name =
+        job.mix ? job.mix->name : job.rateBenchmark;
 
     std::vector<std::unique_ptr<RefStream>> streams;
-    std::string workload_name;
-    if (job.mix) {
-        workload_name = job.mix->name;
+    if (!options_.traceInPath.empty()) {
+        // Replay mode: every core's stream comes from the recorded
+        // corpus; the job only chooses the design and the label.
+        for (std::uint32_t c = 0; c < options_.cores; ++c) {
+            auto stream = trace::TraceReplayStream::open(
+                options_.traceInPath, c);
+            if (!stream.hasValue()) {
+                bear_fatal("BEAR_TRACE_IN=", options_.traceInPath,
+                           ": ", stream.error().message());
+            }
+            if ((*stream)->meta().coreCount != options_.cores) {
+                bear_fatal("BEAR_TRACE_IN=", options_.traceInPath,
+                           ": recorded with ",
+                           (*stream)->meta().coreCount,
+                           " cores, this run wants ", options_.cores);
+            }
+            streams.push_back(std::move(stream.value()));
+        }
+    } else if (job.mix) {
         for (std::uint32_t c = 0; c < options_.cores; ++c) {
             const WorkloadProfile &profile =
                 profileByName(job.mix->benchmarks[c]);
@@ -188,13 +266,42 @@ Runner::execute(const RunJob &job)
                 options_.scale));
         }
     } else {
-        workload_name = job.rateBenchmark;
         const WorkloadProfile &profile =
             profileByName(job.rateBenchmark);
         for (std::uint32_t c = 0; c < options_.cores; ++c) {
             streams.push_back(std::make_unique<WorkloadStream>(
                 profile, options_.seed + 0x1000 * (c + 1),
                 options_.scale));
+        }
+    }
+
+    // Tee the streams to a .beartrace file.  One file holds one run,
+    // so with several jobs in flight only the first records; declared
+    // before the System so the recording streams it feeds are
+    // destroyed first.
+    std::unique_ptr<trace::TraceWriter> writer;
+    if (!options_.traceOutPath.empty()) {
+        if (!trace_out_claimed_.exchange(true)) {
+            trace::TraceMeta meta;
+            meta.workload = workload_name;
+            meta.seed = options_.seed;
+            meta.coreCount = options_.cores;
+            auto created = trace::TraceWriter::create(
+                options_.traceOutPath, meta);
+            if (!created.hasValue()) {
+                bear_fatal("BEAR_TRACE_OUT=", options_.traceOutPath,
+                           ": ", created.error().message());
+            }
+            writer = std::make_unique<trace::TraceWriter>(
+                std::move(created.value()));
+            for (std::uint32_t c = 0; c < options_.cores; ++c) {
+                streams[c] = std::make_unique<trace::RecordingStream>(
+                    std::move(streams[c]), *writer, c);
+            }
+        } else {
+            bear_warn("BEAR_TRACE_OUT=", options_.traceOutPath,
+                      ": already recording an earlier run; ",
+                      workload_name, " runs unrecorded");
         }
     }
 
@@ -211,6 +318,16 @@ Runner::execute(const RunJob &job)
     if (job.mix) {
         for (std::uint32_t c = 0; c < options_.cores; ++c)
             result.ipcAlone.push_back(ipcAlone(job.mix->benchmarks[c]));
+    }
+
+    if (writer) {
+        auto finished = writer->finish();
+        if (!finished.hasValue()) {
+            bear_fatal("BEAR_TRACE_OUT=", options_.traceOutPath, ": ",
+                       finished.error().message());
+        }
+        bear_inform("recorded ", *finished, " references of ",
+                    workload_name, " to ", options_.traceOutPath);
     }
     return result;
 }

@@ -15,6 +15,7 @@
 #ifndef BEAR_SIM_RUNNER_HH
 #define BEAR_SIM_RUNNER_HH
 
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <string>
@@ -58,11 +59,29 @@ struct RunnerOptions
     std::size_t traceCapacity = 0; ///< event-trace ring; 0 = off
 
     /**
+     * Replay workload: path of a .beartrace file (src/trace) that
+     * supplies every core's reference stream instead of the synthetic
+     * generators.  Empty = generate live.  IPC_alone reference runs
+     * for mixes still use the generators (they need a 1-core stream).
+     */
+    std::string traceInPath;
+
+    /**
+     * Record workload: path the first executed run writes its streams
+     * to as a .beartrace file.  Only the first run of a Runner
+     * records (a shared file cannot hold concurrent jobs); later runs
+     * warn and proceed unrecorded.  Empty = no recording.
+     */
+    std::string traceOutPath;
+
+    /**
      * Parse the environment overrides strictly: BEAR_SCALE,
      * BEAR_WARMUP, BEAR_MEASURE, BEAR_WORKERS, BEAR_TRACE,
+     * BEAR_TRACE_IN / BEAR_TRACE_OUT (.beartrace replay / record),
      * BEAR_FULL=1 (paper-size, scale 1.0).  A set-but-malformed
-     * variable is an error naming the variable — never a silent
-     * fallback to the default.
+     * variable is an error naming the variable and, for the numeric
+     * knobs, the accepted range — never a silent fallback to the
+     * default or a silent truncation.
      */
     static Expected<RunnerOptions, EnvError> tryFromEnv();
 
@@ -112,6 +131,8 @@ class Runner
     std::string keyOf(const RunJob &job) const;
 
     RunnerOptions options_;
+    /** Set once the recording run has claimed traceOutPath. */
+    std::atomic<bool> trace_out_claimed_{false};
     std::mutex mutex_;
     std::map<std::string, RunResult> cache_;
     std::map<std::string, double> alone_cache_;

@@ -1,0 +1,153 @@
+#include "trace/trace_format.hh"
+
+#include <array>
+
+#include "common/log.hh"
+
+namespace bear::trace
+{
+
+namespace
+{
+
+/** Reflected CRC32 lookup table, built once at compile time. */
+constexpr std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+        std::uint32_t c = n;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+        table[n] = c;
+    }
+    return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = makeCrcTable();
+
+} // namespace
+
+const char *
+traceErrorKindName(TraceErrorKind kind)
+{
+    switch (kind) {
+      case TraceErrorKind::Io: return "io-error";
+      case TraceErrorKind::BadMagic: return "bad-magic";
+      case TraceErrorKind::BadVersion: return "bad-version";
+      case TraceErrorKind::BadHeader: return "bad-header";
+      case TraceErrorKind::BadChunk: return "bad-chunk";
+      case TraceErrorKind::BadCrc: return "bad-crc";
+      case TraceErrorKind::Truncated: return "truncated";
+      case TraceErrorKind::CountMismatch: return "count-mismatch";
+    }
+    bear_panic("unreachable TraceErrorKind ",
+               static_cast<int>(kind));
+}
+
+std::string
+TraceError::message() const
+{
+    std::string out = traceErrorKindName(kind);
+    out += " at offset " + std::to_string(offset);
+    if (chunk >= 0)
+        out += " (chunk " + std::to_string(chunk) + ")";
+    out += ": " + detail;
+    return out;
+}
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = 0xFFFFFFFFU;
+    for (std::size_t i = 0; i < size; ++i)
+        c = kCrcTable[(c ^ p[i]) & 0xFFU] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFU;
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int byte = 0; byte < 4; ++byte)
+        v |= static_cast<std::uint32_t>(p[byte]) << (8 * byte);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int byte = 0; byte < 8; ++byte)
+        v |= static_cast<std::uint64_t>(p[byte]) << (8 * byte);
+    return v;
+}
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80U);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool
+getVarint(const std::uint8_t **p, const std::uint8_t *end,
+          std::uint64_t *out)
+{
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+        if (*p == end)
+            return false; // ran off the payload mid-varint
+        const std::uint8_t byte = *(*p)++;
+        // The 10th byte holds bit 63 only: anything above it would
+        // overflow, which a well-formed writer never produces.
+        if (shift == 63 && (byte & 0x7EU))
+            return false;
+        v |= static_cast<std::uint64_t>(byte & 0x7FU) << shift;
+        if (!(byte & 0x80U)) {
+            *out = v;
+            return true;
+        }
+    }
+    return false; // continuation bit set on the 10th byte
+}
+
+std::vector<std::uint8_t>
+encodeHeader(const TraceMeta &meta)
+{
+    bear_assert(meta.workload.size() <= kMaxWorkloadNameLength,
+                "workload name too long for the trace header: ",
+                meta.workload.size(), " bytes");
+    std::vector<std::uint8_t> out;
+    out.reserve(kHeaderFixedBytes + meta.workload.size()
+                + kChunkCrcBytes);
+    out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+    putU32(out, kFormatVersion);
+    putU32(out, meta.coreCount);
+    putU64(out, meta.seed);
+    putU64(out, meta.recordCount);
+    out.push_back(static_cast<std::uint8_t>(meta.workload.size()));
+    out.insert(out.end(), meta.workload.begin(), meta.workload.end());
+    putU32(out, crc32(out.data(), out.size()));
+    return out;
+}
+
+} // namespace bear::trace

@@ -237,6 +237,40 @@ TEST(RunnerOptions, PartiallyNumericValueIsRejected)
     unsetenv("BEAR_TRACE");
 }
 
+TEST(RunnerOptions, OverflowingValueNamesAcceptedRange)
+{
+    // BEAR_WORKERS used to be parsed as u64 and silently truncated
+    // into the u32 field; now anything beyond the bound is an EnvError
+    // that spells out the accepted range.
+    setenv("BEAR_WORKERS", "5000000000", 1);
+    const auto workers = RunnerOptions::tryFromEnv();
+    ASSERT_FALSE(workers.hasValue());
+    EXPECT_EQ(workers.error().variable, "BEAR_WORKERS");
+    EXPECT_NE(workers.error().message().find("accepted range"),
+              std::string::npos);
+    EXPECT_NE(workers.error().message().find("4096"),
+              std::string::npos);
+    unsetenv("BEAR_WORKERS");
+
+    // A value no u64 can hold is rejected by the same path.
+    setenv("BEAR_WARMUP", "99999999999999999999", 1);
+    const auto warmup = RunnerOptions::tryFromEnv();
+    ASSERT_FALSE(warmup.hasValue());
+    EXPECT_EQ(warmup.error().variable, "BEAR_WARMUP");
+    unsetenv("BEAR_WARMUP");
+}
+
+TEST(RunnerOptions, NegativeValueNamesAcceptedRange)
+{
+    setenv("BEAR_MEASURE", "-1", 1);
+    const auto result = RunnerOptions::tryFromEnv();
+    ASSERT_FALSE(result.hasValue());
+    EXPECT_EQ(result.error().variable, "BEAR_MEASURE");
+    EXPECT_NE(result.error().message().find("accepted range"),
+              std::string::npos);
+    unsetenv("BEAR_MEASURE");
+}
+
 TEST(RunnerOptions, OutOfDomainScaleIsRejected)
 {
     setenv("BEAR_SCALE", "0", 1);

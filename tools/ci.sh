@@ -4,9 +4,12 @@
 #   1. tier-1: default build, whole test suite
 #   2. observability smoke: trace_stats selftest plus a short traced
 #      run whose report must round-trip through the analyzer
-#   3. sanitizers: rebuild and rerun the suite under ASan+UBSan
+#   3. trace round-trip smoke: record a workload to a .beartrace
+#      file, dump it (full decode = integrity check), replay it, and
+#      diff the live and replayed JSON reports byte for byte
+#   4. sanitizers: rebuild and rerun the suite under ASan+UBSan
 #      (any report is fatal: -fno-sanitize-recover=all)
-#   4. static analysis: tools/lint.sh (skipped when clang-tidy absent)
+#   5. static analysis: tools/lint.sh (skipped when clang-tidy absent)
 #
 #   tools/ci.sh [jobs]
 set -euo pipefail
@@ -14,25 +17,39 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs="${1:-$(nproc)}"
 
-echo "=== [1/4] tier-1 build + tests"
+echo "=== [1/5] tier-1 build + tests"
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
-echo "=== [2/4] observability smoke (trace_stats + traced run)"
+echo "=== [2/5] observability smoke (trace_stats + traced run)"
 build/tools/trace_stats --selftest
 report="$(mktemp)"
-trap 'rm -f "${report}"' EXIT
+workdir="$(mktemp -d)"
+trap 'rm -f "${report}"; rm -rf "${workdir}"' EXIT
 BEAR_JSON="${report}" BEAR_TRACE=1024 BEAR_WARMUP=10000 \
     BEAR_MEASURE=5000 build/examples/latency_profile mcf BEAR >/dev/null
 build/tools/trace_stats "${report}" >/dev/null
 
-echo "=== [3/4] ASan+UBSan build + tests"
+echo "=== [3/5] trace round-trip smoke (record, dump, replay, diff)"
+trace="${workdir}/mcf.beartrace"
+BEAR_WARMUP=10000 BEAR_MEASURE=5000 \
+    build/tools/trace_record mcf "${trace}" >/dev/null
+build/tools/trace_dump "${trace}" --records 4 >/dev/null
+BEAR_JSON="${workdir}/live.jsonl" BEAR_WARMUP=10000 BEAR_MEASURE=5000 \
+    build/examples/latency_profile mcf BEAR >/dev/null
+BEAR_JSON="${workdir}/replay.jsonl" BEAR_WARMUP=10000 \
+    BEAR_MEASURE=5000 BEAR_TRACE_IN="${trace}" \
+    build/examples/latency_profile mcf BEAR >/dev/null
+# The replayed report must be byte-identical to the live one.
+diff "${workdir}/live.jsonl" "${workdir}/replay.jsonl"
+
+echo "=== [4/5] ASan+UBSan build + tests"
 cmake -B build-san -S . -DBEAR_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j "${jobs}"
 ctest --test-dir build-san --output-on-failure -j "${jobs}"
 
-echo "=== [4/4] clang-tidy"
+echo "=== [5/5] clang-tidy"
 tools/lint.sh build
 
 echo "=== CI OK"

@@ -27,8 +27,10 @@ fi
 status=0
 
 # Header-only modules (src/obs) never appear in the compile database,
-# so lint them as standalone translation units first.
-for header in src/obs/*.hh; do
+# so lint them as standalone translation units first; src/trace
+# headers ride along so their inline code is covered even when the
+# database misses a consumer.
+for header in src/obs/*.hh src/trace/*.hh; do
     echo "== clang-tidy ${header}"
     clang-tidy --quiet "${header}" -- -xc++ -std=c++20 -Isrc \
         || status=1

@@ -12,6 +12,8 @@
  *   trace_stats <report.jsonl> [--top N]
  *   trace_stats --selftest
  *
+ * Missing or unreadable inputs print the usage text and exit
+ * non-zero; nothing is ever silently summarised as "no documents".
  * The self-test runs an embedded report line through the same parse
  * and summarise path, so CI exercises the tool with zero simulation.
  */
@@ -25,11 +27,17 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "tools/tool_args.hh"
 
 namespace
 {
 
 using bear::JsonValue;
+
+const char *const kUsage =
+    "usage: trace_stats <report.jsonl> [--top N]\n"
+    "       trace_stats --selftest\n"
+    "  --top  busiest banks to print per run (default 8)\n";
 
 struct BankRow
 {
@@ -150,7 +158,8 @@ processFile(const char *path, std::size_t top_banks)
 {
     std::ifstream in(path);
     if (!in) {
-        std::fprintf(stderr, "trace_stats: cannot open %s\n", path);
+        std::fprintf(stderr, "trace_stats: cannot open %s\n%s", path,
+                     kUsage);
         return 1;
     }
     std::string line;
@@ -234,23 +243,10 @@ selftest()
 int
 main(int argc, char **argv)
 {
-    std::size_t top_banks = 8;
-    const char *path = nullptr;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--selftest") == 0)
-            return selftest();
-        if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
-            top_banks = static_cast<std::size_t>(
-                std::strtoull(argv[++i], nullptr, 10));
-            continue;
-        }
-        path = argv[i];
-    }
-    if (!path) {
-        std::fprintf(stderr,
-                     "usage: trace_stats <report.jsonl> [--top N]\n"
-                     "       trace_stats --selftest\n");
-        return 2;
-    }
-    return processFile(path, top_banks);
+    const bear::tools::ToolArgs args(argc, argv, {"top"}, kUsage);
+    if (args.selftest())
+        return selftest();
+    const std::string path = args.inputPath();
+    return processFile(path.c_str(),
+                       static_cast<std::size_t>(args.u64Or("top", 8)));
 }
