@@ -13,6 +13,7 @@
 #ifndef BEAR_BENCH_BENCH_UTIL_HH
 #define BEAR_BENCH_BENCH_UTIL_HH
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -23,7 +24,12 @@
 namespace bear::bench
 {
 
-/** Per-workload normalised speedups plus RATE/MIX/ALL geomeans. */
+/**
+ * Per-workload normalised speedups plus RATE/MIX/ALL geomeans.
+ * Failed cells (DESIGN.md §11) render as FAIL; the geomeans cover the
+ * completed cells, so one crashed job still yields a usable — clearly
+ * partial — table.
+ */
 inline void
 printSpeedupTable(const Comparison &cmp)
 {
@@ -34,7 +40,7 @@ printSpeedupTable(const Comparison &cmp)
     for (const auto &row : cmp.rows) {
         std::vector<std::string> cells{row.workload};
         for (double s : row.speedups)
-            cells.push_back(Table::num(s, 3));
+            cells.push_back(std::isnan(s) ? "FAIL" : Table::num(s, 3));
         table.addRow(std::move(cells));
     }
     auto aggregate = [&](const char *name, auto fn) {
@@ -57,21 +63,35 @@ printSpeedupTable(const Comparison &cmp)
     aggregate("GEOMEAN-ALL",
               [&](std::size_t d) { return cmp.allGeomean(d); });
     std::printf("%s\n", table.render().c_str());
+    if (!cmp.complete()) {
+        std::printf("PARTIAL: %zu cell(s) failed; FAIL cells excluded "
+                    "from geomeans (details on stderr)\n",
+                    cmp.failedCells());
+    }
 }
 
-/** Average a SystemStats field over a set of runs. */
+/**
+ * Average a SystemStats field over a set of runs, skipping failed
+ * cells (their default-constructed RunResult would silently drag the
+ * average toward zero).
+ */
 template <typename Getter>
 double
 averageOver(const std::vector<ComparisonRow> &rows, int design_idx,
             Getter getter)
 {
     double sum = 0.0;
+    std::size_t counted = 0;
     for (const auto &row : rows) {
+        if (design_idx < 0 ? !row.baselineOk
+                           : !row.errors[design_idx].empty())
+            continue;
         const RunResult &r =
             design_idx < 0 ? row.baseline : row.runs[design_idx];
         sum += getter(r);
+        ++counted;
     }
-    return rows.empty() ? 0.0 : sum / static_cast<double>(rows.size());
+    return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
 }
 
 /** Bandwidth-sensitive subset for the sensitivity sweeps: the eight

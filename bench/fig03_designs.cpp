@@ -49,5 +49,5 @@ main()
 
     std::printf("Per-workload speedups over the no-DRAM-cache system:\n");
     printSpeedupTable(cmp);
-    return 0;
+    return exitStatus(cmp);
 }

@@ -48,5 +48,5 @@ main()
     std::printf("Potential performance (BW-Opt over Alloy): %.3fx "
                 "(paper: 1.22x)\n",
                 cmp.allGeomean(0));
-    return 0;
+    return exitStatus(cmp);
 }

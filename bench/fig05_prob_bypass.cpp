@@ -53,5 +53,5 @@ main()
                   Table::num(cmp.rateGeomean(0), 3),
                   Table::num(cmp.rateGeomean(1), 3)});
     std::printf("%s\n", table.render().c_str());
-    return 0;
+    return exitStatus(cmp);
 }

@@ -35,5 +35,5 @@ main()
     std::printf("Hit rate: Alloy %.1f%% -> BAB %.1f%% "
                 "(paper: 63%% -> 61%%)\n",
                 100 * base_hr, 100 * bab_hr);
-    return 0;
+    return exitStatus(cmp);
 }

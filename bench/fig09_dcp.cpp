@@ -30,5 +30,5 @@ main()
 
     std::printf("DCP increment over BAB (geomean): %.3fx\n",
                 cmp.rateGeomean(1) / cmp.rateGeomean(0));
-    return 0;
+    return exitStatus(cmp);
 }

@@ -30,5 +30,5 @@ main()
 
     std::printf("NTC increment over BAB+DCP (geomean): %.3fx\n",
                 cmp.rateGeomean(2) / cmp.rateGeomean(1));
-    return 0;
+    return exitStatus(cmp);
 }

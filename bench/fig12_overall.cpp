@@ -28,5 +28,5 @@ main()
         runner, jobs, DesignKind::Alloy,
         {DesignKind::Bear, DesignKind::BwOptimized});
     printSpeedupTable(cmp);
-    return 0;
+    return exitStatus(cmp);
 }

@@ -81,5 +81,5 @@ main()
     const double bear = averageOver(cmp.rows, 2, total);
     std::printf("Bloat reduction BEAR vs Alloy: %.1f%% (paper: 32%%)\n",
                 100.0 * (alloy - bear) / alloy);
-    return 0;
+    return exitStatus(cmp);
 }

@@ -11,6 +11,8 @@
  * Sweeps run on the eight most memory-intensive rate benchmarks.
  */
 
+#include <algorithm>
+
 #include "bench/bench_util.hh"
 
 using namespace bear;
@@ -27,6 +29,11 @@ main()
         "0.5/1/2 GB capacity",
         options);
 
+    int status = 0;
+    const auto fold = [&status](const Comparison &cmp) {
+        status = std::max(status, exitStatus(cmp));
+    };
+
     Table bw_table({"bandwidth", "BEAR speedup vs Alloy"});
     for (const std::uint32_t ratio : {4u, 8u, 16u}) {
         auto jobs = sensitivityJobs(DesignKind::Alloy);
@@ -34,6 +41,7 @@ main()
             job.bandwidthRatio = ratio;
         const Comparison cmp = compareDesigns(
             runner, jobs, DesignKind::Alloy, {DesignKind::Bear});
+        fold(cmp);
         bw_table.addRow({std::to_string(ratio) + "x",
                          Table::num(cmp.rateGeomean(0), 3)});
     }
@@ -48,11 +56,12 @@ main()
             job.cacheCapacityBytes = capacity;
         const Comparison cmp = compareDesigns(
             runner, jobs, DesignKind::Alloy, {DesignKind::Bear});
+        fold(cmp);
         cap_table.addRow(
             {Table::num(static_cast<double>(capacity) / GB, 1) + " GB",
              Table::num(cmp.rateGeomean(0), 3)});
     }
     std::printf("(b) Capacity sweep (normalised per configuration)\n%s\n",
                 cap_table.render().c_str());
-    return 0;
+    return status;
 }

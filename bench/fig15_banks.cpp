@@ -29,6 +29,11 @@ main()
         ">=512 banks",
         options);
 
+    int status = 0;
+    const auto fold = [&status](const Comparison &cmp) {
+        status = std::max(status, exitStatus(cmp));
+    };
+
     // Bank-conflict relief should be visible in the per-bank counters:
     // as banks grow, per-bank utilization and the queue-delay tail both
     // fall (the declining region of the paper's curve).
@@ -41,6 +46,7 @@ main()
             job.totalBanks = banks;
         const Comparison cmp = compareDesigns(
             runner, jobs, DesignKind::Alloy, {DesignKind::Bear});
+        fold(cmp);
 
         // Bank-level numbers from the Alloy baseline runs (the design
         // whose bloat the sweep is relieving), averaged over workloads.
@@ -85,5 +91,5 @@ main()
                       Table::num(stall_per_read, 1)});
     }
     std::printf("%s\n", table.render().c_str());
-    return 0;
+    return status;
 }

@@ -69,5 +69,5 @@ main()
     }
     table.addRow(std::move(sram));
     std::printf("%s\n", table.render().c_str());
-    return 0;
+    return exitStatus(cmp);
 }

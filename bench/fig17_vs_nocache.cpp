@@ -45,5 +45,5 @@ main()
 
     std::printf("Per-workload detail:\n");
     printSpeedupTable(cmp);
-    return 0;
+    return exitStatus(cmp);
 }

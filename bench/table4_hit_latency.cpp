@@ -107,5 +107,5 @@ main()
         [](const RunResult &r) { return r.stats.l4HitLatency; });
     std::printf("Hit latency reduction: %.1f%% (paper: 24%%)\n",
                 100.0 * (alloy_lat - bear_lat) / alloy_lat);
-    return 0;
+    return exitStatus(cmp);
 }

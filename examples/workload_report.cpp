@@ -12,6 +12,7 @@
 
 #include "common/table.hh"
 #include "sim/experiment.hh"
+#include "sim/report.hh"
 #include "sim/runner.hh"
 
 using namespace bear;
@@ -27,12 +28,29 @@ main()
         "Table 2: the 16 SPEC benchmarks, their MPKI and footprints",
         options);
 
-    const std::vector<RunResult> results =
+    const std::vector<RunOutcome> outcomes =
         runner.runAll(rateJobs(DesignKind::Alloy));
 
+    // Failed jobs (DESIGN.md §11) render as FAIL rows; the report and
+    // exit status make the partiality explicit instead of vanishing
+    // rows silently.
+    int status = 0;
     Table table({"workload", "MPKI(tbl)", "MPKI(sim)", "L4hit%",
                  "hitLat", "missLat", "bloat", "IPC"});
-    for (const auto &r : results) {
+    for (const auto &outcome : outcomes) {
+        if (!outcome.hasValue()) {
+            const RunError &err = outcome.error();
+            table.addRow({err.workload, "FAIL", "-", "-", "-", "-", "-",
+                          "-"});
+            std::fprintf(stderr, "workload_report: %s\n",
+                         err.message().c_str());
+            if (err.kind == RunErrorKind::Interrupted || status == 130)
+                status = 130;
+            else
+                status = 3;
+            continue;
+        }
+        const RunResult &r = *outcome;
         const WorkloadProfile &p = profileByName(r.workload);
         table.addRow({r.workload, Table::num(p.l3Mpki, 1),
                       Table::num(r.stats.measuredMpki, 1),
@@ -41,7 +59,8 @@ main()
                       Table::num(r.stats.l4MissLatency, 0),
                       Table::num(r.stats.bloatFactor, 2),
                       Table::num(r.stats.ipcTotal, 2)});
+        maybeWriteJsonReport(runResultToJson(r));
     }
     std::printf("%s\n", table.render().c_str());
-    return 0;
+    return status;
 }

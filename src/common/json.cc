@@ -1,6 +1,7 @@
 #include "common/json.hh"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <cstdio>
@@ -123,10 +124,20 @@ JsonWriter::value(const char *v)
 JsonWriter &
 JsonWriter::value(double v)
 {
+    if (!std::isfinite(v))
+        return nullValue();
     beforeValue();
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.10g", v);
     out_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::nullValue()
+{
+    beforeValue();
+    out_ << "null";
     return *this;
 }
 

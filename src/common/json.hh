@@ -45,10 +45,13 @@ class JsonWriter
 
     JsonWriter &value(const std::string &v);
     JsonWriter &value(const char *v);
+    /** Non-finite doubles (NaN speedups of failed cells) emit null —
+     *  "nan" is not JSON and would poison every downstream parser. */
     JsonWriter &value(double v);
     JsonWriter &value(std::uint64_t v);
     JsonWriter &value(std::int64_t v);
     JsonWriter &value(bool v);
+    JsonWriter &nullValue();
 
     JsonWriter &key(const std::string &k);
 

@@ -24,6 +24,39 @@ namespace bear
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
+/**
+ * Thrown by panicImpl()/fatalImpl() instead of aborting/exiting while
+ * the calling thread is inside a ContainmentScope.  This is how a
+ * bear_assert failure deep inside one simulation job becomes a
+ * structured per-job RunError instead of taking the whole sweep down.
+ */
+struct ContainedFailure
+{
+    bool isPanic = false;  ///< panic (invariant) vs fatal (config)
+    std::string message;   ///< formatted message including file:line
+};
+
+/**
+ * RAII marker: while alive on a thread, panic/fatal on that thread
+ * throw ContainedFailure rather than terminating the process.  Scopes
+ * nest; containment is per-thread, so worker crashes never redirect an
+ * unrelated thread's panic.
+ */
+class ContainmentScope
+{
+  public:
+    ContainmentScope();
+    ~ContainmentScope();
+    ContainmentScope(const ContainmentScope &) = delete;
+    ContainmentScope &operator=(const ContainmentScope &) = delete;
+
+    /** Is the calling thread currently containing failures? */
+    static bool active();
+
+  private:
+    bool prev_;
+};
+
 namespace detail
 {
 

@@ -123,6 +123,27 @@ class Histogram
         return Unit{max_};
     }
 
+    /**
+     * Reconstitute a histogram from its serialised raw fields — the
+     * inverse of reading bucketCount()/count()/total()/min()/max().
+     * Used by the results journal (sim/journal.cc) to restore a
+     * distribution bit-exactly, so a resumed sweep's JSON report is
+     * byte-identical to an uninterrupted run's.
+     */
+    static Histogram
+    fromRaw(const rep (&buckets)[kBuckets], rep count, rep sum, rep min,
+            rep max)
+    {
+        Histogram h;
+        for (int i = 0; i < kBuckets; ++i)
+            h.buckets_[i] = buckets[i];
+        h.count_ = count;
+        h.sum_ = sum;
+        h.min_ = min;
+        h.max_ = max;
+        return h;
+    }
+
     /** Inclusive lower edge of bucket @p i in raw units. */
     static constexpr rep
     bucketLow(int i)

@@ -1,7 +1,10 @@
 #include "sim/experiment.hh"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
+#include "common/log.hh"
 #include "common/stats.hh"
 #include "sim/report.hh"
 
@@ -17,6 +20,9 @@ subsetGeomean(const Comparison &cmp, std::size_t idx, int want_mix)
     std::vector<double> values;
     for (const auto &row : cmp.rows) {
         if (want_mix >= 0 && row.isMix != (want_mix == 1))
+            continue;
+        // Failed cells carry NaN; the geomean covers what completed.
+        if (std::isnan(row.speedups[idx]))
             continue;
         values.push_back(row.speedups[idx]);
     }
@@ -43,6 +49,18 @@ Comparison::allGeomean(std::size_t idx) const
     return subsetGeomean(*this, idx, -1);
 }
 
+int
+exitStatus(const Comparison &cmp)
+{
+    if (cmp.failures.empty())
+        return 0;
+    for (const RunError &err : cmp.failures) {
+        if (err.kind == RunErrorKind::Interrupted)
+            return 130;
+    }
+    return 3;
+}
+
 std::vector<RunJob>
 retarget(std::vector<RunJob> jobs, DesignKind design)
 {
@@ -62,25 +80,58 @@ compareDesigns(Runner &runner, const std::vector<RunJob> &jobs,
         const auto retargeted = retarget(jobs, design);
         batch.insert(batch.end(), retargeted.begin(), retargeted.end());
     }
-    const std::vector<RunResult> results = runner.runAll(batch);
+    const std::vector<RunOutcome> outcomes = runner.runAll(batch);
 
     Comparison cmp;
     for (const DesignKind design : configs)
         cmp.designs.push_back(designName(design));
 
+    constexpr double kFailed = std::numeric_limits<double>::quiet_NaN();
     const std::size_t n = jobs.size();
     for (std::size_t w = 0; w < n; ++w) {
         ComparisonRow row;
-        row.baseline = results[w];
-        row.workload = row.baseline.workload;
-        row.isMix = row.baseline.isMix;
+        // Name the row from the job, not the result: a failed baseline
+        // has no result to name it after.
+        row.workload =
+            jobs[w].mix ? jobs[w].mix->name : jobs[w].rateBenchmark;
+        row.isMix = jobs[w].mix != nullptr;
+        const RunOutcome &base = outcomes[w];
+        if (base.hasValue()) {
+            row.baseline = *base;
+        } else {
+            row.baselineOk = false;
+            row.baselineError = base.error().message();
+            cmp.failures.push_back(base.error());
+        }
         for (std::size_t d = 0; d < configs.size(); ++d) {
-            const RunResult &run = results[(d + 1) * n + w];
-            row.runs.push_back(run);
-            row.speedups.push_back(normalizedSpeedup(row.baseline, run));
+            const RunOutcome &run = outcomes[(d + 1) * n + w];
+            if (run.hasValue()) {
+                row.runs.push_back(*run);
+                row.errors.emplace_back();
+                row.speedups.push_back(
+                    row.baselineOk
+                        ? normalizedSpeedup(row.baseline, *run)
+                        : kFailed);
+            } else {
+                row.runs.emplace_back();
+                row.errors.push_back(run.error().message());
+                row.speedups.push_back(kFailed);
+                cmp.failures.push_back(run.error());
+            }
         }
         cmp.rows.push_back(std::move(row));
     }
+
+    if (!cmp.failures.empty()) {
+        bear_warn(cmp.failures.size(), " of ", outcomes.size(),
+                  " cells failed; the table below is partial");
+        for (const RunError &err : cmp.failures) {
+            bear_warn("  ", err.message());
+            if (!err.diagnostics.empty())
+                bear_warn("    diagnostics: ", err.diagnostics);
+        }
+    }
+
     // Machine-readable mirror of the printed tables (BEAR_JSON=path).
     maybeWriteJsonReport(comparisonToJson("compareDesigns", cmp));
     return cmp;

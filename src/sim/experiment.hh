@@ -21,14 +21,22 @@
 namespace bear
 {
 
-/** One workload's results across all compared designs. */
+/**
+ * One workload's results across all compared designs.  A failed cell
+ * (DESIGN.md §11) leaves a default-constructed RunResult, a non-empty
+ * entry in errors / baselineError, and a NaN speedup; the rest of the
+ * row — and the rest of the table — is still real data.
+ */
 struct ComparisonRow
 {
     std::string workload;
     bool isMix = false;
     RunResult baseline;
+    bool baselineOk = true;
+    std::string baselineError;       ///< set when the baseline failed
     std::vector<RunResult> runs;     ///< one per compared design
-    std::vector<double> speedups;    ///< normalised vs baseline
+    std::vector<std::string> errors; ///< per design; empty = ok
+    std::vector<double> speedups;    ///< normalised; NaN = failed cell
 };
 
 /** Aggregated comparison over a workload set. */
@@ -36,14 +44,27 @@ struct Comparison
 {
     std::vector<std::string> designs; ///< compared design names
     std::vector<ComparisonRow> rows;
+    /** Every failed cell of the sweep, baseline runs included. */
+    std::vector<RunError> failures;
 
-    /** Geometric-mean speedup of design @p idx over rate rows. */
+    /** Geometric-mean speedup of design @p idx over rate rows.
+     *  Failed (NaN) cells are excluded from every geomean. */
     double rateGeomean(std::size_t idx) const;
     /** Geometric-mean speedup of design @p idx over mix rows. */
     double mixGeomean(std::size_t idx) const;
     /** Geometric-mean speedup of design @p idx over all rows. */
     double allGeomean(std::size_t idx) const;
+
+    std::size_t failedCells() const { return failures.size(); }
+    bool complete() const { return failures.empty(); }
 };
+
+/**
+ * Process exit code a bench should return for @p cmp: 0 when every
+ * cell completed, 130 when the sweep was interrupted (SIGINT/SIGTERM),
+ * 3 when cells failed but the sweep finished (partial report printed).
+ */
+int exitStatus(const Comparison &cmp);
 
 /**
  * Run @p baseline and each design of @p configs over the workloads of

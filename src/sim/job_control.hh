@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cooperative cancellation and forward-progress accounting for one
+ * simulation job.
+ *
+ * A JobControl is shared between the worker thread executing a job and
+ * the runner's monitor thread.  The worker publishes progress (one
+ * increment per simulated reference) and the phase it is in; the
+ * monitor watches progress and requests cancellation when it stops
+ * advancing for longer than the watchdog timeout, or when the process
+ * received SIGINT/SIGTERM.  The simulation loop checkpoints the cancel
+ * flag every reference, so a cancelled job unwinds within microseconds
+ * of the request — a hang becomes a structured timeout failure instead
+ * of a stuck worker pool.
+ */
+
+#ifndef BEAR_SIM_JOB_CONTROL_HH
+#define BEAR_SIM_JOB_CONTROL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace bear
+{
+
+/** Why a job was asked to stop. */
+enum class CancelReason : std::uint8_t
+{
+    None = 0,
+    Timeout,   ///< watchdog: no forward progress within the deadline
+    Interrupt, ///< SIGINT/SIGTERM: the whole sweep is shutting down
+};
+
+/** Shared state between one job's worker and the monitor thread. */
+struct JobControl
+{
+    /** Simulated references retired; advancing proves liveness. */
+    std::atomic<std::uint64_t> progress{0};
+
+    std::atomic<CancelReason> cancel{CancelReason::None};
+
+    /** Phase label for diagnostics; stores string literals only. */
+    std::atomic<const char *> phase{"setup"};
+
+    /** First cancellation reason wins (interrupt vs timeout race). */
+    void
+    requestCancel(CancelReason reason)
+    {
+        CancelReason expected = CancelReason::None;
+        cancel.compare_exchange_strong(expected, reason,
+                                       std::memory_order_relaxed);
+    }
+
+    CancelReason
+    cancelReason() const
+    {
+        return cancel.load(std::memory_order_relaxed);
+    }
+
+    void setPhase(const char *name) { phase.store(name); }
+    const char *phaseName() const { return phase.load(); }
+};
+
+/**
+ * Thrown at a cancellation checkpoint (System::run, a stalled fault
+ * site) once a cancel request is observed.  The layer that still has
+ * the System in scope attaches diagnostics (event-trace tail, per-bank
+ * state) on the way out; the runner converts the whole thing into a
+ * RunError.
+ */
+struct JobCancelled
+{
+    CancelReason reason = CancelReason::Timeout;
+    std::string diagnostics;
+};
+
+} // namespace bear
+
+#endif // BEAR_SIM_JOB_CONTROL_HH

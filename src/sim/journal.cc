@@ -1,0 +1,472 @@
+#include "sim/journal.hh"
+
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "common/log.hh"
+#include "trace/trace_format.hh"
+
+namespace bear
+{
+
+namespace
+{
+
+using trace::crc32;
+using trace::getU32;
+using trace::getU64;
+using trace::putU32;
+using trace::putU64;
+
+constexpr unsigned char kJournalMagic[8] = {'B', 'E', 'A', 'R',
+                                            'J', 'R', 'N', 'L'};
+constexpr std::uint32_t kJournalVersion = 1;
+/** magic + version + fingerprint, then the CRC32 of those bytes. */
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 4;
+
+constexpr std::uint8_t kEntryResult = 1;
+constexpr std::uint8_t kEntryAlone = 2;
+
+/** Entries bigger than this are corruption, not data (a RunResult
+ *  with 8 cores and full histograms serialises to a few KB). */
+constexpr std::uint32_t kMaxFrameBytes = 1U << 24;
+
+void
+putF64(std::vector<std::uint8_t> &out, double v)
+{
+    putU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void
+putString(std::vector<std::uint8_t> &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+template <typename Unit>
+void
+putHistogram(std::vector<std::uint8_t> &out,
+             const obs::Histogram<Unit> &hist)
+{
+    for (int i = 0; i < obs::Histogram<Unit>::kBuckets; ++i)
+        putU64(out, hist.bucketCount(i));
+    putU64(out, hist.count());
+    putU64(out, hist.total().count());
+    putU64(out, hist.min().count());
+    putU64(out, hist.max().count());
+}
+
+/** Bounds-checked reader over a loaded frame; sticky failure. */
+struct Cursor
+{
+    const std::uint8_t *p;
+    const std::uint8_t *end;
+    bool ok = true;
+
+    bool
+    need(std::size_t n)
+    {
+        if (!ok || static_cast<std::size_t>(end - p) < n)
+            ok = false;
+        return ok;
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return *p++;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        const std::uint32_t v = getU32(p);
+        p += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        const std::uint64_t v = getU64(p);
+        p += 8;
+        return v;
+    }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        if (!need(n))
+            return {};
+        std::string s(reinterpret_cast<const char *>(p), n);
+        p += n;
+        return s;
+    }
+
+    template <typename Unit>
+    obs::Histogram<Unit>
+    histogram()
+    {
+        typename obs::Histogram<Unit>::rep
+            buckets[obs::Histogram<Unit>::kBuckets] = {};
+        for (auto &b : buckets)
+            b = u64();
+        const auto count = u64();
+        const auto sum = u64();
+        const auto min = u64();
+        const auto max = u64();
+        return obs::Histogram<Unit>::fromRaw(buckets, count, sum, min,
+                                             max);
+    }
+};
+
+void
+serializeResult(std::vector<std::uint8_t> &out, const RunResult &r)
+{
+    putU32(out, static_cast<std::uint32_t>(SystemStats::kSchemaVersion));
+    putString(out, r.workload);
+    putString(out, r.design);
+    out.push_back(r.isMix ? 1 : 0);
+    putU32(out, static_cast<std::uint32_t>(r.ipcAlone.size()));
+    for (double ipc : r.ipcAlone)
+        putF64(out, ipc);
+
+    const SystemStats &s = r.stats;
+    putF64(out, s.ipcTotal);
+    putU32(out, static_cast<std::uint32_t>(s.ipcPerCore.size()));
+    for (double ipc : s.ipcPerCore)
+        putF64(out, ipc);
+    putU64(out, s.execCycles);
+    putF64(out, s.l4HitRate);
+    putF64(out, s.l4HitLatency);
+    putF64(out, s.l4MissLatency);
+    putF64(out, s.l4AvgLatency);
+    putF64(out, s.bloatFactor);
+    putU32(out, static_cast<std::uint32_t>(s.bloatBreakdown.size()));
+    for (double f : s.bloatBreakdown)
+        putF64(out, f);
+    putU32(out, static_cast<std::uint32_t>(s.bloatBytes.size()));
+    for (Bytes b : s.bloatBytes)
+        putU64(out, b.count());
+    putF64(out, s.measuredMpki);
+    putU64(out, s.sramOverheadBytes.count());
+    putU64(out, s.l4BytesTransferred.count());
+    putU64(out, s.memBytesTransferred.count());
+
+    putHistogram(out, s.l4HitLatencyHist);
+    putHistogram(out, s.l4MissLatencyHist);
+    putHistogram(out, s.l4QueueDelayHist);
+    putHistogram(out, s.memQueueDelayHist);
+    putHistogram(out, s.l4WriteQueueDepthHist);
+
+    putU32(out, static_cast<std::uint32_t>(s.l4Banks.size()));
+    for (const BankUtilization &bank : s.l4Banks) {
+        putU32(out, bank.channel);
+        putU32(out, bank.bank);
+        putU64(out, bank.reads);
+        putU64(out, bank.writes);
+        putU64(out, bank.rowHits);
+        putU64(out, bank.rowConflicts);
+        putU64(out, bank.busyCycles.count());
+        putU64(out, bank.conflictStallCycles.count());
+        putF64(out, bank.utilization);
+    }
+
+    out.push_back(s.trace.enabled ? 1 : 0);
+    putU64(out, s.trace.recorded);
+    putU64(out, s.trace.dropped);
+    putU32(out, static_cast<std::uint32_t>(s.trace.kindCounts.size()));
+    for (std::uint64_t c : s.trace.kindCounts)
+        putU64(out, c);
+}
+
+/** Inverse of serializeResult(); nullopt when the payload is out of
+ *  shape (cannot happen after a CRC pass unless schemas diverged). */
+bool
+deserializeResult(Cursor &c, RunResult &r, std::string &why)
+{
+    const std::uint32_t schema = c.u32();
+    if (c.ok
+        && schema
+            != static_cast<std::uint32_t>(SystemStats::kSchemaVersion)) {
+        why = detail::format("stats schema v", schema,
+                             ", this build writes v",
+                             SystemStats::kSchemaVersion);
+        return false;
+    }
+    r.workload = c.str();
+    r.design = c.str();
+    r.isMix = c.u8() != 0;
+    const std::uint32_t n_alone = c.u32();
+    for (std::uint32_t i = 0; c.ok && i < n_alone; ++i)
+        r.ipcAlone.push_back(c.f64());
+
+    SystemStats &s = r.stats;
+    s.ipcTotal = c.f64();
+    const std::uint32_t n_ipc = c.u32();
+    for (std::uint32_t i = 0; c.ok && i < n_ipc; ++i)
+        s.ipcPerCore.push_back(c.f64());
+    s.execCycles = c.u64();
+    s.l4HitRate = c.f64();
+    s.l4HitLatency = c.f64();
+    s.l4MissLatency = c.f64();
+    s.l4AvgLatency = c.f64();
+    s.bloatFactor = c.f64();
+    const std::uint32_t n_breakdown = c.u32();
+    for (std::uint32_t i = 0; c.ok && i < n_breakdown; ++i)
+        s.bloatBreakdown.push_back(c.f64());
+    const std::uint32_t n_bytes = c.u32();
+    for (std::uint32_t i = 0; c.ok && i < n_bytes; ++i)
+        s.bloatBytes.push_back(Bytes{c.u64()});
+    s.measuredMpki = c.f64();
+    s.sramOverheadBytes = Bytes{c.u64()};
+    s.l4BytesTransferred = Bytes{c.u64()};
+    s.memBytesTransferred = Bytes{c.u64()};
+
+    s.l4HitLatencyHist = c.histogram<Cycles>();
+    s.l4MissLatencyHist = c.histogram<Cycles>();
+    s.l4QueueDelayHist = c.histogram<Cycles>();
+    s.memQueueDelayHist = c.histogram<Cycles>();
+    s.l4WriteQueueDepthHist = c.histogram<Count>();
+
+    const std::uint32_t n_banks = c.u32();
+    for (std::uint32_t i = 0; c.ok && i < n_banks; ++i) {
+        BankUtilization bank;
+        bank.channel = c.u32();
+        bank.bank = c.u32();
+        bank.reads = c.u64();
+        bank.writes = c.u64();
+        bank.rowHits = c.u64();
+        bank.rowConflicts = c.u64();
+        bank.busyCycles = Cycles{c.u64()};
+        bank.conflictStallCycles = Cycles{c.u64()};
+        bank.utilization = c.f64();
+        s.l4Banks.push_back(bank);
+    }
+
+    s.trace.enabled = c.u8() != 0;
+    s.trace.recorded = c.u64();
+    s.trace.dropped = c.u64();
+    const std::uint32_t n_kinds = c.u32();
+    for (std::uint32_t i = 0; c.ok && i < n_kinds; ++i)
+        s.trace.kindCounts.push_back(c.u64());
+
+    if (!c.ok || c.p != c.end) {
+        why = "payload length does not match its contents";
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeJournalHeader(std::uint64_t fingerprint)
+{
+    std::vector<std::uint8_t> header;
+    header.insert(header.end(), std::begin(kJournalMagic),
+                  std::end(kJournalMagic));
+    putU32(header, kJournalVersion);
+    putU64(header, fingerprint);
+    putU32(header, crc32(header.data(), header.size()));
+    return header;
+}
+
+std::vector<std::uint8_t>
+encodeFrame(std::uint8_t type, const std::string &key,
+            const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> frame;
+    frame.reserve(1 + 4 + key.size() + 4 + payload.size() + 4);
+    frame.push_back(type);
+    putString(frame, key);
+    putU32(frame, static_cast<std::uint32_t>(payload.size()));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    putU32(frame, crc32(frame.data(), frame.size()));
+    return frame;
+}
+
+} // namespace
+
+Expected<ResultJournal, JournalError>
+openOrCreate_impl(const std::string &path, std::uint64_t fingerprint,
+                  ResultJournal &journal);
+
+Expected<ResultJournal, JournalError>
+ResultJournal::openOrCreate(const std::string &path,
+                            std::uint64_t fingerprint)
+{
+    ResultJournal journal;
+    journal.path_ = path;
+
+    std::vector<std::uint8_t> bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (in) {
+            bytes.assign(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+        }
+    }
+
+    bool fresh = bytes.empty();
+    if (!fresh) {
+        if (bytes.size() < kHeaderBytes
+            || std::memcmp(bytes.data(), kJournalMagic,
+                           sizeof(kJournalMagic))
+                != 0) {
+            return unexpected(JournalError{
+                path + ": not a BEAR results journal"});
+        }
+        if (crc32(bytes.data(), kHeaderBytes - 4)
+            != getU32(bytes.data() + kHeaderBytes - 4)) {
+            return unexpected(JournalError{
+                path + ": journal header fails its CRC check"});
+        }
+        const std::uint32_t version = getU32(bytes.data() + 8);
+        if (version != kJournalVersion) {
+            return unexpected(JournalError{detail::format(
+                path, ": journal format v", version,
+                ", this build reads v", kJournalVersion)});
+        }
+        const std::uint64_t stamped = getU64(bytes.data() + 12);
+        if (stamped != fingerprint) {
+            return unexpected(JournalError{detail::format(
+                path,
+                ": journal was written under different runner "
+                "options (fingerprint ",
+                stamped, ", this run has ", fingerprint,
+                "); use a fresh journal per sweep configuration")});
+        }
+    }
+
+    // Scan entries; stop at the first torn or corrupt frame and keep
+    // everything before it.
+    std::size_t good_end = fresh ? 0 : kHeaderBytes;
+    std::size_t offset = good_end;
+    std::uint64_t entries = 0;
+    std::string reject;
+    while (offset < bytes.size()) {
+        Cursor frame{bytes.data() + offset,
+                     bytes.data() + bytes.size()};
+        const std::uint8_t type = frame.u8();
+        const std::string key = frame.str();
+        const std::uint32_t payload_len = frame.u32();
+        if (!frame.ok || payload_len > kMaxFrameBytes
+            || !frame.need(payload_len + 4)) {
+            reject = "torn tail entry";
+            break;
+        }
+        const std::uint8_t *payload = frame.p;
+        const std::size_t sealed =
+            static_cast<std::size_t>(payload + payload_len
+                                     - (bytes.data() + offset));
+        const std::uint32_t stored = getU32(payload + payload_len);
+        if (crc32(bytes.data() + offset, sealed) != stored) {
+            reject = "entry fails its CRC check";
+            break;
+        }
+
+        Cursor body{payload, payload + payload_len};
+        if (type == kEntryResult) {
+            RunResult result;
+            std::string why;
+            if (!deserializeResult(body, result, why)) {
+                return unexpected(JournalError{
+                    path + ": entry for \"" + key + "\": " + why});
+            }
+            journal.results_[key] = std::move(result);
+        } else if (type == kEntryAlone) {
+            const double ipc = body.f64();
+            if (!body.ok || body.p != body.end) {
+                reject = "malformed IPC_alone entry";
+                break;
+            }
+            journal.alone_[key] = ipc;
+        } else {
+            reject = detail::format("unknown entry type ", type);
+            break;
+        }
+        offset += sealed + 4;
+        good_end = offset;
+        ++entries;
+    }
+
+    if (!fresh && good_end < bytes.size()) {
+        bear_warn("BEAR_JOURNAL=", path, ": ", reject, " at offset ",
+                  good_end, "; dropping ", bytes.size() - good_end,
+                  " trailing bytes (", entries, " sealed entr",
+                  entries == 1 ? "y" : "ies", " kept)");
+        std::error_code ec;
+        std::filesystem::resize_file(path, good_end, ec);
+        if (ec) {
+            return unexpected(JournalError{
+                path + ": cannot truncate corrupt tail: "
+                + ec.message()});
+        }
+    }
+
+    journal.out_.open(path, std::ios::binary | std::ios::app);
+    if (!journal.out_) {
+        return unexpected(
+            JournalError{path + ": cannot open for appending"});
+    }
+    if (fresh) {
+        const auto header = encodeJournalHeader(fingerprint);
+        journal.out_.write(
+            reinterpret_cast<const char *>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+        journal.out_.flush();
+        if (!journal.out_) {
+            return unexpected(
+                JournalError{path + ": cannot write journal header"});
+        }
+    }
+    return journal;
+}
+
+bool
+ResultJournal::appendResult(const std::string &key,
+                            const RunResult &result)
+{
+    std::vector<std::uint8_t> payload;
+    serializeResult(payload, result);
+    const auto frame = encodeFrame(kEntryResult, key, payload);
+    out_.write(reinterpret_cast<const char *>(frame.data()),
+               static_cast<std::streamsize>(frame.size()));
+    out_.flush();
+    if (!out_) {
+        bear_warn("BEAR_JOURNAL=", path_, ": append failed for ", key,
+                  " (disk full?); the sweep continues unjournaled");
+        return false;
+    }
+    return true;
+}
+
+bool
+ResultJournal::appendAlone(const std::string &benchmark, double ipc)
+{
+    std::vector<std::uint8_t> payload;
+    putF64(payload, ipc);
+    const auto frame = encodeFrame(kEntryAlone, benchmark, payload);
+    out_.write(reinterpret_cast<const char *>(frame.data()),
+               static_cast<std::streamsize>(frame.size()));
+    out_.flush();
+    if (!out_) {
+        bear_warn("BEAR_JOURNAL=", path_, ": append failed for ",
+                  benchmark, " (disk full?)");
+        return false;
+    }
+    return true;
+}
+
+} // namespace bear

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * CRC-sealed on-disk results journal (the BEAR_JOURNAL knob).
+ *
+ * Every completed job of a sweep appends one entry — the job key plus
+ * a bit-exact binary serialisation of its RunResult (IPC_alone
+ * reference runs append their own entry type).  On the next run with
+ * the same journal the runner preloads every sealed entry into its
+ * memo cache, so a crashed or interrupted sweep resumes exactly where
+ * it stopped and re-executes only the failed or missing cells.
+ *
+ * Integrity model, mirroring the .beartrace format (DESIGN.md §11):
+ *
+ *  - The header carries a fingerprint of every RunnerOptions field
+ *    that shapes results (scale, ref counts, cores, seed, geometry,
+ *    replay path).  A journal written under different options is a
+ *    hard error, never silently mixed results.
+ *  - Each entry is sealed with a CRC32 over its full frame.  A torn
+ *    tail entry — the expected artifact of a crash mid-append — is
+ *    detected, warned about, and truncated away on reopen; everything
+ *    before it is kept.  Corruption never crashes and never loads.
+ *  - Payloads bit-cast doubles through u64, so a journaled result is
+ *    restored bit-identically and a resumed sweep's JSON report is
+ *    byte-identical to an uninterrupted run's.
+ *  - The stats payload embeds SystemStats::kSchemaVersion; a journal
+ *    from a build with a different stats shape is rejected whole.
+ */
+
+#ifndef BEAR_SIM_JOURNAL_HH
+#define BEAR_SIM_JOURNAL_HH
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "common/expected.hh"
+#include "sim/metrics.hh"
+
+namespace bear
+{
+
+/** A journal that could not be opened or does not match this run. */
+struct JournalError
+{
+    std::string message;
+};
+
+/** Append-only, CRC-sealed store of completed RunResults. */
+class ResultJournal
+{
+  public:
+    /**
+     * Open @p path for resuming (loading every sealed entry) and
+     * appending.  A missing or empty file becomes a fresh journal; an
+     * existing one must carry @p fingerprint.  A torn or corrupt tail
+     * is truncated with a warning.
+     */
+    static Expected<ResultJournal, JournalError>
+    openOrCreate(const std::string &path, std::uint64_t fingerprint);
+
+    ResultJournal(ResultJournal &&) = default;
+    ResultJournal &operator=(ResultJournal &&) = default;
+
+    /** Results loaded from disk, keyed by Runner job key. */
+    const std::map<std::string, RunResult> &results() const
+    {
+        return results_;
+    }
+
+    /** IPC_alone values loaded from disk, keyed by benchmark. */
+    const std::map<std::string, double> &aloneIpcs() const
+    {
+        return alone_;
+    }
+
+    /**
+     * Append one completed job (flushed immediately, so a later crash
+     * or signal loses nothing already computed).  Returns false when
+     * the write failed; the sweep continues, resumability degrades.
+     */
+    bool appendResult(const std::string &key, const RunResult &result);
+
+    /** Append one IPC_alone reference value. */
+    bool appendAlone(const std::string &benchmark, double ipc);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    ResultJournal() = default;
+
+    std::string path_;
+    std::ofstream out_;
+    std::map<std::string, RunResult> results_;
+    std::map<std::string, double> alone_;
+};
+
+} // namespace bear
+
+#endif // BEAR_SIM_JOURNAL_HH

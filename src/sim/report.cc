@@ -159,19 +159,29 @@ comparisonToJson(const std::string &experiment,
         json.beginObject();
         json.field("workload", row.workload);
         json.field("isMix", row.isMix);
-        json.beginObject("baseline");
-        writeRun(json, row.baseline);
-        json.endObject();
+        // Failure fields appear only on failed cells, so a complete
+        // run's report stays byte-identical to pre-resilience output
+        // (and to a resumed run's — the acceptance check of §11).
+        if (row.baselineOk) {
+            json.beginObject("baseline");
+            writeRun(json, row.baseline);
+            json.endObject();
+        } else {
+            json.field("baselineError", row.baselineError);
+        }
         json.beginArray("runs");
-        for (const auto &run : row.runs) {
+        for (std::size_t d = 0; d < row.runs.size(); ++d) {
             json.beginObject();
-            writeRun(json, run);
+            if (d < row.errors.size() && !row.errors[d].empty())
+                json.field("error", row.errors[d]);
+            else
+                writeRun(json, row.runs[d]);
             json.endObject();
         }
         json.endArray();
         json.beginArray("speedups");
         for (double s : row.speedups)
-            json.value(s);
+            json.value(s); // NaN (failed cell) serialises as null
         json.endArray();
         json.endObject();
     }
@@ -185,6 +195,21 @@ comparisonToJson(const std::string &experiment,
         json.endObject();
     }
     json.endObject();
+    if (!comparison.failures.empty()) {
+        json.beginArray("failures");
+        for (const RunError &err : comparison.failures) {
+            json.beginObject();
+            json.field("workload", err.workload);
+            json.field("design", err.design);
+            json.field("kind", runErrorKindName(err.kind));
+            json.field("phase", jobPhaseName(err.phase));
+            json.field("what", err.what);
+            json.field("attempts",
+                       static_cast<std::uint64_t>(err.attempts));
+            json.endObject();
+        }
+        json.endArray();
+    }
     json.endObject();
     return json.str();
 }

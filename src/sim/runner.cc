@@ -1,12 +1,19 @@
 #include "sim/runner.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
+#include <new>
+#include <optional>
 #include <sstream>
-#include <thread>
+#include <stdexcept>
 
+#include "common/fault.hh"
 #include "common/log.hh"
 #include "trace/trace_reader.hh"
 #include "trace/trace_writer.hh"
@@ -26,6 +33,10 @@ namespace
 constexpr std::uint64_t kMaxRefsPerCore = 1ULL << 40;
 constexpr std::uint64_t kMaxWorkers = 4096;
 constexpr std::uint64_t kMaxEventTraceCapacity = 1ULL << 24;
+constexpr double kMaxJobTimeoutSeconds = 86400.0;
+
+/** Watchdog/interrupt poll period; bounds cancellation latency. */
+constexpr std::chrono::milliseconds kMonitorTick{20};
 
 /**
  * Strict full-string parsers: the whole value must be consumed, so
@@ -125,12 +136,213 @@ envString(const char *name, std::string &out)
     return true;
 }
 
+/**
+ * SIGINT/SIGTERM land here: record the signal and restore the default
+ * disposition, so a second ^C force-kills instead of waiting for the
+ * drain.  Only the async-signal-safe store happens in handler
+ * context; the monitor thread does the actual cancellation, the
+ * unwinding workers finalize traces, and the journal is already
+ * flushed per append — nothing computed is lost.
+ */
+std::atomic<int> g_signal{0};
+
+extern "C" void
+bearSignalHandler(int sig)
+{
+    g_signal.store(sig, std::memory_order_relaxed);
+    std::signal(sig, SIG_DFL);
+}
+
+void
+installSignalHandlersOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        std::signal(SIGINT, bearSignalHandler);
+        std::signal(SIGTERM, bearSignalHandler);
+    });
+}
+
+/**
+ * Carries a failed IPC_alone reference run out of a mix job's
+ * execute(); the catch layer re-attributes it to the mix cell with
+ * phase = IpcAlone.
+ */
+struct AloneFailed
+{
+    RunError error;
+};
+
+/**
+ * Act on a fired fault clause at a runner-level site.  Throwing kinds
+ * unwind into the containment layer; a stall burns wall-clock without
+ * advancing progress until the watchdog (or a signal) cancels it —
+ * exactly the failure mode BEAR_JOB_TIMEOUT exists to catch.
+ */
+void
+actOnFault(fault::FaultKind kind, const char *site, JobControl &control)
+{
+    switch (kind) {
+    case fault::FaultKind::Throw:
+        throw std::runtime_error(
+            detail::format("injected fault at ", site));
+    case fault::FaultKind::Panic:
+        bear_panic("injected fault at ", site);
+    case fault::FaultKind::Alloc:
+        throw std::bad_alloc();
+    case fault::FaultKind::Stall:
+        control.setPhase("stalled");
+        while (control.cancelReason() == CancelReason::None)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        throw JobCancelled{
+            control.cancelReason(),
+            detail::format("stalled by injected fault at ", site)};
+    case fault::FaultKind::TraceIo:
+        // Meaningful only inside the trace writer; a runner-level
+        // trace-io clause is a spec mistake, surfaced loudly.
+        bear_warn("BEAR_FAULT: trace-io fired at runner site ", site,
+                  "; only trace.* sites honour it");
+        break;
+    }
+}
+
+/** Evaluate @p site for @p scope and act if a clause fires. */
+void
+checkFaultSite(const char *site, const std::string &scope,
+               JobControl &control)
+{
+    auto &inj = fault::injector();
+    if (!inj.armed())
+        return;
+    if (auto kind = inj.evaluate(site, scope))
+        actOnFault(*kind, site, control);
+}
+
+/**
+ * Failure evidence gathered while the System is still alive: the tail
+ * of the event-trace ring (when BEAR_TRACE is on) and the busiest
+ * DRAM-cache banks with their queue state.
+ */
+std::string
+gatherDiagnostics(System &system, JobControl &control)
+{
+    std::ostringstream os;
+    os << "phase=" << control.phaseName() << " progress="
+       << control.progress.load(std::memory_order_relaxed)
+       << " simulated refs";
+
+    if (obs::EventTrace *tr = system.trace()) {
+        const auto events = tr->snapshot();
+        const std::size_t keep =
+            std::min<std::size_t>(events.size(), 8);
+        os << "\nevent-trace tail (last " << keep << " of "
+           << tr->recorded() << " recorded):";
+        for (std::size_t i = events.size() - keep; i < events.size();
+             ++i) {
+            const auto &e = events[i];
+            os << "\n  cycle " << e.at << ' '
+               << obs::traceEventName(e.kind) << " where=0x"
+               << std::hex << e.where << std::dec << " value="
+               << e.value;
+        }
+    }
+
+    auto banks = system.cacheDram().bankUtilization();
+    std::sort(banks.begin(), banks.end(),
+              [](const BankUtilization &a, const BankUtilization &b) {
+                  return a.busyCycles > b.busyCycles;
+              });
+    const std::size_t keep = std::min<std::size_t>(banks.size(), 4);
+    os << "\nbusiest DRAM-cache banks:";
+    for (std::size_t i = 0; i < keep; ++i) {
+        const auto &b = banks[i];
+        os << "\n  ch" << b.channel << "/bank" << b.bank << " reads="
+           << b.reads << " writes=" << b.writes << " rowHits="
+           << b.rowHits << " rowConflicts=" << b.rowConflicts
+           << " busy=" << b.busyCycles.count() << " conflictStall="
+           << b.conflictStallCycles.count();
+    }
+    return os.str();
+}
+
+/**
+ * Releases the shared trace-recording claim if the claiming job dies,
+ * so a retried (or later) job can record instead of the whole sweep
+ * silently losing its trace.
+ */
+class ClaimGuard
+{
+  public:
+    explicit ClaimGuard(std::atomic<bool> &flag) : flag_(flag) {}
+
+    ~ClaimGuard()
+    {
+        if (active_)
+            flag_.store(false);
+    }
+
+    void commit() { active_ = false; }
+
+  private:
+    std::atomic<bool> &flag_;
+    bool active_ = true;
+};
+
 } // namespace
 
 std::string
 EnvError::message() const
 {
     return variable + "=\"" + value + "\": " + reason;
+}
+
+const char *
+jobPhaseName(JobPhase phase)
+{
+    switch (phase) {
+    case JobPhase::Setup:
+        return "setup";
+    case JobPhase::Warmup:
+        return "warmup";
+    case JobPhase::Measure:
+        return "measure";
+    case JobPhase::IpcAlone:
+        return "ipc_alone";
+    }
+    return "?";
+}
+
+const char *
+runErrorKindName(RunErrorKind kind)
+{
+    switch (kind) {
+    case RunErrorKind::Contained:
+        return "contained";
+    case RunErrorKind::Timeout:
+        return "timeout";
+    case RunErrorKind::Interrupted:
+        return "interrupted";
+    case RunErrorKind::TraceIo:
+        return "trace-io";
+    }
+    return "?";
+}
+
+std::string
+RunError::message() const
+{
+    std::string m = detail::format(design, '/', workload, " failed [",
+                                   runErrorKindName(kind), "] during ",
+                                   jobPhaseName(phase), ": ", what);
+    if (attempts > 1)
+        m += detail::format(" (after ", attempts, " attempts)");
+    return m;
+}
+
+bool
+interruptRequested()
+{
+    return g_signal.load(std::memory_order_relaxed) != 0;
 }
 
 Expected<RunnerOptions, EnvError>
@@ -182,6 +394,41 @@ RunnerOptions::tryFromEnv()
     if (!r)
         return unexpected(r.error());
 
+    r = envOverride("BEAR_JOB_TIMEOUT", options.jobTimeoutSeconds,
+                    parseDouble, +[](const double &v) {
+                        return v > 0.0 && v <= kMaxJobTimeoutSeconds
+                            ? nullptr
+                            : "timeout must be in (0, 86400] seconds";
+                    });
+    if (!r)
+        return unexpected(r.error());
+
+    r = envString("BEAR_JOURNAL", options.journalPath);
+    if (!r)
+        return unexpected(r.error());
+
+    r = envString("BEAR_FAULT", options.faultSpec);
+    if (!r)
+        return unexpected(r.error());
+    if (!options.faultSpec.empty()) {
+        auto plan = fault::parseFaultSpec(options.faultSpec);
+        if (!plan.hasValue()) {
+            return unexpected(EnvError{"BEAR_FAULT", options.faultSpec,
+                                       plan.error()});
+        }
+    }
+
+    std::uint64_t retries = options.retries;
+    r = envOverride("BEAR_RETRIES", retries, parseU64,
+                    +[](const std::uint64_t &v) {
+                        return v >= 1 && v <= 16
+                            ? nullptr
+                            : "accepted range 1..16";
+                    });
+    if (!r)
+        return unexpected(r.error());
+    options.retries = static_cast<std::uint32_t>(retries);
+
     return options;
 }
 
@@ -195,10 +442,171 @@ RunnerOptions::fromEnv()
     return *options;
 }
 
+std::uint64_t
+RunnerOptions::fingerprint() const
+{
+    std::uint64_t h = 1469598103934665603ULL; // FNV-1a offset basis
+    const auto mixIn = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    };
+    mixIn(std::bit_cast<std::uint64_t>(scale));
+    mixIn(warmupRefsPerCore);
+    mixIn(measureRefsPerCore);
+    mixIn(cores);
+    mixIn(bandwidthRatio);
+    mixIn(totalBanks);
+    mixIn(cacheCapacityBytes);
+    mixIn(seed);
+    mixIn(static_cast<std::uint64_t>(traceCapacity));
+    for (const char c : traceInPath) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** One executing job as the monitor thread sees it. */
+struct Runner::ActiveJob
+{
+    JobControl control;
+    std::uint64_t lastProgress = 0;
+    std::chrono::steady_clock::time_point lastAdvance =
+        std::chrono::steady_clock::now();
+};
+
+/** RAII registration of a job with the runner's monitor thread. */
+class ActiveRegistration
+{
+  public:
+    explicit ActiveRegistration(Runner &runner) : runner_(runner)
+    {
+        std::lock_guard<std::mutex> lock(runner_.active_mutex_);
+        runner_.active_.push_back(&job_);
+    }
+
+    ~ActiveRegistration()
+    {
+        std::lock_guard<std::mutex> lock(runner_.active_mutex_);
+        auto &v = runner_.active_;
+        v.erase(std::remove(v.begin(), v.end(), &job_), v.end());
+    }
+
+    ActiveRegistration(const ActiveRegistration &) = delete;
+    ActiveRegistration &operator=(const ActiveRegistration &) = delete;
+
+    JobControl &control() { return job_.control; }
+
+  private:
+    Runner &runner_;
+    Runner::ActiveJob job_;
+};
+
 Runner::Runner(const RunnerOptions &options) : options_(options)
 {
     bear_assert(options.scale > 0.0, "scale must be positive");
     bear_assert(options.cores > 0, "need cores");
+    bear_assert(options.retries >= 1, "need at least one attempt");
+
+    // Preflight the replay corpus before any simulation (and before
+    // the monitor thread exists, so a config error dies with a clean
+    // single-threaded exit): a missing or corrupt BEAR_TRACE_IN must
+    // never cost a warm-up first.
+    if (!options_.traceInPath.empty()) {
+        auto probe =
+            trace::TraceReplayStream::open(options_.traceInPath, 0);
+        if (!probe.hasValue()) {
+            bear_fatal("BEAR_TRACE_IN=", options_.traceInPath, ": ",
+                       probe.error().message());
+        }
+        if ((*probe)->meta().coreCount != options_.cores) {
+            bear_fatal("BEAR_TRACE_IN=", options_.traceInPath,
+                       ": recorded with ", (*probe)->meta().coreCount,
+                       " cores, this run wants ", options_.cores);
+        }
+    }
+
+    if (!options_.faultSpec.empty()) {
+        auto plan = fault::parseFaultSpec(options_.faultSpec);
+        if (!plan.hasValue()) {
+            bear_fatal("BEAR_FAULT=\"", options_.faultSpec, "\": ",
+                       plan.error());
+        }
+        plan->seed = options_.seed;
+        fault::injector().arm(std::move(*plan));
+    }
+
+    if (!options_.journalPath.empty()) {
+        auto journal = ResultJournal::openOrCreate(
+            options_.journalPath, options_.fingerprint());
+        if (!journal.hasValue()) {
+            bear_fatal("BEAR_JOURNAL: ", journal.error().message);
+        }
+        journal_ =
+            std::make_unique<ResultJournal>(std::move(*journal));
+        cache_ = journal_->results();
+        alone_cache_ = journal_->aloneIpcs();
+        if (!cache_.empty() || !alone_cache_.empty()) {
+            bear_inform("BEAR_JOURNAL=", options_.journalPath,
+                        ": resuming with ", cache_.size(),
+                        " journaled result(s) and ",
+                        alone_cache_.size(),
+                        " IPC_alone value(s); only missing cells run");
+        }
+    }
+
+    installSignalHandlersOnce();
+    monitor_ = std::thread([this] { monitorLoop(); });
+}
+
+Runner::~Runner()
+{
+    {
+        std::lock_guard<std::mutex> lock(monitor_cv_mutex_);
+        stop_monitor_.store(true);
+    }
+    monitor_cv_.notify_all();
+    if (monitor_.joinable())
+        monitor_.join();
+    if (!options_.faultSpec.empty())
+        fault::injector().disarm();
+}
+
+void
+Runner::monitorLoop()
+{
+    const double timeout = options_.jobTimeoutSeconds;
+    std::unique_lock<std::mutex> lk(monitor_cv_mutex_);
+    while (!stop_monitor_.load(std::memory_order_relaxed)) {
+        monitor_cv_.wait_for(lk, kMonitorTick, [this] {
+            return stop_monitor_.load(std::memory_order_relaxed);
+        });
+        if (stop_monitor_.load(std::memory_order_relaxed))
+            return;
+
+        const bool interrupted = interruptRequested();
+        const auto now = std::chrono::steady_clock::now();
+        std::lock_guard<std::mutex> guard(active_mutex_);
+        for (ActiveJob *job : active_) {
+            if (interrupted)
+                job->control.requestCancel(CancelReason::Interrupt);
+            if (timeout <= 0.0)
+                continue;
+            const std::uint64_t p =
+                job->control.progress.load(std::memory_order_relaxed);
+            if (p != job->lastProgress) {
+                job->lastProgress = p;
+                job->lastAdvance = now;
+                continue;
+            }
+            const std::chrono::duration<double> stalled =
+                now - job->lastAdvance;
+            if (stalled.count() > timeout)
+                job->control.requestCancel(CancelReason::Timeout);
+        }
+    }
 }
 
 SystemConfig
@@ -232,11 +640,17 @@ Runner::keyOf(const RunJob &job) const
 }
 
 RunResult
-Runner::execute(const RunJob &job)
+Runner::execute(const RunJob &job, JobControl &control, JobPhase &phase)
 {
-    const SystemConfig config = systemConfig(job);
+    SystemConfig config = systemConfig(job);
+    config.control = &control;
     const std::string workload_name =
         job.mix ? job.mix->name : job.rateBenchmark;
+    const std::string key = keyOf(job);
+
+    phase = JobPhase::Setup;
+    control.setPhase("setup");
+    checkFaultSite("job.setup", key, control);
 
     std::vector<std::unique_ptr<RefStream>> streams;
     if (!options_.traceInPath.empty()) {
@@ -280,8 +694,10 @@ Runner::execute(const RunJob &job)
     // before the System so the recording streams it feeds are
     // destroyed first.
     std::unique_ptr<trace::TraceWriter> writer;
+    std::optional<ClaimGuard> claim;
     if (!options_.traceOutPath.empty()) {
         if (!trace_out_claimed_.exchange(true)) {
+            claim.emplace(trace_out_claimed_);
             trace::TraceMeta meta;
             meta.workload = workload_name;
             meta.seed = options_.seed;
@@ -289,6 +705,8 @@ Runner::execute(const RunJob &job)
             auto created = trace::TraceWriter::create(
                 options_.traceOutPath, meta);
             if (!created.hasValue()) {
+                // Unopenable output path: a config error, not a
+                // transient — fail (or contain) immediately.
                 bear_fatal("BEAR_TRACE_OUT=", options_.traceOutPath,
                            ": ", created.error().message());
             }
@@ -305,35 +723,125 @@ Runner::execute(const RunJob &job)
         }
     }
 
-    System system(config, std::move(streams));
-    system.run(options_.warmupRefsPerCore);
-    system.resetStats();
-    system.run(options_.measureRefsPerCore);
+    bool writer_finished = false;
+    try {
+        System system(config, std::move(streams));
+        try {
+            phase = JobPhase::Warmup;
+            control.setPhase("warmup");
+            checkFaultSite("job.warmup", key, control);
+            system.run(options_.warmupRefsPerCore);
+            system.resetStats();
 
-    RunResult result;
-    result.workload = workload_name;
-    result.design = designName(job.design);
-    result.isMix = job.mix != nullptr;
-    result.stats = system.stats();
-    if (job.mix) {
-        for (std::uint32_t c = 0; c < options_.cores; ++c)
-            result.ipcAlone.push_back(ipcAlone(job.mix->benchmarks[c]));
-    }
-
-    if (writer) {
-        auto finished = writer->finish();
-        if (!finished.hasValue()) {
-            bear_fatal("BEAR_TRACE_OUT=", options_.traceOutPath, ": ",
-                       finished.error().message());
+            phase = JobPhase::Measure;
+            control.setPhase("measure");
+            checkFaultSite("job.measure", key, control);
+            system.run(options_.measureRefsPerCore);
+        } catch (JobCancelled &cancelled) {
+            // Attach the evidence while the System still exists.
+            if (cancelled.diagnostics.empty()) {
+                cancelled.diagnostics =
+                    gatherDiagnostics(system, control);
+            }
+            throw;
         }
-        bear_inform("recorded ", *finished, " references of ",
-                    workload_name, " to ", options_.traceOutPath);
+
+        RunResult result;
+        result.workload = workload_name;
+        result.design = designName(job.design);
+        result.isMix = job.mix != nullptr;
+        result.stats = system.stats();
+        if (job.mix) {
+            for (std::uint32_t c = 0; c < options_.cores; ++c) {
+                auto alone = ipcAloneContained(job.mix->benchmarks[c],
+                                               &control);
+                if (!alone.hasValue())
+                    throw AloneFailed{alone.error()};
+                result.ipcAlone.push_back(*alone);
+            }
+        }
+
+        if (writer) {
+            writer_finished = true;
+            auto finished = writer->finish();
+            if (!finished.hasValue())
+                throw trace::TraceIoFailure{finished.error()};
+            bear_inform("recorded ", *finished, " references of ",
+                        workload_name, " to ", options_.traceOutPath);
+        }
+        if (claim)
+            claim->commit();
+        return result;
+    } catch (...) {
+        // Seal whatever the recording already holds: a finished-short
+        // trace replays its prefix, an unfinished one is garbage.
+        // The ClaimGuard then releases the recording slot so a retry
+        // (or a later job) records instead.
+        if (writer && !writer_finished) {
+            auto sealed = writer->finish();
+            if (sealed.hasValue()) {
+                bear_warn("BEAR_TRACE_OUT=", options_.traceOutPath,
+                          ": job failed mid-recording; sealed a "
+                          "partial trace of ",
+                          *sealed, " references");
+            }
+        }
+        throw;
     }
-    return result;
 }
 
-RunResult
-Runner::run(const RunJob &job)
+RunOutcome
+Runner::executeContained(const RunJob &job, const std::string &key)
+{
+    ActiveRegistration registration(*this);
+    JobControl &control = registration.control();
+    ContainmentScope contain;
+
+    JobPhase phase = JobPhase::Setup;
+    RunError err;
+    err.key = key;
+    err.workload = job.mix ? job.mix->name : job.rateBenchmark;
+    err.design = designName(job.design);
+
+    try {
+        return execute(job, control, phase);
+    } catch (const AloneFailed &alone) {
+        RunError inner = alone.error;
+        inner.key = key;
+        inner.workload = err.workload;
+        inner.design = err.design;
+        inner.phase = JobPhase::IpcAlone;
+        return unexpected(std::move(inner));
+    } catch (const ContainedFailure &failure) {
+        err.kind = RunErrorKind::Contained;
+        err.what = failure.message;
+    } catch (const JobCancelled &cancelled) {
+        if (cancelled.reason == CancelReason::Interrupt) {
+            err.kind = RunErrorKind::Interrupted;
+            err.what = "interrupted (SIGINT/SIGTERM)";
+        } else {
+            err.kind = RunErrorKind::Timeout;
+            err.what = detail::format(
+                "watchdog: no forward progress within ",
+                options_.jobTimeoutSeconds, " s");
+        }
+        err.diagnostics = cancelled.diagnostics;
+    } catch (const trace::TraceIoFailure &failure) {
+        err.kind = RunErrorKind::TraceIo;
+        err.what = failure.error.message();
+    } catch (const std::bad_alloc &) {
+        err.kind = RunErrorKind::Contained;
+        err.what = "allocation failure (std::bad_alloc)";
+    } catch (const std::exception &e) {
+        err.kind = RunErrorKind::Contained;
+        err.what = e.what();
+    }
+    err.phase = phase;
+    return unexpected(std::move(err));
+}
+
+RunOutcome
+Runner::tryRun(const RunJob &job)
 {
     const std::string key = keyOf(job);
     {
@@ -342,9 +850,49 @@ Runner::run(const RunJob &job)
         if (it != cache_.end())
             return it->second;
     }
-    RunResult result = execute(job);
-    std::lock_guard<std::mutex> lock(mutex_);
-    return cache_.emplace(key, std::move(result)).first->second;
+
+    for (std::uint32_t attempt = 1;; ++attempt) {
+        RunOutcome outcome = executeContained(job, key);
+        if (outcome.hasValue()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto [it, inserted] =
+                cache_.emplace(key, std::move(*outcome));
+            if (inserted && journal_)
+                journal_->appendResult(key, it->second);
+            return it->second;
+        }
+
+        RunError err = outcome.error();
+        err.attempts = attempt;
+        const bool transient = err.kind == RunErrorKind::TraceIo;
+        if (!transient || attempt >= options_.retries)
+            return unexpected(std::move(err));
+
+        // Deterministic capped backoff: 10ms, 20ms, 40ms, ...
+        const auto backoff =
+            std::chrono::milliseconds(10LL << (attempt - 1));
+        bear_warn("transient failure of ", key, " (attempt ", attempt,
+                  " of ", options_.retries, "): ", err.what,
+                  "; retrying in ", backoff.count(), " ms");
+        std::this_thread::sleep_for(backoff);
+    }
+}
+
+RunResult
+Runner::run(const RunJob &job)
+{
+    auto outcome = tryRun(job);
+    if (!outcome.hasValue()) {
+        const RunError &err = outcome.error();
+        if (!err.diagnostics.empty())
+            bear_warn("failure diagnostics:\n", err.diagnostics);
+        if (err.kind == RunErrorKind::Interrupted) {
+            bear_inform("interrupted: ", err.message());
+            std::exit(130);
+        }
+        bear_fatal(err.message());
+    }
+    return *outcome;
 }
 
 RunResult
@@ -365,8 +913,9 @@ Runner::runMix(DesignKind design, const MixSpec &mix)
     return run(job);
 }
 
-double
-Runner::ipcAlone(const std::string &benchmark)
+Expected<double, RunError>
+Runner::ipcAloneContained(const std::string &benchmark,
+                          JobControl *control)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -375,32 +924,106 @@ Runner::ipcAlone(const std::string &benchmark)
             return it->second;
     }
 
-    // Single active core on the baseline Alloy system: the benchmark
-    // has every resource to itself.
-    SystemConfig config;
-    config.design = DesignKind::Alloy;
-    config.cores = 1;
-    config.scale = options_.scale;
-    config.cacheCapacityBytes = options_.cacheCapacityBytes;
-    config.bandwidthRatio = options_.bandwidthRatio;
-    config.totalBanks = options_.totalBanks;
-    config.seed = options_.seed;
+    RunError err;
+    err.kind = RunErrorKind::Contained;
+    err.key = "alone|" + benchmark;
+    err.workload = benchmark;
+    err.design = "alloy-1core";
+    err.phase = JobPhase::IpcAlone;
 
-    std::vector<std::unique_ptr<RefStream>> streams;
-    streams.push_back(std::make_unique<WorkloadStream>(
-        profileByName(benchmark), options_.seed + 0x1000, options_.scale));
+    // Standalone calls register their own watchdog entry; nested ones
+    // (inside a mix job) reuse the mix's control so its progress and
+    // cancellation cover the reference run too.
+    std::optional<ActiveRegistration> registration;
+    if (!control) {
+        registration.emplace(*this);
+        control = &registration->control();
+    }
+    ContainmentScope contain;
 
-    System system(config, std::move(streams));
-    system.run(options_.warmupRefsPerCore);
-    system.resetStats();
-    system.run(options_.measureRefsPerCore);
-    const double ipc = system.stats().ipcPerCore[0];
+    try {
+        checkFaultSite("alone.run", benchmark, *control);
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    return alone_cache_.emplace(benchmark, ipc).first->second;
+        // Single active core on the baseline Alloy system: the
+        // benchmark has every resource to itself.
+        SystemConfig config;
+        config.design = DesignKind::Alloy;
+        config.cores = 1;
+        config.scale = options_.scale;
+        config.cacheCapacityBytes = options_.cacheCapacityBytes;
+        config.bandwidthRatio = options_.bandwidthRatio;
+        config.totalBanks = options_.totalBanks;
+        config.seed = options_.seed;
+        config.control = control;
+
+        std::vector<std::unique_ptr<RefStream>> streams;
+        streams.push_back(std::make_unique<WorkloadStream>(
+            profileByName(benchmark), options_.seed + 0x1000,
+            options_.scale));
+
+        System system(config, std::move(streams));
+        try {
+            control->setPhase("ipc_alone");
+            system.run(options_.warmupRefsPerCore);
+            system.resetStats();
+            system.run(options_.measureRefsPerCore);
+        } catch (JobCancelled &cancelled) {
+            if (cancelled.diagnostics.empty()) {
+                cancelled.diagnostics =
+                    gatherDiagnostics(system, *control);
+            }
+            throw;
+        }
+        const double ipc = system.stats().ipcPerCore[0];
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto [it, inserted] = alone_cache_.emplace(benchmark, ipc);
+        if (inserted && journal_)
+            journal_->appendAlone(benchmark, ipc);
+        return it->second;
+    } catch (const ContainedFailure &failure) {
+        err.what = failure.message;
+    } catch (const JobCancelled &cancelled) {
+        if (cancelled.reason == CancelReason::Interrupt) {
+            err.kind = RunErrorKind::Interrupted;
+            err.what = "interrupted (SIGINT/SIGTERM)";
+        } else {
+            err.kind = RunErrorKind::Timeout;
+            err.what = detail::format(
+                "watchdog: no forward progress within ",
+                options_.jobTimeoutSeconds, " s");
+        }
+        err.diagnostics = cancelled.diagnostics;
+    } catch (const std::bad_alloc &) {
+        err.what = "allocation failure (std::bad_alloc)";
+    } catch (const std::exception &e) {
+        err.what = e.what();
+    }
+    return unexpected(std::move(err));
 }
 
-std::vector<RunResult>
+Expected<double, RunError>
+Runner::tryIpcAlone(const std::string &benchmark)
+{
+    return ipcAloneContained(benchmark, nullptr);
+}
+
+double
+Runner::ipcAlone(const std::string &benchmark)
+{
+    auto outcome = tryIpcAlone(benchmark);
+    if (!outcome.hasValue()) {
+        const RunError &err = outcome.error();
+        if (err.kind == RunErrorKind::Interrupted) {
+            bear_inform("interrupted: ", err.message());
+            std::exit(130);
+        }
+        bear_fatal(err.message());
+    }
+    return *outcome;
+}
+
+std::vector<RunOutcome>
 Runner::runAll(const std::vector<RunJob> &jobs)
 {
     std::uint32_t workers = options_.workers
@@ -410,22 +1033,49 @@ Runner::runAll(const std::vector<RunJob> &jobs)
         workers, static_cast<std::uint32_t>(jobs.size()));
 
     // Mix jobs need IPC_alone numbers; compute them up front so worker
-    // threads only read the memo table.
+    // threads only read the memo table.  A failure here is not final —
+    // the mix cells re-attempt and carry the structured error if it
+    // persists.
     for (const RunJob &job : jobs) {
+        if (interruptRequested())
+            break;
         if (job.mix) {
-            for (const auto &benchmark : job.mix->benchmarks)
-                ipcAlone(benchmark);
+            for (const auto &benchmark : job.mix->benchmarks) {
+                auto alone = tryIpcAlone(benchmark);
+                if (!alone.hasValue()) {
+                    bear_warn("IPC_alone precompute failed: ",
+                              alone.error().message());
+                }
+            }
         }
     }
 
-    std::vector<RunResult> results(jobs.size());
+    // Expected<> has no default state, so prefill every cell with the
+    // outcome it has if no worker ever reaches it (interrupt drain).
+    std::vector<RunOutcome> results;
+    results.reserve(jobs.size());
+    for (const RunJob &job : jobs) {
+        RunError placeholder;
+        placeholder.kind = RunErrorKind::Interrupted;
+        placeholder.key = keyOf(job);
+        placeholder.workload =
+            job.mix ? job.mix->name : job.rateBenchmark;
+        placeholder.design = designName(job.design);
+        placeholder.phase = JobPhase::Setup;
+        placeholder.what =
+            "sweep interrupted before this job started";
+        results.push_back(unexpected(std::move(placeholder)));
+    }
+
     std::atomic<std::size_t> next{0};
     auto work = [&]() {
         for (;;) {
+            if (interruptRequested())
+                return; // leave the remaining cells as Interrupted
             const std::size_t i = next.fetch_add(1);
             if (i >= jobs.size())
                 return;
-            results[i] = run(jobs[i]);
+            results[i] = tryRun(jobs[i]);
         }
     };
 

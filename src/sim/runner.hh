@@ -10,18 +10,34 @@
  * workloads additionally need per-benchmark IPC_alone runs (single
  * core on the baseline Alloy system) to compute weighted speedups;
  * the runner computes and memoises those on demand.
+ *
+ * Resilience (DESIGN.md §11): each job executes inside a containment
+ * scope, so an exception, a bear_assert failure, or a bear_fatal deep
+ * inside one simulation becomes a structured RunError for that cell —
+ * never a dead worker pool or a half-printed table.  A monitor thread
+ * watches forward progress and converts hangs into timeout failures
+ * (BEAR_JOB_TIMEOUT) and SIGINT/SIGTERM into a graceful sweep drain.
+ * Transient trace-I/O failures retry with capped deterministic
+ * backoff (BEAR_RETRIES).  With BEAR_JOURNAL set, every completed
+ * cell is appended to a CRC-sealed journal and a re-run resumes,
+ * re-executing only failed or missing cells.
  */
 
 #ifndef BEAR_SIM_RUNNER_HH
 #define BEAR_SIM_RUNNER_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/expected.hh"
+#include "sim/job_control.hh"
+#include "sim/journal.hh"
 #include "sim/metrics.hh"
 #include "sim/system.hh"
 #include "workloads/mixes.hh"
@@ -75,19 +91,60 @@ struct RunnerOptions
     std::string traceOutPath;
 
     /**
+     * Watchdog deadline in wall-clock seconds without forward
+     * progress (simulated references retired) before a job is
+     * cancelled as a timeout failure.  0 (the default) disables the
+     * watchdog.  BEAR_JOB_TIMEOUT.
+     */
+    double jobTimeoutSeconds = 0.0;
+
+    /**
+     * Path of the CRC-sealed results journal (sim/journal.hh).
+     * Completed cells are appended as they finish; re-running with the
+     * same journal and options skips them.  Empty = no journal.
+     * BEAR_JOURNAL.
+     */
+    std::string journalPath;
+
+    /**
+     * Fault-injection spec (common/fault.hh grammar), armed for the
+     * lifetime of the Runner.  Empty = no injection.  BEAR_FAULT.
+     */
+    std::string faultSpec;
+
+    /**
+     * Attempts per job before a transient failure (trace I/O) becomes
+     * the job's final error.  Retries back off deterministically
+     * (10ms << attempt).  Non-transient failures never retry.
+     * BEAR_RETRIES, accepted range 1..16.
+     */
+    std::uint32_t retries = 3;
+
+    /**
      * Parse the environment overrides strictly: BEAR_SCALE,
      * BEAR_WARMUP, BEAR_MEASURE, BEAR_WORKERS, BEAR_TRACE,
      * BEAR_TRACE_IN / BEAR_TRACE_OUT (.beartrace replay / record),
-     * BEAR_FULL=1 (paper-size, scale 1.0).  A set-but-malformed
-     * variable is an error naming the variable and, for the numeric
-     * knobs, the accepted range — never a silent fallback to the
-     * default or a silent truncation.
+     * BEAR_JOB_TIMEOUT / BEAR_JOURNAL / BEAR_FAULT / BEAR_RETRIES
+     * (resilience), BEAR_FULL=1 (paper-size, scale 1.0).  A
+     * set-but-malformed variable is an error naming the variable and,
+     * for the numeric knobs, the accepted range — never a silent
+     * fallback to the default or a silent truncation.
      */
     static Expected<RunnerOptions, EnvError> tryFromEnv();
 
     /** tryFromEnv(), exiting with the error message on failure; the
      *  convenience entry point for bench/example main()s. */
     static RunnerOptions fromEnv();
+
+    /**
+     * FNV-1a digest of every field that shapes results (scale, ref
+     * counts, cores, geometry, seed, trace capacity, replay path) —
+     * the compatibility stamp of the results journal.  Fields that
+     * only shape execution (workers, journal/record paths, timeout,
+     * retries) are excluded, so resuming with more workers or a
+     * different timeout is allowed.
+     */
+    std::uint64_t fingerprint() const;
 };
 
 /** A run request: design x workload (rate benchmark or mix). */
@@ -102,11 +159,65 @@ struct RunJob
     std::uint64_t cacheCapacityBytes = 0;
 };
 
+/** Where in its lifecycle a job failed (DESIGN.md §11). */
+enum class JobPhase : std::uint8_t
+{
+    Setup,   ///< stream construction, replay open, recording claim
+    Warmup,  ///< the warm-up run
+    Measure, ///< the measurement run and stats gathering
+    IpcAlone ///< a single-core IPC_alone reference run
+};
+
+/** Stable lower-case phase name for errors and reports. */
+const char *jobPhaseName(JobPhase phase);
+
+/** Failure taxonomy of one job (DESIGN.md §11). */
+enum class RunErrorKind : std::uint8_t
+{
+    Contained,   ///< exception / contained panic or fatal in the job
+    Timeout,     ///< watchdog: no forward progress within the deadline
+    Interrupted, ///< SIGINT/SIGTERM drained the sweep
+    TraceIo      ///< transient trace I/O failure, retries exhausted
+};
+
+/** Stable lower-case kind name for errors and reports. */
+const char *runErrorKindName(RunErrorKind kind);
+
+/** One job's structured failure: what, where, and the evidence. */
+struct RunError
+{
+    RunErrorKind kind = RunErrorKind::Contained;
+    std::string key;      ///< runner memo key of the job
+    std::string workload;
+    std::string design;
+    JobPhase phase = JobPhase::Setup;
+    std::string what;     ///< exception / panic / cancellation message
+    /** Event-trace tail and per-bank queue state at failure time. */
+    std::string diagnostics;
+    std::uint32_t attempts = 1; ///< executions consumed (retries + 1)
+
+    /** `bear/mix1 failed during measure: ... — ready to print.` */
+    std::string message() const;
+};
+
+/** A completed RunResult, or the structured failure of the job. */
+using RunOutcome = Expected<RunResult, RunError>;
+
 /** Thread-pooled, memoising experiment runner. */
 class Runner
 {
   public:
+    /**
+     * Validates the replay corpus (BEAR_TRACE_IN) up front — a
+     * missing or corrupt trace is a fatal config error *before* any
+     * simulation runs — then opens the journal, arms the fault plan,
+     * and starts the monitor thread.
+     */
     explicit Runner(const RunnerOptions &options);
+    ~Runner();
+
+    Runner(const Runner &) = delete;
+    Runner &operator=(const Runner &) = delete;
 
     /** Run one rate-mode workload (8 copies of @p benchmark). */
     RunResult runRate(DesignKind design, const std::string &benchmark);
@@ -114,21 +225,52 @@ class Runner
     /** Run one mixed workload. */
     RunResult runMix(DesignKind design, const MixSpec &mix);
 
-    /** Run a job (rate or mix, with overrides). */
+    /**
+     * Run a job (rate or mix, with overrides), exiting on failure:
+     * the single-job entry point where a failed job is a failed
+     * program (exit 1; 130 when interrupted).  Sweeps should prefer
+     * tryRun()/runAll(), which contain failures per cell.
+     */
     RunResult run(const RunJob &job);
 
-    /** Run jobs across worker threads; results in job order. */
-    std::vector<RunResult> runAll(const std::vector<RunJob> &jobs);
+    /** Run a job, containing any failure as a RunError. */
+    RunOutcome tryRun(const RunJob &job);
+
+    /**
+     * Run jobs across worker threads; outcomes in job order.  A
+     * failed job never takes down the sweep: its cell carries the
+     * RunError and every other job still completes.  On SIGINT or
+     * SIGTERM, running jobs drain as Interrupted and unstarted jobs
+     * are skipped.
+     */
+    std::vector<RunOutcome> runAll(const std::vector<RunJob> &jobs);
 
     /** Memoised IPC_alone of @p benchmark on the baseline system. */
     double ipcAlone(const std::string &benchmark);
 
+    /** ipcAlone(), containing any failure as a RunError. */
+    Expected<double, RunError>
+    tryIpcAlone(const std::string &benchmark);
+
     const RunnerOptions &options() const { return options_; }
 
+    /** The journal backing this runner, or null when none. */
+    const ResultJournal *journal() const { return journal_.get(); }
+
   private:
+    struct ActiveJob;
+    friend class ActiveRegistration;
+
     SystemConfig systemConfig(const RunJob &job) const;
-    RunResult execute(const RunJob &job);
+    RunResult execute(const RunJob &job, JobControl &control,
+                      JobPhase &phase);
+    RunOutcome executeContained(const RunJob &job,
+                                const std::string &key);
+    Expected<double, RunError>
+    ipcAloneContained(const std::string &benchmark,
+                      JobControl *control);
     std::string keyOf(const RunJob &job) const;
+    void monitorLoop();
 
     RunnerOptions options_;
     /** Set once the recording run has claimed traceOutPath. */
@@ -136,7 +278,20 @@ class Runner
     std::mutex mutex_;
     std::map<std::string, RunResult> cache_;
     std::map<std::string, double> alone_cache_;
+
+    std::unique_ptr<ResultJournal> journal_;
+
+    /** Jobs currently executing, watched by the monitor thread. */
+    std::mutex active_mutex_;
+    std::vector<ActiveJob *> active_;
+    std::atomic<bool> stop_monitor_{false};
+    std::mutex monitor_cv_mutex_;
+    std::condition_variable monitor_cv_;
+    std::thread monitor_;
 };
+
+/** Has this process received SIGINT/SIGTERM since the first Runner? */
+bool interruptRequested();
 
 /** The 16-benchmark RATE set. */
 std::vector<RunJob> rateJobs(DesignKind design);

@@ -156,7 +156,14 @@ System::run(std::uint64_t refs_per_core)
         refs_per_core * static_cast<std::uint64_t>(config_.cores);
     std::vector<std::uint64_t> quota(config_.cores, refs_per_core);
 
+    JobControl *const control = config_.control;
     for (std::uint64_t i = 0; i < total; ++i) {
+        if (control) {
+            control->progress.fetch_add(1, std::memory_order_relaxed);
+            const CancelReason why = control->cancelReason();
+            if (why != CancelReason::None)
+                throw JobCancelled{why, {}};
+        }
         CoreId best = config_.cores;
         Cycle earliest = ~Cycle{0};
         for (CoreId c = 0; c < config_.cores; ++c) {

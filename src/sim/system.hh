@@ -32,6 +32,7 @@
 #include "mem/dram_system.hh"
 #include "obs/event_trace.hh"
 #include "obs/histogram.hh"
+#include "sim/job_control.hh"
 #include "vm/page_mapper.hh"
 
 namespace bear
@@ -73,6 +74,15 @@ struct SystemConfig
      * taken from the fields above).
      */
     std::optional<AlloyConfig> alloyOverride;
+
+    /**
+     * Cooperative cancellation hook (not owned).  When set, run()
+     * publishes forward progress here and checkpoints the cancel flag
+     * every simulated reference, throwing JobCancelled once a cancel is
+     * requested — the mechanism behind the runner's watchdog timeout
+     * and SIGINT/SIGTERM drain (DESIGN.md §11).  Null: no overhead.
+     */
+    JobControl *control = nullptr;
 };
 
 /** Trace-activity summary carried in SystemStats (empty if no trace). */

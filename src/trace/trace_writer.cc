@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/fault.hh"
 #include "common/log.hh"
 
 namespace bear::trace
@@ -41,22 +42,44 @@ TraceWriter::create(const std::string &path, const TraceMeta &meta)
                                      "cannot write header to " + path,
                                      0, -1});
     }
-    return TraceWriter(std::move(out), std::move(provisional));
+    return TraceWriter(path, std::move(out), std::move(provisional));
 }
 
-TraceWriter::TraceWriter(std::ofstream out, TraceMeta meta)
-    : out_(std::move(out)), meta_(std::move(meta)),
-      chunks_(meta_.coreCount)
+TraceWriter::TraceWriter(std::string path, std::ofstream out,
+                         TraceMeta meta)
+    : path_(std::move(path)), out_(std::move(out)),
+      meta_(std::move(meta)), chunks_(meta_.coreCount)
 {
 }
 
-void
+TraceError
+TraceWriter::ioError(const std::string &what) const
+{
+    return TraceError{TraceErrorKind::Io,
+                      what + " to " + path_
+                          + " (disk full or file removed "
+                            "mid-recording?)",
+                      0, -1};
+}
+
+Expected<bool, TraceError>
 TraceWriter::append(CoreId core, const MemRef &ref)
 {
     bear_assert(!finished_, "append() after finish()");
     bear_assert(core < chunks_.size(), "core ", core,
                 " out of range for a ", chunks_.size(),
                 "-core trace");
+
+    if (io_failed_)
+        return unexpected(ioError("cannot append"));
+    auto &inj = fault::injector();
+    if (inj.armed()
+        && inj.evaluate("trace.write", meta_.workload)
+            == fault::FaultKind::TraceIo) {
+        // Poison the stream the way a yanked disk would: the next
+        // physical write fails, and everything downstream must cope.
+        out_.setstate(std::ios::failbit);
+    }
 
     OpenChunk &chunk = chunks_[core];
     std::uint8_t flags = 0;
@@ -76,16 +99,20 @@ TraceWriter::append(CoreId core, const MemRef &ref)
 
     ++chunk.records;
     ++total_records_;
-    if (chunk.records == kMaxChunkRecords)
-        sealChunk(core);
+    if (chunk.records == kMaxChunkRecords) {
+        if (!sealChunk(core))
+            return unexpected(ioError("cannot write chunk"));
+        return true;
+    }
+    return false;
 }
 
-void
+bool
 TraceWriter::sealChunk(CoreId core)
 {
     OpenChunk &chunk = chunks_[core];
     if (chunk.records == 0)
-        return;
+        return true;
 
     std::vector<std::uint8_t> frame;
     frame.reserve(kChunkHeaderBytes + chunk.payload.size()
@@ -100,10 +127,14 @@ TraceWriter::sealChunk(CoreId core)
 
     out_.write(reinterpret_cast<const char *>(frame.data()),
                static_cast<std::streamsize>(frame.size()));
+    // Flush so the failure is observed at this seal, not buffered
+    // into some arbitrarily later one.
+    out_.flush();
     if (!out_)
         io_failed_ = true;
 
     chunk = OpenChunk{};
+    return !io_failed_;
 }
 
 Expected<std::uint64_t, TraceError>
@@ -111,6 +142,13 @@ TraceWriter::finish()
 {
     bear_assert(!finished_, "finish() called twice");
     finished_ = true;
+
+    auto &inj = fault::injector();
+    if (inj.armed()
+        && inj.evaluate("trace.finish", meta_.workload)
+            == fault::FaultKind::TraceIo) {
+        out_.setstate(std::ios::failbit);
+    }
 
     for (CoreId core = 0; core < chunks_.size(); ++core)
         sealChunk(core);
@@ -121,12 +159,8 @@ TraceWriter::finish()
     out_.write(reinterpret_cast<const char *>(header.data()),
                static_cast<std::streamsize>(header.size()));
     out_.flush();
-    if (io_failed_ || !out_) {
-        return unexpected(TraceError{TraceErrorKind::Io,
-                                     "write failed (disk full or file "
-                                     "removed mid-recording?)",
-                                     0, -1});
-    }
+    if (io_failed_ || !out_)
+        return unexpected(ioError("write failed"));
     return total_records_;
 }
 

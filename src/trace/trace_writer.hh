@@ -32,6 +32,18 @@
 namespace bear::trace
 {
 
+/**
+ * Thrown by RecordingStream when the tee'd writer reports an I/O
+ * failure at append time.  The simulation loop has no Expected channel
+ * (RefStream::next returns a MemRef), so the failure unwinds as an
+ * exception; the runner's containment layer converts it into a
+ * transient RunError and retries the job (DESIGN.md §11).
+ */
+struct TraceIoFailure
+{
+    TraceError error;
+};
+
 /** Streams MemRefs of one run into a chunked, checksummed file. */
 class TraceWriter
 {
@@ -50,10 +62,14 @@ class TraceWriter
     TraceWriter &operator=(const TraceWriter &) = delete;
 
     /**
-     * Append one reference of @p core.  Encoding is buffered; I/O
-     * failures are sticky and surface from finish().
+     * Append one reference of @p core.  Encoding is buffered; chunk
+     * seals flush, so an I/O failure surfaces here, at write time —
+     * the value is true when this append sealed (and verified) a
+     * chunk.  The first error is also sticky and re-surfaces from
+     * finish(), so callers that batch-append and only check finish()
+     * still cannot lose a failure.
      */
-    void append(CoreId core, const MemRef &ref);
+    Expected<bool, TraceError> append(CoreId core, const MemRef &ref);
 
     /**
      * Seal open chunks, rewrite the header with the final record
@@ -76,10 +92,14 @@ class TraceWriter
         Pc prevPc = 0;
     };
 
-    TraceWriter(std::ofstream out, TraceMeta meta);
+    TraceWriter(std::string path, std::ofstream out, TraceMeta meta);
 
-    void sealChunk(CoreId core);
+    /** Seal and flush @p core's open chunk; false on I/O failure. */
+    bool sealChunk(CoreId core);
 
+    TraceError ioError(const std::string &what) const;
+
+    std::string path_;
     std::ofstream out_;
     TraceMeta meta_;
     std::vector<OpenChunk> chunks_; ///< one per core
@@ -99,11 +119,14 @@ class RecordingStream : public RefStream
     {
     }
 
+    /** @throws TraceIoFailure when the writer cannot persist @p ref. */
     MemRef
     next() override
     {
         const MemRef ref = inner_->next();
-        writer_.append(core_, ref);
+        auto appended = writer_.append(core_, ref);
+        if (!appended.hasValue())
+            throw TraceIoFailure{appended.error()};
         return ref;
     }
 

@@ -122,8 +122,10 @@ TEST(Runner, RunAllPreservesJobOrder)
     }
     const auto results = runner.runAll(jobs);
     ASSERT_EQ(results.size(), 2u);
-    EXPECT_EQ(results[0].workload, "wrf");
-    EXPECT_EQ(results[1].workload, "bzip2");
+    ASSERT_TRUE(results[0].hasValue());
+    ASSERT_TRUE(results[1].hasValue());
+    EXPECT_EQ(results[0]->workload, "wrf");
+    EXPECT_EQ(results[1]->workload, "bzip2");
 }
 
 TEST(Experiment, JobBuilders)
@@ -286,4 +288,100 @@ TEST(RunnerOptions, ValidEnvironmentRoundTrips)
     ASSERT_TRUE(clean.hasValue());
     EXPECT_DOUBLE_EQ(clean->scale, RunnerOptions{}.scale);
     EXPECT_EQ(clean->traceCapacity, 0u);
+}
+
+TEST(RunnerOptions, JobTimeoutRejectsNonPositiveAndHuge)
+{
+    setenv("BEAR_JOB_TIMEOUT", "0", 1);
+    auto zero = RunnerOptions::tryFromEnv();
+    ASSERT_FALSE(zero.hasValue());
+    EXPECT_EQ(zero.error().variable, "BEAR_JOB_TIMEOUT");
+    EXPECT_NE(zero.error().message().find("(0, 86400]"),
+              std::string::npos);
+
+    setenv("BEAR_JOB_TIMEOUT", "86401", 1);
+    EXPECT_FALSE(RunnerOptions::tryFromEnv().hasValue());
+
+    setenv("BEAR_JOB_TIMEOUT", "abc", 1);
+    EXPECT_FALSE(RunnerOptions::tryFromEnv().hasValue());
+
+    setenv("BEAR_JOB_TIMEOUT", "2.5", 1);
+    const auto ok = RunnerOptions::tryFromEnv();
+    ASSERT_TRUE(ok.hasValue());
+    EXPECT_DOUBLE_EQ(ok->jobTimeoutSeconds, 2.5);
+    unsetenv("BEAR_JOB_TIMEOUT");
+}
+
+TEST(RunnerOptions, FaultSpecValidatedAtParseTime)
+{
+    // A malformed spec must fail before any simulation starts, naming
+    // the variable and echoing the offending value.
+    setenv("BEAR_FAULT", "explode@job.setup", 1);
+    const auto bad_kind = RunnerOptions::tryFromEnv();
+    ASSERT_FALSE(bad_kind.hasValue());
+    EXPECT_EQ(bad_kind.error().variable, "BEAR_FAULT");
+    EXPECT_EQ(bad_kind.error().value, "explode@job.setup");
+
+    setenv("BEAR_FAULT", "throw", 1);
+    EXPECT_FALSE(RunnerOptions::tryFromEnv().hasValue());
+
+    setenv("BEAR_FAULT", "throw@job.measure:p=1.5", 1);
+    EXPECT_FALSE(RunnerOptions::tryFromEnv().hasValue());
+
+    setenv("BEAR_FAULT", "throw@job.measure:n=2,alloc@job.setup", 1);
+    const auto ok = RunnerOptions::tryFromEnv();
+    ASSERT_TRUE(ok.hasValue());
+    EXPECT_EQ(ok->faultSpec, "throw@job.measure:n=2,alloc@job.setup");
+    unsetenv("BEAR_FAULT");
+}
+
+TEST(RunnerOptions, RetriesBounded)
+{
+    setenv("BEAR_RETRIES", "0", 1);
+    const auto zero = RunnerOptions::tryFromEnv();
+    ASSERT_FALSE(zero.hasValue());
+    EXPECT_EQ(zero.error().variable, "BEAR_RETRIES");
+    EXPECT_NE(zero.error().message().find("1..16"), std::string::npos);
+
+    setenv("BEAR_RETRIES", "17", 1);
+    EXPECT_FALSE(RunnerOptions::tryFromEnv().hasValue());
+
+    setenv("BEAR_RETRIES", "5", 1);
+    const auto ok = RunnerOptions::tryFromEnv();
+    ASSERT_TRUE(ok.hasValue());
+    EXPECT_EQ(ok->retries, 5u);
+    unsetenv("BEAR_RETRIES");
+}
+
+TEST(RunnerOptions, JournalPathReadFromEnv)
+{
+    setenv("BEAR_JOURNAL", "/tmp/bear-test.journal", 1);
+    const auto options = RunnerOptions::tryFromEnv();
+    ASSERT_TRUE(options.hasValue());
+    EXPECT_EQ(options->journalPath, "/tmp/bear-test.journal");
+    unsetenv("BEAR_JOURNAL");
+}
+
+TEST(RunnerOptions, FingerprintCoversModelNotExecutionKnobs)
+{
+    RunnerOptions a, b;
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+    // Model-affecting fields change the fingerprint (a journal written
+    // under one model must not be resumed under another)...
+    b.scale = a.scale * 2.0;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    b = a;
+    b.seed = a.seed + 1;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+
+    // ...while execution knobs (workers, timeout, retries, journal
+    // path itself) do not: a resume may legally use different ones.
+    b = a;
+    b.workers = 1;
+    b.jobTimeoutSeconds = 5.0;
+    b.retries = 1;
+    b.journalPath = "/elsewhere.journal";
+    b.faultSpec = "throw@job.setup";
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
 }

@@ -540,9 +540,31 @@ TEST(TraceRoundTrip, ReplayRejectsCoreCountMismatch)
     const std::string path = writeSampleTrace("cores-mismatch", 2, 50);
     RunnerOptions options = fastOptions();
     options.traceInPath = path;
-    Runner runner(options); // wants 8 cores, trace has 2
-    EXPECT_EXIT(runner.runRate(DesignKind::Alloy, "mcf"),
+    // The preflight in the Runner constructor (DESIGN.md §11) rejects
+    // the corpus before any simulation — or worker thread — starts.
+    EXPECT_EXIT(Runner runner(options),
                 ::testing::ExitedWithCode(1), "recorded with 2 cores");
+}
+
+TEST(TraceRoundTrip, ReplayRejectsMissingCorpusBeforeSimulation)
+{
+    RunnerOptions options = fastOptions();
+    options.traceInPath = tempPath("no-such-corpus");
+    EXPECT_EXIT(Runner runner(options),
+                ::testing::ExitedWithCode(1), "BEAR_TRACE_IN");
+}
+
+TEST(TraceRoundTrip, ReplayRejectsCorruptCorpusBeforeSimulation)
+{
+    const std::string path = tempPath("corrupt-corpus");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a beartrace file at all............";
+    }
+    RunnerOptions options = fastOptions();
+    options.traceInPath = path;
+    EXPECT_EXIT(Runner runner(options),
+                ::testing::ExitedWithCode(1), "BEAR_TRACE_IN");
 }
 
 TEST(TraceEnv, TracePathsParsedAndEmptyRejected)

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Chaos-smoke driver for tools/ci.sh (DESIGN.md §11): a nine-design
+ * sweep (baseline Alloy plus eight configurations) over a small mixed
+ * workload set, built to be run three times:
+ *
+ *   1. clean                      -> exit 0, reference JSON report
+ *   2. with BEAR_FAULT + journal  -> exit 3, partial report, journal
+ *                                    holds every completed cell
+ *   3. with the journal, no fault -> exit 0, report byte-identical
+ *                                    to the clean run's
+ *
+ * The binary itself is just the sweep; the fault spec, journal path
+ * and JSON sink all arrive through the environment, so the CI script
+ * (or a hand-driven chaos session) owns the scenario.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace bear;
+using namespace bear::bench;
+
+int
+main()
+{
+    RunnerOptions options = RunnerOptions::fromEnv();
+    Runner runner(options);
+    printExperimentHeader(
+        "chaos_sweep", "Nine-design resilience smoke sweep",
+        "faulted sweeps stay partial, resumed sweeps finish "
+        "byte-identical (DESIGN.md §11)",
+        options);
+
+    // Three rate workloads and one mix keep the sweep quick while
+    // still exercising the IPC_alone path; nine designs spread the
+    // cells across every cache organisation the simulator models.
+    std::vector<RunJob> jobs;
+    for (const char *name : {"wrf", "mcf", "libquantum"}) {
+        RunJob job;
+        job.rateBenchmark = name;
+        jobs.push_back(job);
+    }
+    RunJob mix;
+    mix.mix = &tableThreeMixes().front();
+    jobs.push_back(mix);
+
+    const Comparison cmp = compareDesigns(
+        runner, jobs, DesignKind::Alloy,
+        {DesignKind::ProbBypass50, DesignKind::ProbBypass90,
+         DesignKind::Bab, DesignKind::BabDcp, DesignKind::Bear,
+         DesignKind::LohHill, DesignKind::TagsInSram,
+         DesignKind::BwOptimized});
+    printSpeedupTable(cmp);
+    return exitStatus(cmp);
+}

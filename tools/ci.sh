@@ -9,7 +9,12 @@
 #      diff the live and replayed JSON reports byte for byte
 #   4. sanitizers: rebuild and rerun the suite under ASan+UBSan
 #      (any report is fatal: -fno-sanitize-recover=all)
-#   5. static analysis: tools/lint.sh (skipped when clang-tidy absent)
+#   5. chaos smoke (DESIGN.md §11, under the sanitizer build): a
+#      fault-injected nine-design sweep must exit 3 with a partial
+#      report and a journal of the completed cells; resuming against
+#      that journal must finish cleanly with a JSON report
+#      byte-identical to an unfaulted run's
+#   6. static analysis: tools/lint.sh (skipped when clang-tidy absent)
 #
 #   tools/ci.sh [jobs]
 set -euo pipefail
@@ -17,12 +22,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs="${1:-$(nproc)}"
 
-echo "=== [1/5] tier-1 build + tests"
+echo "=== [1/6] tier-1 build + tests"
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
-echo "=== [2/5] observability smoke (trace_stats + traced run)"
+echo "=== [2/6] observability smoke (trace_stats + traced run)"
 build/tools/trace_stats --selftest
 report="$(mktemp)"
 workdir="$(mktemp -d)"
@@ -31,7 +36,7 @@ BEAR_JSON="${report}" BEAR_TRACE=1024 BEAR_WARMUP=10000 \
     BEAR_MEASURE=5000 build/examples/latency_profile mcf BEAR >/dev/null
 build/tools/trace_stats "${report}" >/dev/null
 
-echo "=== [3/5] trace round-trip smoke (record, dump, replay, diff)"
+echo "=== [3/6] trace round-trip smoke (record, dump, replay, diff)"
 trace="${workdir}/mcf.beartrace"
 BEAR_WARMUP=10000 BEAR_MEASURE=5000 \
     build/tools/trace_record mcf "${trace}" >/dev/null
@@ -44,12 +49,43 @@ BEAR_JSON="${workdir}/replay.jsonl" BEAR_WARMUP=10000 \
 # The replayed report must be byte-identical to the live one.
 diff "${workdir}/live.jsonl" "${workdir}/replay.jsonl"
 
-echo "=== [4/5] ASan+UBSan build + tests"
+echo "=== [4/6] ASan+UBSan build + tests"
 cmake -B build-san -S . -DBEAR_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j "${jobs}"
 ctest --test-dir build-san --output-on-failure -j "${jobs}"
 
-echo "=== [5/5] clang-tidy"
+echo "=== [5/6] chaos smoke (faulted sweep -> partial -> resume)"
+chaos_env=(BEAR_WARMUP=10000 BEAR_MEASURE=5000)
+journal="${workdir}/chaos.journal"
+
+# Reference: unfaulted sweep, exit 0, clean report.
+env "${chaos_env[@]}" BEAR_JSON="${workdir}/chaos-clean.jsonl" \
+    build-san/tools/chaos_sweep >/dev/null
+
+# Faulted sweep: ~30% of measurement phases throw.  The sweep must
+# survive (partial report, exit 3) and journal every completed cell.
+rc=0
+env "${chaos_env[@]}" BEAR_FAULT='throw@job.measure:p=0.3' \
+    BEAR_JOURNAL="${journal}" \
+    BEAR_JSON="${workdir}/chaos-partial.jsonl" \
+    build-san/tools/chaos_sweep >/dev/null 2>&1 || rc=$?
+if [[ "${rc}" -ne 3 ]]; then
+    echo "chaos: faulted sweep exited ${rc}, expected 3 (partial)" >&2
+    exit 1
+fi
+grep -q '"failures"' "${workdir}/chaos-partial.jsonl" || {
+    echo "chaos: partial report carries no failures array" >&2
+    exit 1
+}
+
+# Resume: only failed/missing cells re-execute; the completed report
+# must be byte-identical to the unfaulted run's.
+env "${chaos_env[@]}" BEAR_JOURNAL="${journal}" \
+    BEAR_JSON="${workdir}/chaos-final.jsonl" \
+    build-san/tools/chaos_sweep >/dev/null
+diff "${workdir}/chaos-clean.jsonl" "${workdir}/chaos-final.jsonl"
+
+echo "=== [6/6] clang-tidy"
 tools/lint.sh build
 
 echo "=== CI OK"

@@ -26,11 +26,13 @@ fi
 
 status=0
 
-# Header-only modules (src/obs) never appear in the compile database,
-# so lint them as standalone translation units first; src/trace
-# headers ride along so their inline code is covered even when the
-# database misses a consumer.
-for header in src/obs/*.hh src/trace/*.hh; do
+# Header-only modules (src/obs, sim/job_control.hh) never appear in
+# the compile database, so lint them as standalone translation units
+# first; src/trace and the resilience headers (sim/journal.hh,
+# common/fault.hh) ride along so their inline code is covered even
+# when the database misses a consumer.
+for header in src/obs/*.hh src/trace/*.hh src/sim/job_control.hh \
+              src/sim/journal.hh src/common/fault.hh; do
     echo "== clang-tidy ${header}"
     clang-tidy --quiet "${header}" -- -xc++ -std=c++20 -Isrc \
         || status=1
