@@ -36,9 +36,16 @@ unexpected(E error)
     return Unexpected<E>{std::move(error)};
 }
 
-/** Either a T (success) or an E (failure); never both, never neither. */
+/**
+ * Either a T (success) or an E (failure); never both, never neither.
+ *
+ * The type itself is [[nodiscard]]: a call that returns an Expected
+ * and ignores it is a compiler warning (and a bearlint BL001
+ * diagnostic), because a dropped result is exactly the silently
+ * ignored error this type exists to make impossible.
+ */
 template <typename T, typename E>
-class Expected
+class [[nodiscard]] Expected
 {
   public:
     Expected(T value) : state_(std::in_place_index<0>, std::move(value))

@@ -163,7 +163,7 @@ parseFaultSpec(const std::string &spec)
 void
 FaultInjector::arm(FaultPlan plan)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     plan_ = std::move(plan);
     counts_.clear();
     fired_.clear();
@@ -173,7 +173,7 @@ FaultInjector::arm(FaultPlan plan)
 void
 FaultInjector::disarm()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     plan_ = FaultPlan{};
     counts_.clear();
     fired_.clear();
@@ -185,7 +185,7 @@ FaultInjector::evaluate(const char *site, const std::string &scope)
 {
     if (!armed())
         return std::nullopt;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (plan_.empty())
         return std::nullopt;
 
@@ -220,7 +220,7 @@ FaultInjector::evaluate(const char *site, const std::string &scope)
 std::uint64_t
 FaultInjector::firedAt(const std::string &site) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = fired_.find(site);
     return it == fired_.end() ? 0 : it->second;
 }

@@ -36,12 +36,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/expected.hh"
+#include "common/sync.hh"
 
 namespace bear::fault
 {
@@ -81,7 +81,8 @@ struct FaultPlan
  * Parse @p spec.  The error string names the offending clause and why
  * it was rejected, ready to wrap into an EnvError.
  */
-Expected<FaultPlan, std::string> parseFaultSpec(const std::string &spec);
+[[nodiscard]] Expected<FaultPlan, std::string>
+parseFaultSpec(const std::string &spec);
 
 /**
  * The process-wide injector.  Sites are spread across layers (runner,
@@ -111,11 +112,13 @@ class FaultInjector
     std::uint64_t firedAt(const std::string &site) const;
 
   private:
-    mutable std::mutex mutex_;
-    FaultPlan plan_;
+    mutable Mutex mutex_;
+    FaultPlan plan_ GUARDED_BY(mutex_);
     /** (site, scope) -> evaluations so far. */
-    std::map<std::pair<std::string, std::string>, std::uint64_t> counts_;
-    std::map<std::string, std::uint64_t> fired_;
+    std::map<std::pair<std::string, std::string>, std::uint64_t>
+        counts_ GUARDED_BY(mutex_);
+    std::map<std::string, std::uint64_t> fired_ GUARDED_BY(mutex_);
+    /** Fast-path gate: one relaxed load when no plan is armed. */
     std::atomic<bool> armed_{false};
 };
 

@@ -96,7 +96,7 @@ class JsonValue
     enum class Kind { Null, Bool, Number, String, Array, Object };
 
     /** Parse one complete document (trailing whitespace allowed). */
-    static Expected<JsonValue, JsonParseError>
+    [[nodiscard]] static Expected<JsonValue, JsonParseError>
     parse(const std::string &text);
 
     Kind kind() const { return kind_; }

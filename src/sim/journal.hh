@@ -56,7 +56,7 @@ class ResultJournal
      * existing one must carry @p fingerprint.  A torn or corrupt tail
      * is truncated with a warning.
      */
-    static Expected<ResultJournal, JournalError>
+    [[nodiscard]] static Expected<ResultJournal, JournalError>
     openOrCreate(const std::string &path, std::uint64_t fingerprint);
 
     ResultJournal(ResultJournal &&) = default;
@@ -79,10 +79,12 @@ class ResultJournal
      * or signal loses nothing already computed).  Returns false when
      * the write failed; the sweep continues, resumability degrades.
      */
-    bool appendResult(const std::string &key, const RunResult &result);
+    [[nodiscard]] bool appendResult(const std::string &key,
+                                    const RunResult &result);
 
     /** Append one IPC_alone reference value. */
-    bool appendAlone(const std::string &benchmark, double ipc);
+    [[nodiscard]] bool appendAlone(const std::string &benchmark,
+                                   double ipc);
 
     const std::string &path() const { return path_; }
 

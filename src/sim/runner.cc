@@ -156,8 +156,8 @@ bearSignalHandler(int sig)
 void
 installSignalHandlersOnce()
 {
-    static std::once_flag once;
-    std::call_once(once, [] {
+    static OnceFlag once;
+    callOnce(once, [] {
         std::signal(SIGINT, bearSignalHandler);
         std::signal(SIGTERM, bearSignalHandler);
     });
@@ -483,13 +483,13 @@ class ActiveRegistration
   public:
     explicit ActiveRegistration(Runner &runner) : runner_(runner)
     {
-        std::lock_guard<std::mutex> lock(runner_.active_mutex_);
+        MutexLock lock(runner_.active_mutex_);
         runner_.active_.push_back(&job_);
     }
 
     ~ActiveRegistration()
     {
-        std::lock_guard<std::mutex> lock(runner_.active_mutex_);
+        MutexLock lock(runner_.active_mutex_);
         auto &v = runner_.active_;
         v.erase(std::remove(v.begin(), v.end(), &job_), v.end());
     }
@@ -564,10 +564,10 @@ Runner::Runner(const RunnerOptions &options) : options_(options)
 Runner::~Runner()
 {
     {
-        std::lock_guard<std::mutex> lock(monitor_cv_mutex_);
+        MutexLock lock(monitor_cv_mutex_);
         stop_monitor_.store(true);
     }
-    monitor_cv_.notify_all();
+    monitor_cv_.notifyAll();
     if (monitor_.joinable())
         monitor_.join();
     if (!options_.faultSpec.empty())
@@ -578,9 +578,9 @@ void
 Runner::monitorLoop()
 {
     const double timeout = options_.jobTimeoutSeconds;
-    std::unique_lock<std::mutex> lk(monitor_cv_mutex_);
+    MutexLock lk(monitor_cv_mutex_);
     while (!stop_monitor_.load(std::memory_order_relaxed)) {
-        monitor_cv_.wait_for(lk, kMonitorTick, [this] {
+        monitor_cv_.waitFor(lk, kMonitorTick, [this] {
             return stop_monitor_.load(std::memory_order_relaxed);
         });
         if (stop_monitor_.load(std::memory_order_relaxed))
@@ -588,7 +588,7 @@ Runner::monitorLoop()
 
         const bool interrupted = interruptRequested();
         const auto now = std::chrono::steady_clock::now();
-        std::lock_guard<std::mutex> guard(active_mutex_);
+        MutexLock guard(active_mutex_);
         for (ActiveJob *job : active_) {
             if (interrupted)
                 job->control.requestCancel(CancelReason::Interrupt);
@@ -845,7 +845,7 @@ Runner::tryRun(const RunJob &job)
 {
     const std::string key = keyOf(job);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = cache_.find(key);
         if (it != cache_.end())
             return it->second;
@@ -854,11 +854,15 @@ Runner::tryRun(const RunJob &job)
     for (std::uint32_t attempt = 1;; ++attempt) {
         RunOutcome outcome = executeContained(job, key);
         if (outcome.hasValue()) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             auto [it, inserted] =
                 cache_.emplace(key, std::move(*outcome));
-            if (inserted && journal_)
-                journal_->appendResult(key, it->second);
+            if (inserted && journal_
+                && !journal_->appendResult(key, it->second)) {
+                bear_warn("BEAR_JOURNAL=", options_.journalPath,
+                          ": appending ", key,
+                          " failed; resumability degrades");
+            }
             return it->second;
         }
 
@@ -918,7 +922,7 @@ Runner::ipcAloneContained(const std::string &benchmark,
                           JobControl *control)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = alone_cache_.find(benchmark);
         if (it != alone_cache_.end())
             return it->second;
@@ -976,10 +980,14 @@ Runner::ipcAloneContained(const std::string &benchmark,
         }
         const double ipc = system.stats().ipcPerCore[0];
 
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto [it, inserted] = alone_cache_.emplace(benchmark, ipc);
-        if (inserted && journal_)
-            journal_->appendAlone(benchmark, ipc);
+        if (inserted && journal_
+            && !journal_->appendAlone(benchmark, ipc)) {
+            bear_warn("BEAR_JOURNAL=", options_.journalPath,
+                      ": appending IPC_alone of ", benchmark,
+                      " failed; resumability degrades");
+        }
         return it->second;
     } catch (const ContainedFailure &failure) {
         err.what = failure.message;

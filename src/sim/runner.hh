@@ -27,15 +27,14 @@
 #define BEAR_SIM_RUNNER_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/expected.hh"
+#include "common/sync.hh"
 #include "sim/job_control.hh"
 #include "sim/journal.hh"
 #include "sim/metrics.hh"
@@ -130,7 +129,8 @@ struct RunnerOptions
      * for the numeric knobs, the accepted range — never a silent
      * fallback to the default or a silent truncation.
      */
-    static Expected<RunnerOptions, EnvError> tryFromEnv();
+    [[nodiscard]] static Expected<RunnerOptions, EnvError>
+    tryFromEnv();
 
     /** tryFromEnv(), exiting with the error message on failure; the
      *  convenience entry point for bench/example main()s. */
@@ -234,7 +234,7 @@ class Runner
     RunResult run(const RunJob &job);
 
     /** Run a job, containing any failure as a RunError. */
-    RunOutcome tryRun(const RunJob &job);
+    [[nodiscard]] RunOutcome tryRun(const RunJob &job);
 
     /**
      * Run jobs across worker threads; outcomes in job order.  A
@@ -243,13 +243,14 @@ class Runner
      * SIGTERM, running jobs drain as Interrupted and unstarted jobs
      * are skipped.
      */
-    std::vector<RunOutcome> runAll(const std::vector<RunJob> &jobs);
+    [[nodiscard]] std::vector<RunOutcome>
+    runAll(const std::vector<RunJob> &jobs);
 
     /** Memoised IPC_alone of @p benchmark on the baseline system. */
     double ipcAlone(const std::string &benchmark);
 
     /** ipcAlone(), containing any failure as a RunError. */
-    Expected<double, RunError>
+    [[nodiscard]] Expected<double, RunError>
     tryIpcAlone(const std::string &benchmark);
 
     const RunnerOptions &options() const { return options_; }
@@ -275,18 +276,25 @@ class Runner
     RunnerOptions options_;
     /** Set once the recording run has claimed traceOutPath. */
     std::atomic<bool> trace_out_claimed_{false};
-    std::mutex mutex_;
-    std::map<std::string, RunResult> cache_;
-    std::map<std::string, double> alone_cache_;
 
+    /** Serialises the memo caches and the journal appends. */
+    Mutex mutex_;
+    std::map<std::string, RunResult> cache_ GUARDED_BY(mutex_);
+    std::map<std::string, double> alone_cache_ GUARDED_BY(mutex_);
+
+    /**
+     * The pointer is written once in the constructor (before any
+     * worker or the monitor thread exists) and read-only afterwards;
+     * appends to the pointee are serialised under mutex_.
+     */
     std::unique_ptr<ResultJournal> journal_;
 
     /** Jobs currently executing, watched by the monitor thread. */
-    std::mutex active_mutex_;
-    std::vector<ActiveJob *> active_;
+    Mutex active_mutex_;
+    std::vector<ActiveJob *> active_ GUARDED_BY(active_mutex_);
     std::atomic<bool> stop_monitor_{false};
-    std::mutex monitor_cv_mutex_;
-    std::condition_variable monitor_cv_;
+    Mutex monitor_cv_mutex_;
+    CondVar monitor_cv_;
     std::thread monitor_;
 };
 

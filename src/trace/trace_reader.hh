@@ -43,7 +43,7 @@ class TraceReader
     static constexpr CoreId kAllCores = ~CoreId{0};
 
     /** Open @p path and validate the header. */
-    static Expected<TraceReader, TraceError>
+    [[nodiscard]] static Expected<TraceReader, TraceError>
     open(const std::string &path);
 
     TraceReader(TraceReader &&) = default;
@@ -67,7 +67,8 @@ class TraceReader
      * (which includes the total-record-count cross-check), or a
      * TraceError on any malformed structure.
      */
-    Expected<bool, TraceError> next(MemRef *out, CoreId *core);
+    [[nodiscard]] Expected<bool, TraceError> next(MemRef *out,
+                                                    CoreId *core);
 
     /** Rewind to the first chunk (replay wrap-around). */
     void rewind();
@@ -81,7 +82,7 @@ class TraceReader
                 std::uint64_t first_chunk_offset);
 
     /** Load and decode the next matching chunk into buffer_. */
-    Expected<bool, TraceError> loadChunk();
+    [[nodiscard]] Expected<bool, TraceError> loadChunk();
 
     TraceError errorAt(TraceErrorKind kind, std::string detail) const;
 
@@ -110,7 +111,8 @@ class TraceReplayStream : public RefStream
      * chunk), and position a filtered reader on @p core's records.
      * Fails if the file is malformed or holds no records for the core.
      */
-    static Expected<std::unique_ptr<TraceReplayStream>, TraceError>
+    [[nodiscard]] static
+    Expected<std::unique_ptr<TraceReplayStream>, TraceError>
     open(const std::string &path, CoreId core);
 
     /** The next recorded reference; wraps at the end of the trace. */

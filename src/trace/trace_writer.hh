@@ -53,7 +53,7 @@ class TraceWriter
      * @p meta names the workload, seed and core count; its recordCount
      * is ignored (finish() fills in the real total).
      */
-    static Expected<TraceWriter, TraceError>
+    [[nodiscard]] static Expected<TraceWriter, TraceError>
     create(const std::string &path, const TraceMeta &meta);
 
     TraceWriter(TraceWriter &&) = default;
@@ -69,7 +69,8 @@ class TraceWriter
      * finish(), so callers that batch-append and only check finish()
      * still cannot lose a failure.
      */
-    Expected<bool, TraceError> append(CoreId core, const MemRef &ref);
+    [[nodiscard]] Expected<bool, TraceError> append(CoreId core,
+                                                     const MemRef &ref);
 
     /**
      * Seal open chunks, rewrite the header with the final record
@@ -78,7 +79,7 @@ class TraceWriter
      * a file that readers reject (count mismatch), never a silently
      * short trace.
      */
-    Expected<std::uint64_t, TraceError> finish();
+    [[nodiscard]] Expected<std::uint64_t, TraceError> finish();
 
     std::uint64_t recordsAppended() const { return total_records_; }
 

@@ -1,0 +1,24 @@
+// Must NOT compile (tests/CMakeLists.txt builds it with
+// -Werror=unused-result): Expected is a [[nodiscard]] class, so a
+// call whose result is dropped is a hard error.  bearlint BL001 is
+// the style-level twin of this check; this file proves the compiler
+// backstop cannot erode unnoticed.
+#include "common/expected.hh"
+
+namespace
+{
+
+bear::Expected<int, int>
+make()
+{
+    return 1;
+}
+
+} // namespace
+
+int
+main()
+{
+    make(); // discarded Expected — must fail to compile
+    return 0;
+}

@@ -1,0 +1,24 @@
+// Positive control for discarded_expected.cc: identical flags
+// (-Werror=unused-result), but the result is consumed, so this file
+// must compile.  If it stops compiling, the harness is broken and the
+// negative result proves nothing.
+#include "common/expected.hh"
+
+namespace
+{
+
+bear::Expected<int, int>
+make()
+{
+    return 1;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto result = make();
+    (void)make(); // an explicit drop is also fine
+    return result.hasValue() ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+// Must NOT compile under clang with -Werror=thread-safety-analysis:
+// `value` is GUARDED_BY(mutex) and bump() touches it without holding
+// the lock.  gcc has no thread-safety analysis, so this check is
+// clang-gated in tests/CMakeLists.txt; sync_positive_control.cc
+// proves the annotations degrade to no-ops everywhere else.
+#include "common/sync.hh"
+
+namespace
+{
+
+struct Counter
+{
+    bear::Mutex mutex;
+    int value GUARDED_BY(mutex) = 0;
+
+    void
+    bump()
+    {
+        ++value; // mutex not held — must fail the analysis
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.bump();
+    return 0;
+}

@@ -235,6 +235,7 @@ TEST(SystemObservability, TraceIsOffByDefaultAndCountsWhenOn)
     // Every L4 demand read leaves exactly one DemandRead event, so the
     // trace agrees with the latency histograms' sample counts.
     EXPECT_EQ(demand_reads,
+              // bearlint-allow(BL002): raw sample tallies, not units
               on.l4HitLatencyHist.count() + on.l4MissLatencyHist.count());
     EXPECT_GT(on.trace.kindCounts[static_cast<std::size_t>(
                   obs::TraceEventKind::Fill)],

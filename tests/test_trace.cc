@@ -67,7 +67,7 @@ writeSampleTrace(const std::string &name, std::uint32_t cores,
         WorkloadStream stream(profileByName("mcf"),
                               0x5EED + 0x1000 * (c + 1), 0.015625);
         for (std::uint64_t i = 0; i < refs_per_core; ++i)
-            writer.append(c, stream.next());
+            EXPECT_TRUE(writer.append(c, stream.next()).hasValue());
     }
     EXPECT_TRUE(writer.finish().hasValue());
     return path;
@@ -161,7 +161,7 @@ TEST(TraceWriterReader, RoundTripsExtremeRecords)
     ASSERT_TRUE(created.hasValue());
     TraceWriter writer = std::move(created.value());
     for (const MemRef &r : refs)
-        writer.append(0, r);
+        ASSERT_TRUE(writer.append(0, r).hasValue());
     auto finished = writer.finish();
     ASSERT_TRUE(finished.hasValue());
     EXPECT_EQ(*finished, refs.size());

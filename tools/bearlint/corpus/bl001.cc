@@ -1,0 +1,42 @@
+// Golden corpus: BL001 discarded-expected.
+// The selftest scans only this directory, so the Expected machinery
+// is declared locally; only names and shapes matter to the analyzer.
+
+template <typename T, typename E>
+class Expected
+{
+};
+
+using RunOutcome = Expected<int, int>;
+
+struct Journal
+{
+    Expected<bool, int> appendResult(int key);
+    static Expected<Journal, int> openOrCreate(const char *path);
+};
+
+Expected<int, int> tryRun(int job);
+RunOutcome tryRunAliased(int job);
+
+void
+useSites(Journal &journal, Journal *pj)
+{
+    tryRun(1);                          // line 24: discarded
+    journal.appendResult(2);            // line 25: discarded
+    pj->appendResult(3);                // line 26: discarded
+    Journal::openOrCreate("x");         // line 27: discarded
+    tryRunAliased(4);                   // line 28: discarded
+
+    if (true)
+        tryRun(5);                      // line 31: discarded in if-body
+
+    // Not violations: the result is consumed or explicitly dropped.
+    auto ok = tryRun(6);
+    (void)ok;
+    (void)tryRun(7);
+    auto j = Journal::openOrCreate("y");
+    (void)j;
+}
+
+// A declaration of a same-named function is not a call.
+Expected<int, int> tryRun(int job, int extra);

@@ -1,0 +1,21 @@
+// Golden corpus: BL002 raw-unit-arith.
+
+struct Bytes
+{
+    long count() const { return v; }
+    long v = 0;
+};
+
+long
+mix(const Bytes &a, const Bytes &b, const Bytes *pc)
+{
+    long bad1 = a.count() + b.count();  // line 12: additive on counts
+    long bad2 = a.count() - 7;          // line 13: additive on counts
+    long bad3 = 7 + pc->count();        // line 14: additive on counts
+
+    // Not violations: comparisons, products, plain reads.
+    long ok1 = a.count();
+    bool ok2 = a.count() > b.count();
+    long ok3 = a.count() * 2;
+    return bad1 + bad2 + bad3 + ok1 + (ok2 ? 1 : 0) + ok3;
+}

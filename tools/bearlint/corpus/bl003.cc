@@ -1,0 +1,18 @@
+// Golden corpus: BL003 naked-mutex.
+#include <mutex>               // line 2: banned include
+#include <condition_variable>  // line 3: banned include
+#include <shared_mutex>        // line 4: banned include
+
+struct Uses
+{
+    std::mutex m;              // line 8: naked std::mutex
+    std::condition_variable c; // line 9: naked std::condition_variable
+    std::once_flag once;       // line 10: naked std::once_flag
+};
+
+void
+lockIt(Uses &u)
+{
+    std::lock_guard<std::mutex> g(u.m); // line 16: two diagnostics
+    (void)g;
+}

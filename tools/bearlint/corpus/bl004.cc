@@ -1,0 +1,35 @@
+// Golden corpus: BL004 nondeterminism.
+#include <cstdlib>
+
+namespace std
+{
+struct random_device
+{
+    unsigned operator()() { return 0u; }
+};
+namespace chrono
+{
+struct system_clock
+{
+};
+} // namespace chrono
+} // namespace std
+
+unsigned
+draw()
+{
+    std::random_device rd;              // line 21: banned type
+    unsigned a = rd();
+    unsigned b = static_cast<unsigned>(rand()); // line 23: banned call
+    srand(7);                           // line 24: banned call
+    using Clock = std::chrono::system_clock; // line 25: banned type
+    (void)sizeof(Clock);
+
+    // Not violations: our own members named like banned calls.
+    struct Gen
+    {
+        unsigned rand() { return 4; }
+    } gen;
+    unsigned c = gen.rand();
+    return a + b + c;
+}

@@ -1,0 +1,13 @@
+// Golden corpus: BL005 — guard does not match BEAR_*_HH, and a
+// header-scope `using namespace`.
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+namespace corpus
+{
+int five();
+}
+
+using namespace corpus; // line 11: using-namespace in a header
+
+#endif // WRONG_GUARD_H

@@ -1,0 +1,7 @@
+// Golden corpus: BL005 — #pragma once instead of an include guard.
+#pragma once
+
+namespace corpus
+{
+int six();
+}

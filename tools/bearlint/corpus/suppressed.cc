@@ -1,0 +1,25 @@
+// Golden corpus: every violation here carries a bearlint-allow
+// marker, so no diagnostics are expected from this file.
+
+template <typename T, typename E>
+class Expected
+{
+};
+
+Expected<int, int> trySupp(int job);
+
+struct Q
+{
+    long count() const { return 0; }
+};
+
+long
+suppressed(const Q &a, const Q &b)
+{
+    trySupp(1); // bearlint-allow(BL001)
+    // bearlint-allow(BL001)
+    trySupp(2);
+    // bearlint-allow(BL002, BL001)
+    long s = a.count() + b.count();
+    return s;
+}

@@ -14,7 +14,16 @@
 #      report and a journal of the completed cells; resuming against
 #      that journal must finish cleanly with a JSON report
 #      byte-identical to an unfaulted run's
-#   6. static analysis: tools/lint.sh (skipped when clang-tidy absent)
+#   6. ThreadSanitizer: rebuild with BEAR_SANITIZE=thread and drive
+#      the worker pool hard (BEAR_WORKERS=4 fig12 sweep) plus the
+#      chaos faulted->resume contract, so the lock discipline that
+#      clang's static analysis proves on paper is also checked under
+#      real interleavings
+#   7. static analysis: tools/lint.sh (bearlint always; clang-tidy
+#      skipped when absent)
+#   8. strict thread-safety build: clang with -Wthread-safety
+#      -Werror=thread-safety-analysis over the whole tree (skipped
+#      with a notice when clang++ is absent)
 #
 #   tools/ci.sh [jobs]
 set -euo pipefail
@@ -22,12 +31,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs="${1:-$(nproc)}"
 
-echo "=== [1/6] tier-1 build + tests"
+echo "=== [1/8] tier-1 build + tests"
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
-echo "=== [2/6] observability smoke (trace_stats + traced run)"
+echo "=== [2/8] observability smoke (trace_stats + traced run)"
 build/tools/trace_stats --selftest
 report="$(mktemp)"
 workdir="$(mktemp -d)"
@@ -36,7 +45,7 @@ BEAR_JSON="${report}" BEAR_TRACE=1024 BEAR_WARMUP=10000 \
     BEAR_MEASURE=5000 build/examples/latency_profile mcf BEAR >/dev/null
 build/tools/trace_stats "${report}" >/dev/null
 
-echo "=== [3/6] trace round-trip smoke (record, dump, replay, diff)"
+echo "=== [3/8] trace round-trip smoke (record, dump, replay, diff)"
 trace="${workdir}/mcf.beartrace"
 BEAR_WARMUP=10000 BEAR_MEASURE=5000 \
     build/tools/trace_record mcf "${trace}" >/dev/null
@@ -49,12 +58,12 @@ BEAR_JSON="${workdir}/replay.jsonl" BEAR_WARMUP=10000 \
 # The replayed report must be byte-identical to the live one.
 diff "${workdir}/live.jsonl" "${workdir}/replay.jsonl"
 
-echo "=== [4/6] ASan+UBSan build + tests"
+echo "=== [4/8] ASan+UBSan build + tests"
 cmake -B build-san -S . -DBEAR_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j "${jobs}"
 ctest --test-dir build-san --output-on-failure -j "${jobs}"
 
-echo "=== [5/6] chaos smoke (faulted sweep -> partial -> resume)"
+echo "=== [5/8] chaos smoke (faulted sweep -> partial -> resume)"
 chaos_env=(BEAR_WARMUP=10000 BEAR_MEASURE=5000)
 journal="${workdir}/chaos.journal"
 
@@ -85,7 +94,43 @@ env "${chaos_env[@]}" BEAR_JOURNAL="${journal}" \
     build-san/tools/chaos_sweep >/dev/null
 diff "${workdir}/chaos-clean.jsonl" "${workdir}/chaos-final.jsonl"
 
-echo "=== [6/6] clang-tidy"
+echo "=== [6/8] ThreadSanitizer (threaded sweep + chaos contract)"
+cmake -B build-tsan -S . -DBEAR_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${jobs}"
+# Drive the worker pool with real contention: every design of the
+# overall sweep across four workers.  Any data race aborts the run
+# (-fno-sanitize-recover=all).
+BEAR_WORKERS=4 BEAR_WARMUP=2000 BEAR_MEASURE=1000 \
+    BEAR_JSON="${workdir}/tsan-fig12.jsonl" \
+    build-tsan/bench/fig12_overall >/dev/null
+# The chaos contract must hold under TSan too: faulted sweep exits 3,
+# the resume against its journal completes cleanly.
+rc=0
+BEAR_WORKERS=4 BEAR_WARMUP=2000 BEAR_MEASURE=1000 \
+    BEAR_FAULT='throw@job.measure:p=0.3' \
+    BEAR_JOURNAL="${workdir}/tsan-chaos.journal" \
+    BEAR_JSON="${workdir}/tsan-chaos-partial.jsonl" \
+    build-tsan/tools/chaos_sweep >/dev/null 2>&1 || rc=$?
+if [[ "${rc}" -ne 3 ]]; then
+    echo "tsan chaos: faulted sweep exited ${rc}, expected 3" >&2
+    exit 1
+fi
+BEAR_WORKERS=4 BEAR_WARMUP=2000 BEAR_MEASURE=1000 \
+    BEAR_JOURNAL="${workdir}/tsan-chaos.journal" \
+    BEAR_JSON="${workdir}/tsan-chaos-final.jsonl" \
+    build-tsan/tools/chaos_sweep >/dev/null
+
+echo "=== [7/8] static analysis (bearlint + clang-tidy)"
 tools/lint.sh build
+
+echo "=== [8/8] strict thread-safety build (clang)"
+if command -v clang++ >/dev/null 2>&1; then
+    cmake -B build-strict -S . -DCMAKE_CXX_COMPILER=clang++ \
+        -DBEAR_STRICT_WARNINGS=ON >/dev/null
+    cmake --build build-strict -j "${jobs}"
+else
+    echo "clang++ not found; skipping the -Werror=thread-safety" \
+         "-analysis build" >&2
+fi
 
 echo "=== CI OK"

@@ -193,8 +193,15 @@ selftest()
         for (bear::CoreId core = 0; core < 2; ++core) {
             bear::WorkloadStream stream(
                 bear::profileByName("libquantum"), 11 + core, 0.0625);
-            for (int i = 0; i < 300; ++i)
-                writer.append(core, stream.next());
+            for (int i = 0; i < 300; ++i) {
+                auto appended = writer.append(core, stream.next());
+                if (!appended.hasValue()) {
+                    std::fprintf(stderr, "selftest: %s\n",
+                                 appended.error().message().c_str());
+                    unlink(path);
+                    return 1;
+                }
+            }
         }
         ok = writer.finish().hasValue() && ok;
     }

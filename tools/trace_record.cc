@@ -68,8 +68,14 @@ record(const std::string &profile_name, const std::string &out_path,
     for (std::uint32_t c = 0; c < cores; ++c) {
         bear::WorkloadStream stream(profile, seed + 0x1000 * (c + 1),
                                     scale);
-        for (std::uint64_t i = 0; i < refs_per_core; ++i)
-            writer.append(c, stream.next());
+        for (std::uint64_t i = 0; i < refs_per_core; ++i) {
+            auto appended = writer.append(c, stream.next());
+            if (!appended.hasValue()) {
+                std::fprintf(stderr, "trace_record: %s\n",
+                             appended.error().message().c_str());
+                return 1;
+            }
+        }
     }
 
     auto finished = writer.finish();
