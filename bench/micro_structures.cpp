@@ -1,18 +1,32 @@
 /**
  * @file
  * Microbenchmarks (google-benchmark) for the simulator's hot
- * structures: NTC lookup, SRAM cache access, DRAM channel scheduling,
- * the gap-filling bus timeline, and workload generation.  These guard
- * the simulation throughput that makes the scaled reproduction
- * practical on one core.
+ * structures: TagStore probe/install, NTC lookup, SRAM cache access,
+ * DRAM channel scheduling, the gap-filling bus timeline, and workload
+ * generation.  These guard the simulation throughput that makes the
+ * scaled reproduction practical on one core.
+ *
+ * Besides the normal console output, main() captures every result and
+ * writes BENCH_micro.json (override with BEAR_BENCH_MICRO_OUT) — the
+ * pinned microbenchmark trajectory described in DESIGN.md §14.  The
+ * document is re-parsed with common/json before exit 0, so tools/ci.sh
+ * can trust that an exit-0 run produced a well-formed snapshot.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "cache/sram_cache.hh"
+#include "common/json.hh"
 #include "common/rng.hh"
 #include "dramcache/alloy_cache.hh"
 #include "dramcache/ntc.hh"
+#include "dramcache/tag_store.hh"
 #include "mem/dram_system.hh"
 #include "vm/page_mapper.hh"
 #include "workloads/workload.hh"
@@ -21,6 +35,75 @@ using namespace bear;
 
 namespace
 {
+
+/** Associative probe against a populated 32-way SoA store (the TIS /
+ *  sector geometry; ~93.75% of probes hit). */
+void
+BM_TagStoreProbe(benchmark::State &state)
+{
+    constexpr std::uint64_t kSets = 1 << 14;
+    constexpr std::uint32_t kWays = 32;
+    TagStore store(TagStoreConfig{kSets, kWays, TagRepl::Lru, 1, 0});
+    Rng rng(7);
+    for (std::uint64_t set = 0; set < kSets; ++set) {
+        for (std::uint32_t w = 0; w + 2 < kWays; ++w) {
+            store.install(set, w, rng.below(1 << 20));
+            store.touch(set, w);
+        }
+    }
+    std::uint64_t set = 0;
+    for (auto _ : state) {
+        // Mix of hits (resident tags repeat) and misses (fresh draws).
+        const std::uint64_t tag = (set & 15)
+            ? store.tagAt(set % kSets,
+                          static_cast<std::uint32_t>(set % (kWays - 2)))
+            : rng.below(1 << 20);
+        benchmark::DoNotOptimize(store.probe(set % kSets, tag));
+        ++set;
+    }
+}
+BENCHMARK(BM_TagStoreProbe);
+
+/** Direct-mapped probe: the Alloy/BEAR fast path (one way, one set
+ *  bitmask load). */
+void
+BM_TagStoreProbeDirectMapped(benchmark::State &state)
+{
+    constexpr std::uint64_t kSets = 1 << 18;
+    TagStore store(TagStoreConfig{kSets, 1, TagRepl::None, 1, 0});
+    Rng rng(8);
+    for (std::uint64_t set = 0; set < kSets; ++set)
+        store.install(set, 0, rng.below(1 << 20));
+    std::uint64_t set = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            store.probe(set % kSets, (set * 2654435761u) % (1 << 20)));
+        ++set;
+    }
+}
+BENCHMARK(BM_TagStoreProbeDirectMapped);
+
+/** Fill/evict churn: victim selection plus install plus touch. */
+void
+BM_TagStoreInstallEvict(benchmark::State &state)
+{
+    constexpr std::uint64_t kSets = 1 << 10;
+    constexpr std::uint32_t kWays = 29;
+    TagStore store(TagStoreConfig{kSets, kWays, TagRepl::Lru, 1, 0});
+    Rng rng(9);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const std::uint64_t set = i % kSets;
+        const std::uint32_t victim = store.victimWay(set);
+        if (store.validAt(set, victim))
+            store.evict(set, victim);
+        store.install(set, victim, rng.below(1 << 20));
+        store.touch(set, victim);
+        benchmark::DoNotOptimize(victim);
+        ++i;
+    }
+}
+BENCHMARK(BM_TagStoreInstallEvict);
 
 void
 BM_NtcLookup(benchmark::State &state)
@@ -115,6 +198,84 @@ BM_PageMapperTranslate(benchmark::State &state)
 }
 BENCHMARK(BM_PageMapperTranslate);
 
+/**
+ * Console output as usual, plus a captured (name, ns/op) pair per
+ * benchmark for the JSON snapshot.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Result
+    {
+        std::string name;
+        double nsPerOp = 0.0;
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (run.error_occurred)
+                continue;
+            results_.push_back(
+                {run.benchmark_name(), run.GetAdjustedRealTime()});
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+
+    const std::vector<Result> &results() const { return results_; }
+
+  private:
+    std::vector<Result> results_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", std::string("bear-bench-micro-v1"));
+    w.beginArray("benchmarks");
+    for (const auto &r : reporter.results()) {
+        w.beginObject();
+        w.field("name", r.name);
+        w.field("nsPerOp", r.nsPerOp);
+        w.field("opsPerSec", r.nsPerOp > 0.0 ? 1e9 / r.nsPerOp : 0.0);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    const std::string doc = w.str();
+
+    const auto parsed = bear::JsonValue::parse(doc);
+    if (!parsed.hasValue()) {
+        std::fprintf(stderr, "BENCH_micro self-check failed: %s\n",
+                     parsed.error().message().c_str());
+        return 1;
+    }
+    if (reporter.results().empty()) {
+        std::fprintf(stderr,
+                     "BENCH_micro self-check failed: no results\n");
+        return 1;
+    }
+
+    const char *env = std::getenv("BEAR_BENCH_MICRO_OUT");
+    const std::string path = env ? env : "BENCH_micro.json";
+    std::ofstream out(path, std::ios::trunc);
+    out << doc << "\n";
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    benchmark::Shutdown();
+    return 0;
+}

@@ -76,7 +76,7 @@ class WriteThroughAlloy : public DramCache
         return outcome;
     }
 
-    void
+    Cycle
     serviceWriteback(const WritebackRequest &request) override
     {
         // Write-through: main memory always gets the data, and a
@@ -96,6 +96,7 @@ class WriteThroughAlloy : public DramCache
         } else {
             ++writeback_misses_;
         }
+        return request.issuedAt;
     }
 
   private:

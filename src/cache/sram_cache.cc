@@ -5,28 +5,40 @@
 namespace bear
 {
 
-SramCache::SramCache(const SramCacheConfig &config) : config_(config)
+namespace
+{
+
+/** Geometry checks live here; TagStore asserts the rest. */
+std::uint64_t
+setsOf(const SramCacheConfig &config)
 {
     bear_assert(config.ways > 0, config.name, ": needs at least one way");
     const std::uint64_t lines = Bytes{config.capacityBytes} / kLineSize;
     bear_assert(lines % config.ways == 0, config.name,
                 ": capacity not divisible by associativity");
-    sets_ = lines / config.ways;
-    bear_assert(sets_ > 0, config.name, ": zero sets");
-    ways_.resize(lines);
-    policy_ = makeReplacement(config.replacement, sets_, config.ways);
+    const std::uint64_t sets = lines / config.ways;
+    bear_assert(sets > 0, config.name, ": zero sets");
+    return sets;
 }
 
-std::uint32_t
-SramCache::findWay(std::uint64_t set, std::uint64_t tag) const
+TagRepl
+replOf(ReplacementKind kind)
 {
-    const std::uint64_t base = set * config_.ways;
-    for (std::uint32_t w = 0; w < config_.ways; ++w) {
-        const Way &way = ways_[base + w];
-        if (way.valid && way.tag == tag)
-            return w;
+    switch (kind) {
+      case ReplacementKind::LRU: return TagRepl::Lru;
+      case ReplacementKind::Random: return TagRepl::Random;
+      case ReplacementKind::NRU: return TagRepl::Nru;
     }
-    return config_.ways;
+    bear_panic("unknown replacement kind");
+}
+
+} // namespace
+
+SramCache::SramCache(const SramCacheConfig &config)
+    : config_(config), sets_(setsOf(config)),
+      tags_(TagStoreConfig{sets_, config.ways, replOf(config.replacement),
+                           1, 0})
+{
 }
 
 SramAccessResult
@@ -34,27 +46,26 @@ SramCache::access(LineAddr line, bool is_write)
 {
     const std::uint64_t set = setOf(line);
     const std::uint64_t tag = tagOf(line);
-    const std::uint32_t w = findWay(set, tag);
+    const TagProbe probe = tags_.probe(set, tag);
 
     SramAccessResult result;
-    if (w == config_.ways) {
+    if (!probe.hit) {
         ++misses_;
         return result;
     }
     ++hits_;
-    Way &way = ways_[set * config_.ways + w];
     if (is_write)
-        way.dirty = true;
-    policy_->touch(set, w);
+        tags_.setDirty(set, probe.way, true);
+    tags_.touch(set, probe.way);
     result.hit = true;
-    result.dcp = way.dcp;
+    result.dcp = tags_.flagAt(set, probe.way);
     return result;
 }
 
 bool
 SramCache::contains(LineAddr line) const
 {
-    return findWay(setOf(line), tagOf(line)) != config_.ways;
+    return tags_.probe(setOf(line), tagOf(line)).hit;
 }
 
 SramEviction
@@ -62,37 +73,26 @@ SramCache::fill(LineAddr line, bool dirty, bool dcp)
 {
     const std::uint64_t set = setOf(line);
     const std::uint64_t tag = tagOf(line);
-    const std::uint64_t base = set * config_.ways;
 
-    // Prefer an invalid way; otherwise ask the policy for a victim.
-    std::uint32_t w = config_.ways;
-    for (std::uint32_t i = 0; i < config_.ways; ++i) {
-        if (!ways_[base + i].valid) {
-            w = i;
-            break;
-        }
-    }
+    // victimWay() prefers an invalid way and only consults the
+    // replacement plane when the set is full, as the hand-rolled scan
+    // plus policy_->victim() pair did.
+    const std::uint32_t w = tags_.victimWay(set);
 
     SramEviction evicted;
-    if (w == config_.ways) {
-        w = policy_->victim(set);
-        Way &victim = ways_[base + w];
-        bear_assert(victim.valid, config_.name, ": victim must be valid");
+    if (tags_.validAt(set, w)) {
         evicted.valid = true;
-        evicted.line = victim.tag * sets_ + set;
-        evicted.dirty = victim.dirty;
-        evicted.dcp = victim.dcp;
+        evicted.line = tags_.tagAt(set, w) * sets_ + set;
+        evicted.dirty = tags_.dirtyAt(set, w);
+        evicted.dcp = tags_.flagAt(set, w);
         ++evictions_;
-        if (victim.dirty)
+        if (evicted.dirty)
             ++dirty_evictions_;
     }
 
-    Way &way = ways_[base + w];
-    way.tag = tag;
-    way.valid = true;
-    way.dirty = dirty;
-    way.dcp = dcp;
-    policy_->touch(set, w);
+    tags_.install(set, w, tag, dirty);
+    tags_.setFlag(set, w, dcp);
+    tags_.touch(set, w);
     return evicted;
 }
 
@@ -100,19 +100,15 @@ SramEviction
 SramCache::invalidate(LineAddr line)
 {
     const std::uint64_t set = setOf(line);
-    const std::uint32_t w = findWay(set, tagOf(line));
+    const TagProbe probe = tags_.probe(set, tagOf(line));
     SramEviction evicted;
-    if (w == config_.ways)
+    if (!probe.hit)
         return evicted;
-    Way &way = ways_[set * config_.ways + w];
     evicted.valid = true;
     evicted.line = line;
-    evicted.dirty = way.dirty;
-    evicted.dcp = way.dcp;
-    way.valid = false;
-    way.dirty = false;
-    way.dcp = false;
-    policy_->invalidate(set, w);
+    evicted.dirty = tags_.dirtyAt(set, probe.way);
+    evicted.dcp = tags_.flagAt(set, probe.way);
+    tags_.invalidate(set, probe.way);
     return evicted;
 }
 
@@ -120,35 +116,32 @@ void
 SramCache::clearPresence(LineAddr line)
 {
     const std::uint64_t set = setOf(line);
-    const std::uint32_t w = findWay(set, tagOf(line));
-    if (w != config_.ways)
-        ways_[set * config_.ways + w].dcp = false;
+    const TagProbe probe = tags_.probe(set, tagOf(line));
+    if (probe.hit)
+        tags_.setFlag(set, probe.way, false);
 }
 
 void
 SramCache::setPresence(LineAddr line)
 {
     const std::uint64_t set = setOf(line);
-    const std::uint32_t w = findWay(set, tagOf(line));
-    if (w != config_.ways)
-        ways_[set * config_.ways + w].dcp = true;
+    const TagProbe probe = tags_.probe(set, tagOf(line));
+    if (probe.hit)
+        tags_.setFlag(set, probe.way, true);
 }
 
 bool
 SramCache::presence(LineAddr line) const
 {
     const std::uint64_t set = setOf(line);
-    const std::uint32_t w = findWay(set, tagOf(line));
-    return w != config_.ways && ways_[set * config_.ways + w].dcp;
+    const TagProbe probe = tags_.probe(set, tagOf(line));
+    return probe.hit && tags_.flagAt(set, probe.way);
 }
 
 std::uint64_t
 SramCache::linesValid() const
 {
-    std::uint64_t n = 0;
-    for (const auto &w : ways_)
-        n += w.valid ? 1 : 0;
-    return n;
+    return tags_.validCount();
 }
 
 void

@@ -21,12 +21,11 @@
 #define BEAR_CACHE_SRAM_CACHE_HH
 
 #include <cstdint>
-#include <memory>
 #include <string>
-#include <vector>
 
 #include "cache/replacement.hh"
 #include "common/types.hh"
+#include "dramcache/tag_store.hh"
 
 namespace bear
 {
@@ -107,24 +106,14 @@ class SramCache
     void resetStats();
 
   private:
-    struct Way
-    {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool dcp = false;
-    };
-
     std::uint64_t setOf(LineAddr line) const { return line % sets_; }
     std::uint64_t tagOf(LineAddr line) const { return line / sets_; }
 
-    /** Way index of @p line in its set, or ways() if absent. */
-    std::uint32_t findWay(std::uint64_t set, std::uint64_t tag) const;
-
     SramCacheConfig config_;
     std::uint64_t sets_;
-    std::vector<Way> ways_; ///< [set * config_.ways + way]
-    std::unique_ptr<ReplacementPolicy> policy_;
+    /** Tags, valid/dirty masks, the DCP bit (flag plane) and the
+     *  replacement plane all live in the shared SoA store. */
+    TagStore tags_;
 
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

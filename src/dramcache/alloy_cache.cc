@@ -9,10 +9,10 @@ AlloyCache::AlloyCache(const AlloyConfig &config, DramSystem &dram,
                        DramSystem &memory, BloatTracker &bloat)
     : DramCache(dram, memory, bloat), config_(config),
       sets_(Bytes{config.capacityBytes} / kLineSize),
-      layout_(sets_, dram.geometry()), tads_(sets_),
+      layout_(sets_, dram.geometry()),
+      tags_(TagStoreConfig{sets_, 1, TagRepl::None, 1, 0}),
       fill_rng_(config.seed)
 {
-    bear_assert(sets_ > 0, "Alloy cache needs capacity");
     if (config_.inclusive) {
         bear_assert(config_.fillPolicy == FillPolicy::Always,
                     "an inclusive DRAM cache cannot bypass fills "
@@ -65,8 +65,8 @@ AlloyCache::recordTemporal(std::uint64_t set)
 {
     if (!ttc_)
         return;
-    const Tad &tad = tads_[set];
-    ttc_->record(0, set, tad.tag, tad.valid, tad.dirty);
+    ttc_->record(0, set, tags_.tagAt(set, 0), tags_.validAt(set, 0),
+                 tags_.dirtyAt(set, 0));
 }
 
 void
@@ -77,36 +77,35 @@ AlloyCache::captureNeighbor(std::uint64_t set, const DramCoord &coord)
     const std::uint64_t neighbor = layout_.neighborOf(set);
     if (neighbor == sets_)
         return;
-    const Tad &tad = tads_[neighbor];
     // The neighbour shares the row, hence the bank, with @p set.
-    ntc_->record(bankIdOf(coord), neighbor, tad.tag, tad.valid, tad.dirty);
+    ntc_->record(bankIdOf(coord), neighbor, tags_.tagAt(neighbor, 0),
+                 tags_.validAt(neighbor, 0),
+                 tags_.dirtyAt(neighbor, 0));
 }
 
 void
 AlloyCache::install(Cycle at, std::uint64_t set, LineAddr line,
                     const DramCoord &coord, bool victim_known)
 {
-    Tad &tad = tads_[set];
-    if (tad.valid) {
-        if (tad.dirty) {
+    if (tags_.validAt(set, 0)) {
+        const LineAddr victim_line = tags_.tagAt(set, 0) * sets_ + set;
+        if (tags_.dirtyAt(set, 0)) {
             if (!victim_known) {
                 // No probe fetched the victim: read it out before
                 // overwriting (Dirty Eviction bandwidth, Section 8).
                 dram_.read(at, coord, kTadTransfer);
                 bloat_.note(BloatCategory::DirtyEviction, kTadTransfer);
             }
-            memory_.writeLine(at, tad.tag * sets_ + set);
+            memory_.writeLine(at, victim_line);
         }
-        const LineAddr victim_line = tad.tag * sets_ + set;
         if (notifyEviction(victim_line)) {
             // Inclusive flow: a dirty on-chip copy was dropped by the
             // back-invalidation; its data goes to main memory.
             memory_.writeLine(at, victim_line);
         }
     }
-    tad.tag = tagOf(line);
-    tad.valid = true;
-    tad.dirty = false;
+    const std::uint64_t tag = tagOf(line);
+    tags_.install(set, 0, tag);
     dram_.write(at, coord, kTadTransfer);
     bloat_.note(BloatCategory::MissFill, kTadTransfer);
     if (trace_) {
@@ -114,9 +113,9 @@ AlloyCache::install(Cycle at, std::uint64_t set, LineAddr line,
                        kTadTransfer.count());
     }
     if (ntc_)
-        ntc_->updateIfCached(bankIdOf(coord), set, tad.tag, true, false);
+        ntc_->updateIfCached(bankIdOf(coord), set, tag, true, false);
     if (ttc_)
-        ttc_->updateIfCached(0, set, tad.tag, true, false);
+        ttc_->updateIfCached(0, set, tag, true, false);
 }
 
 DramCacheReadOutcome
@@ -125,8 +124,7 @@ AlloyCache::serviceRead(Cycle at, LineAddr line, Pc pc, CoreId core)
     const std::uint64_t set = setOf(line);
     const std::uint64_t tag = tagOf(line);
     const DramCoord coord = layout_.coordOf(set);
-    const Tad &tad = tads_[set];
-    const bool actual_hit = tad.valid && tad.tag == tag;
+    const bool actual_hit = tags_.probe(set, tag).hit;
 
     DramCacheReadOutcome outcome;
 
@@ -251,7 +249,7 @@ AlloyCache::serviceRead(Cycle at, LineAddr line, Pc pc, CoreId core)
     return outcome;
 }
 
-void
+Cycle
 AlloyCache::serviceWriteback(const WritebackRequest &request)
 {
     const Cycle at = request.issuedAt;
@@ -260,17 +258,18 @@ AlloyCache::serviceWriteback(const WritebackRequest &request)
     const std::uint64_t set = setOf(line);
     const std::uint64_t tag = tagOf(line);
     const DramCoord coord = layout_.coordOf(set);
-    Tad &tad = tads_[set];
-    const bool present = tad.valid && tad.tag == tag;
+    const bool present = tags_.probe(set, tag).hit;
 
     auto do_update = [&](Cycle when) {
-        tad.dirty = true;
+        tags_.setDirty(set, 0, true);
         dram_.write(when, coord, kTadTransfer);
         bloat_.note(BloatCategory::WritebackUpdate, kTadTransfer);
-        if (ntc_)
-            ntc_->updateIfCached(bankIdOf(coord), set, tad.tag, true, true);
+        if (ntc_) {
+            ntc_->updateIfCached(bankIdOf(coord), set,
+                                 tags_.tagAt(set, 0), true, true);
+        }
         if (ttc_)
-            ttc_->updateIfCached(0, set, tad.tag, true, true);
+            ttc_->updateIfCached(0, set, tags_.tagAt(set, 0), true, true);
         ++writeback_hits_;
     };
 
@@ -288,7 +287,7 @@ AlloyCache::serviceWriteback(const WritebackRequest &request)
             ++writeback_misses_;
             memory_.writeLine(at, line);
         }
-        return;
+        return at;
     }
 
     if (config_.useDcp) {
@@ -316,7 +315,7 @@ AlloyCache::serviceWriteback(const WritebackRequest &request)
                 memory_.writeLine(at, line);
             }
         }
-        return;
+        return at;
     }
 
     // Baseline: Writeback Probe, then update or forward to memory.
@@ -330,45 +329,44 @@ AlloyCache::serviceWriteback(const WritebackRequest &request)
         captureNeighbor(set, coord);
     if (present) {
         do_update(probe.dataReady);
-        return;
+        return probe.dataReady;
     }
     ++writeback_misses_;
     if (!config_.writebackAllocate) {
         memory_.writeLine(probe.dataReady, line);
-        return;
+        return probe.dataReady;
     }
     // Writeback-allocate ablation: install the dirty line, replacing
     // the resident victim (the probe already fetched it, so a dirty
     // victim costs no extra read — paper footnote 4).
-    if (tad.valid) {
-        if (tad.dirty)
-            memory_.writeLine(probe.dataReady, tad.tag * sets_ + set);
-        if (notifyEviction(tad.tag * sets_ + set))
-            memory_.writeLine(probe.dataReady, tad.tag * sets_ + set);
+    if (tags_.validAt(set, 0)) {
+        const LineAddr victim_line = tags_.tagAt(set, 0) * sets_ + set;
+        if (tags_.dirtyAt(set, 0))
+            memory_.writeLine(probe.dataReady, victim_line);
+        if (notifyEviction(victim_line))
+            memory_.writeLine(probe.dataReady, victim_line);
     }
-    tad.tag = tag;
-    tad.valid = true;
-    tad.dirty = true;
+    tags_.install(set, 0, tag, /*dirty=*/true);
     dram_.write(probe.dataReady, coord, kTadTransfer);
     bloat_.note(BloatCategory::WritebackFill, kTadTransfer);
     if (ntc_)
         ntc_->updateIfCached(bankIdOf(coord), set, tag, true, true);
     if (ttc_)
         ttc_->updateIfCached(0, set, tag, true, true);
+    return probe.dataReady;
 }
 
 bool
 AlloyCache::contains(LineAddr line) const
 {
-    const Tad &tad = tads_[setOf(line)];
-    return tad.valid && tad.tag == tagOf(line);
+    return tags_.probe(setOf(line), tagOf(line)).hit;
 }
 
 bool
 AlloyCache::isDirty(LineAddr line) const
 {
-    const Tad &tad = tads_[setOf(line)];
-    return tad.valid && tad.tag == tagOf(line) && tad.dirty;
+    const std::uint64_t set = setOf(line);
+    return tags_.probe(set, tagOf(line)).hit && tags_.dirtyAt(set, 0);
 }
 
 Bytes

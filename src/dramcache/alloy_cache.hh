@@ -25,13 +25,13 @@
 
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "common/rng.hh"
 #include "dramcache/bab.hh"
 #include "dramcache/dram_cache.hh"
 #include "dramcache/map_i.hh"
 #include "dramcache/ntc.hh"
+#include "dramcache/tag_store.hh"
 
 namespace bear
 {
@@ -123,17 +123,9 @@ class AlloyCache : public DramCache
   protected:
     DramCacheReadOutcome serviceRead(Cycle at, LineAddr line, Pc pc,
                                      CoreId core) override;
-    void serviceWriteback(const WritebackRequest &request) override;
+    Cycle serviceWriteback(const WritebackRequest &request) override;
 
   private:
-    /** One TAD's metadata (the 64 B of data are not materialised). */
-    struct Tad
-    {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
-
     std::uint64_t setOf(LineAddr line) const { return line % sets_; }
     std::uint64_t tagOf(LineAddr line) const { return line / sets_; }
 
@@ -161,7 +153,9 @@ class AlloyCache : public DramCache
     AlloyConfig config_;
     std::uint64_t sets_;
     TadLayout layout_;
-    std::vector<Tad> tads_;
+    /** Direct-mapped TAD metadata (the 64 B of data are not
+     *  materialised): one way per set in the shared SoA store. */
+    TagStore tags_;
     Rng fill_rng_;
 
     std::unique_ptr<MapIPredictor> mapi_;

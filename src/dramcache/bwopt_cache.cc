@@ -9,9 +9,9 @@ BwOptCache::BwOptCache(std::uint64_t capacity_bytes, DramSystem &dram,
                        DramSystem &memory, BloatTracker &bloat)
     : DramCache(dram, memory, bloat),
       sets_(Bytes{capacity_bytes} / kLineSize),
-      layout_(sets_, dram.geometry()), tads_(sets_)
+      layout_(sets_, dram.geometry()),
+      tags_(TagStoreConfig{sets_, 1, TagRepl::None, 1, 0})
 {
-    bear_assert(sets_ > 0, "BW-Opt cache needs capacity");
 }
 
 DramCacheReadOutcome
@@ -19,10 +19,9 @@ BwOptCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
 {
     const std::uint64_t set = setOf(line);
     const std::uint64_t tag = tagOf(line);
-    Tad &tad = tads_[set];
 
     DramCacheReadOutcome outcome;
-    if (tad.valid && tad.tag == tag) {
+    if (tags_.probe(set, tag).hit) {
         // The single physical operation: move the demand line.
         const DramResult res =
             dram_.read(at, layout_.coordOf(set), kLineSize);
@@ -41,40 +40,38 @@ BwOptCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
 
     // Logical fill: no DRAM-cache bus traffic.  A dirty victim's data
     // still has to reach main memory (that is main-memory bandwidth).
-    if (tad.valid) {
-        if (tad.dirty)
-            memory_.writeLine(at, tad.tag * sets_ + set);
-        notifyEviction(tad.tag * sets_ + set);
+    if (tags_.validAt(set, 0)) {
+        const LineAddr victim_line = tags_.tagAt(set, 0) * sets_ + set;
+        if (tags_.dirtyAt(set, 0))
+            memory_.writeLine(at, victim_line);
+        notifyEviction(victim_line);
     }
-    tad.tag = tag;
-    tad.valid = true;
-    tad.dirty = false;
+    tags_.install(set, 0, tag);
     if (trace_)
         trace_->record(obs::TraceEventKind::Fill, at, line);
     outcome.presentAfter = true;
     return outcome;
 }
 
-void
+Cycle
 BwOptCache::serviceWriteback(const WritebackRequest &request)
 {
     const std::uint64_t set = setOf(request.line);
-    Tad &tad = tads_[set];
-    if (tad.valid && tad.tag == tagOf(request.line)) {
+    if (tags_.probe(set, tagOf(request.line)).hit) {
         // Logical update: free.
-        tad.dirty = true;
+        tags_.setDirty(set, 0, true);
         ++writeback_hits_;
     } else {
         ++writeback_misses_;
         memory_.writeLine(request.issuedAt, request.line);
     }
+    return request.issuedAt;
 }
 
 bool
 BwOptCache::contains(LineAddr line) const
 {
-    const Tad &tad = tads_[setOf(line)];
-    return tad.valid && tad.tag == tagOf(line);
+    return tags_.probe(setOf(line), tagOf(line)).hit;
 }
 
 } // namespace bear

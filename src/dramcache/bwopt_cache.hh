@@ -14,9 +14,8 @@
 #ifndef BEAR_DRAMCACHE_BWOPT_CACHE_HH
 #define BEAR_DRAMCACHE_BWOPT_CACHE_HH
 
-#include <vector>
-
 #include "dramcache/dram_cache.hh"
+#include "dramcache/tag_store.hh"
 
 namespace bear
 {
@@ -34,29 +33,23 @@ class BwOptCache : public DramCache
 
     bool holdsDirty(LineAddr line) const override
     {
-        const Tad &tad = tads_[setOf(line)];
-        return tad.valid && tad.tag == tagOf(line) && tad.dirty;
+        const std::uint64_t set = setOf(line);
+        return tags_.probe(set, tagOf(line)).hit
+            && tags_.dirtyAt(set, 0);
     }
 
   protected:
     DramCacheReadOutcome serviceRead(Cycle at, LineAddr line, Pc pc,
                                      CoreId core) override;
-    void serviceWriteback(const WritebackRequest &request) override;
+    Cycle serviceWriteback(const WritebackRequest &request) override;
 
   private:
-    struct Tad
-    {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
-
     std::uint64_t setOf(LineAddr line) const { return line % sets_; }
     std::uint64_t tagOf(LineAddr line) const { return line / sets_; }
 
     std::uint64_t sets_;
     TadLayout layout_;
-    std::vector<Tad> tads_;
+    TagStore tags_; ///< direct-mapped: one way per set
 };
 
 } // namespace bear

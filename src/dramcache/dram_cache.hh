@@ -25,10 +25,12 @@
 #ifndef BEAR_DRAMCACHE_DRAM_CACHE_HH
 #define BEAR_DRAMCACHE_DRAM_CACHE_HH
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <string>
 
+#include "common/log.hh"
 #include "common/types.hh"
 #include "dramcache/bloat.hh"
 #include "mem/dram_system.hh"
@@ -95,6 +97,15 @@ class DramCache
     read(Cycle at, LineAddr line, Pc pc, CoreId core)
     {
         const DramCacheReadOutcome out = serviceRead(at, line, pc, core);
+        if (out.dataReady < at) {
+            // Cycles is unsigned: a dataReady before the issue cycle
+            // would wrap into an astronomical latency sample.  Name
+            // the design loudly; in debug builds, stop.
+            bear_warn(name(), ": serviceRead returned dataReady ",
+                      out.dataReady, " before issue cycle ", at,
+                      " -- unsigned latency would wrap");
+            assert(out.dataReady >= at && "dataReady precedes issue");
+        }
         const Cycles latency{out.dataReady - at};
         if (out.hit()) {
             ++demand_hits_;
@@ -110,11 +121,31 @@ class DramCache
         return out;
     }
 
-    /** Handle a dirty eviction from the LLC (non-virtual wrapper). */
+    /**
+     * Handle a dirty eviction from the LLC.  Non-virtual, symmetric
+     * with read(): delegates to serviceWriteback(), samples the
+     * writeback service-latency distribution from the returned
+     * completion cycle and emits the trace event.  Designs keep
+     * owning writeback_{hits,misses}_ — only the probe knows whether
+     * the line was present.
+     */
     void
     writeback(const WritebackRequest &request)
     {
-        serviceWriteback(request);
+        const Cycle done = serviceWriteback(request);
+        if (done < request.issuedAt) {
+            bear_warn(name(), ": serviceWriteback returned completion ",
+                      done, " before issue cycle ", request.issuedAt,
+                      " -- unsigned latency would wrap");
+            assert(done >= request.issuedAt
+                   && "writeback completion precedes issue");
+        }
+        wb_latency_.sample(Cycles{done - request.issuedAt});
+        if (trace_) {
+            trace_->record(obs::TraceEventKind::Writeback,
+                           request.issuedAt, request.line,
+                           done - request.issuedAt);
+        }
     }
 
     /** Design name for reports. */
@@ -157,6 +188,17 @@ class DramCache
         return miss_latency_;
     }
 
+    /**
+     * Writeback service-latency distribution (accessor only — not
+     * part of the serialized report).  Zero-latency samples are the
+     * posted/short-circuited writebacks; nonzero ones paid a probe.
+     */
+    const obs::LatencyHistogram &
+    writebackLatencyHistogram() const
+    {
+        return wb_latency_;
+    }
+
     double avgHitLatency() const { return hit_latency_.mean(); }
     double avgMissLatency() const { return miss_latency_.mean(); }
 
@@ -178,6 +220,7 @@ class DramCache
         writeback_misses_ = 0;
         hit_latency_.reset();
         miss_latency_.reset();
+        wb_latency_.reset();
     }
 
   protected:
@@ -189,9 +232,15 @@ class DramCache
     virtual DramCacheReadOutcome serviceRead(Cycle at, LineAddr line,
                                              Pc pc, CoreId core) = 0;
 
-    /** The design's writeback policy (updates writeback_{hits,misses}_
-     *  itself: only the probe knows whether the line was present). */
-    virtual void serviceWriteback(const WritebackRequest &request) = 0;
+    /**
+     * The design's writeback policy.  Returns the cycle at which the
+     * writeback was resolved (probe completion for probing paths, the
+     * issue cycle for posted or short-circuited ones); the writeback()
+     * wrapper turns it into the latency sample and the trace event.
+     * Updates writeback_{hits,misses}_ itself: only the probe knows
+     * whether the line was present.
+     */
+    virtual Cycle serviceWriteback(const WritebackRequest &request) = 0;
 
     /** Tell the hierarchy a line left the cache; true => dirty on-chip
      *  copy dropped (inclusive designs must push it to memory). */
@@ -216,6 +265,7 @@ class DramCache
 
     obs::LatencyHistogram hit_latency_;
     obs::LatencyHistogram miss_latency_;
+    obs::LatencyHistogram wb_latency_;
 };
 
 /**

@@ -7,13 +7,11 @@ namespace bear
 
 LohHillCache::LohHillCache(const LohHillConfig &config, DramSystem &dram,
                            DramSystem &memory, BloatTracker &bloat)
-    : DramCache(dram, memory, bloat), config_(config)
+    : DramCache(dram, memory, bloat), config_(config),
+      // One 2 KB row per set: 3 tag lines + 29 data lines.
+      sets_(Bytes{config.capacityBytes} / dram.geometry().rowBytes),
+      tags_(TagStoreConfig{sets_, kWays, TagRepl::Lru, 1, 0})
 {
-    // One 2 KB row per set: 3 tag lines + 29 data lines.
-    sets_ = Bytes{config.capacityBytes} / dram.geometry().rowBytes;
-    bear_assert(sets_ > 0, "Loh-Hill cache needs capacity");
-    ways_.resize(sets_ * kWays);
-    lru_.resize(sets_ * kWays, 0);
 }
 
 DramCoord
@@ -28,60 +26,24 @@ LohHillCache::coordOf(std::uint64_t set) const
     return coord;
 }
 
-std::uint32_t
-LohHillCache::findWay(std::uint64_t set, std::uint64_t tag) const
-{
-    const std::uint64_t base = set * kWays;
-    for (std::uint32_t w = 0; w < kWays; ++w) {
-        const WayState &ws = ways_[base + w];
-        if (ws.valid && ws.tag == tag)
-            return w;
-    }
-    return kWays;
-}
-
-std::uint32_t
-LohHillCache::victimWay(std::uint64_t set) const
-{
-    const std::uint64_t base = set * kWays;
-    std::uint32_t best = 0;
-    std::uint64_t oldest = ~0ULL;
-    for (std::uint32_t w = 0; w < kWays; ++w) {
-        if (!ways_[base + w].valid)
-            return w;
-        if (lru_[base + w] < oldest) {
-            oldest = lru_[base + w];
-            best = w;
-        }
-    }
-    return best;
-}
-
-void
-LohHillCache::touch(std::uint64_t set, std::uint32_t way)
-{
-    lru_[set * kWays + way] = tick_++;
-}
-
 void
 LohHillCache::install(Cycle at, std::uint64_t set, LineAddr line)
 {
-    const std::uint32_t victim = victimWay(set);
-    WayState &ws = ways_[set * kWays + victim];
+    const std::uint32_t victim = tags_.victimWay(set);
     const DramCoord coord = coordOf(set);
-    if (ws.valid) {
-        if (ws.dirty) {
+    if (tags_.validAt(set, victim)) {
+        const LineAddr victim_line =
+            tags_.tagAt(set, victim) * sets_ + set;
+        if (tags_.dirtyAt(set, victim)) {
             // Read the dirty victim's data out for writeback to memory.
             dram_.read(at, coord, kLineSize);
             bloat_.note(BloatCategory::DirtyEviction, kLineSize);
-            memory_.writeLine(at, ws.tag * sets_ + set);
+            memory_.writeLine(at, victim_line);
         }
-        notifyEviction(ws.tag * sets_ + set);
+        notifyEviction(victim_line);
     }
-    ws.tag = tagOf(line);
-    ws.valid = true;
-    ws.dirty = false;
-    touch(set, victim);
+    tags_.install(set, victim, tagOf(line));
+    tags_.touch(set, victim);
     // New data line plus the tag line holding this way's tag.
     dram_.write(at, coord, kLineSize + kLineSize);
     bloat_.note(BloatCategory::MissFill, kLineSize + kLineSize);
@@ -96,8 +58,8 @@ LohHillCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
 {
     const std::uint64_t set = setOf(line);
     const std::uint64_t tag = tagOf(line);
-    const std::uint32_t way = findWay(set, tag);
-    const bool hit = way != kWays;
+    const TagProbe probe = tags_.probe(set, tag);
+    const bool hit = probe.hit;
     const DramCoord coord = coordOf(set);
 
     // Every request consults the MissMap (LH) before dispatch; the MC
@@ -115,7 +77,7 @@ LohHillCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
         // LRU promotion rewrites one tag line (paper footnote 3).
         dram_.write(data_read.dataReady, coord, kLineSize);
         bloat_.note(BloatCategory::HitProbe, kLineSize);
-        touch(set, way);
+        tags_.touch(set, probe.way);
         outcome.source = ServiceSource::L4Hit;
         outcome.presentAfter = true;
         outcome.dataReady = data_read.dataReady;
@@ -134,7 +96,7 @@ LohHillCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
     return outcome;
 }
 
-void
+Cycle
 LohHillCache::serviceWriteback(const WritebackRequest &request)
 {
     const Cycle at = request.issuedAt;
@@ -152,12 +114,11 @@ LohHillCache::serviceWriteback(const WritebackRequest &request)
                        kTagBytes.count());
     }
 
-    const std::uint32_t way = findWay(set, tag);
-    if (way != kWays) {
+    const TagProbe wb = tags_.probe(set, tag);
+    if (wb.hit) {
         ++writeback_hits_;
-        WayState &ws = ways_[set * kWays + way];
-        ws.dirty = true;
-        touch(set, way);
+        tags_.setDirty(set, wb.way, true);
+        tags_.touch(set, wb.way);
         // New data plus the updated tag line.
         dram_.write(probe.dataReady, coord, kLineSize + kLineSize);
         bloat_.note(BloatCategory::WritebackUpdate, kLineSize + kLineSize);
@@ -165,20 +126,21 @@ LohHillCache::serviceWriteback(const WritebackRequest &request)
         ++writeback_misses_;
         memory_.writeLine(probe.dataReady, line);
     }
+    return probe.dataReady;
 }
 
 bool
 LohHillCache::contains(LineAddr line) const
 {
-    return findWay(setOf(line), tagOf(line)) != kWays;
+    return tags_.probe(setOf(line), tagOf(line)).hit;
 }
 
 bool
 LohHillCache::holdsDirty(LineAddr line) const
 {
     const std::uint64_t set = setOf(line);
-    const std::uint32_t way = findWay(set, tagOf(line));
-    return way != kWays && ways_[set * kWays + way].dirty;
+    const TagProbe probe = tags_.probe(set, tagOf(line));
+    return probe.hit && tags_.dirtyAt(set, probe.way);
 }
 
 } // namespace bear

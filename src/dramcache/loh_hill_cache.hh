@@ -28,9 +28,9 @@
 #define BEAR_DRAMCACHE_LOH_HILL_CACHE_HH
 
 #include <string>
-#include <vector>
 
 #include "dramcache/dram_cache.hh"
+#include "dramcache/tag_store.hh"
 
 namespace bear
 {
@@ -65,27 +65,12 @@ class LohHillCache : public DramCache
   protected:
     DramCacheReadOutcome serviceRead(Cycle at, LineAddr line, Pc pc,
                                      CoreId core) override;
-    void serviceWriteback(const WritebackRequest &request) override;
+    Cycle serviceWriteback(const WritebackRequest &request) override;
 
   private:
-    struct WayState
-    {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
-
     std::uint64_t setOf(LineAddr line) const { return line % sets_; }
     std::uint64_t tagOf(LineAddr line) const { return line / sets_; }
     DramCoord coordOf(std::uint64_t set) const;
-
-    /** Way of @p tag in @p set, or kWays. */
-    std::uint32_t findWay(std::uint64_t set, std::uint64_t tag) const;
-
-    /** LRU victim of @p set (all ways valid) or first invalid way. */
-    std::uint32_t victimWay(std::uint64_t set) const;
-
-    void touch(std::uint64_t set, std::uint32_t way);
 
     /** Install @p line at @p at; returns nothing, accounts MissFill and
      *  dirty-eviction traffic. */
@@ -93,9 +78,8 @@ class LohHillCache : public DramCache
 
     LohHillConfig config_;
     std::uint64_t sets_;
-    std::vector<WayState> ways_;      ///< [set * kWays + way]
-    std::vector<std::uint64_t> lru_;  ///< [set * kWays + way]
-    std::uint64_t tick_ = 1;
+    /** 29-way tags + LRU recency in the shared SoA store. */
+    TagStore tags_;
 };
 
 } // namespace bear

@@ -34,11 +34,12 @@ class NoCache : public DramCache
         return outcome;
     }
 
-    void
+    Cycle
     serviceWriteback(const WritebackRequest &request) override
     {
         ++writeback_misses_;
         memory_.writeLine(request.issuedAt, request.line);
+        return request.issuedAt;
     }
 };
 

@@ -16,11 +16,13 @@ SectorCache::SectorCache(const SectorCacheConfig &config,
                          DramSystem &dram, DramSystem &memory,
                          BloatTracker &bloat)
     : DramCache(dram, memory, bloat), config_(config),
-      sets_(Bytes{config.capacityBytes} / kSectorBytes / kWays)
+      sets_(Bytes{config.capacityBytes} / kSectorBytes / kWays),
+      tags_(TagStoreConfig{sets_, kWays, TagRepl::Lru, 1, 2})
 {
-    bear_assert(sets_ > 0, "sector cache needs capacity");
-    sectors_.resize(sets_ * kWays);
-    lru_.resize(sets_ * kWays, 0);
+    // The per-block bitmaps ride in the store's 64-bit metadata
+    // planes, so a sector must hold exactly one machine word of
+    // blocks.
+    static_assert(kBlocksPerSector == 64);
 }
 
 DramCoord
@@ -42,55 +44,23 @@ SectorCache::coordOf(std::uint64_t set, std::uint32_t way,
     return coord;
 }
 
-std::uint32_t
-SectorCache::findWay(std::uint64_t set, std::uint64_t tag) const
-{
-    const std::uint64_t base = set * kWays;
-    for (std::uint32_t w = 0; w < kWays; ++w) {
-        const Sector &s = sectors_[base + w];
-        if (s.valid && s.tag == tag)
-            return w;
-    }
-    return kWays;
-}
-
-std::uint32_t
-SectorCache::victimWay(std::uint64_t set) const
-{
-    const std::uint64_t base = set * kWays;
-    std::uint32_t best = 0;
-    std::uint64_t oldest = ~0ULL;
-    for (std::uint32_t w = 0; w < kWays; ++w) {
-        if (!sectors_[base + w].valid)
-            return w;
-        if (lru_[base + w] < oldest) {
-            oldest = lru_[base + w];
-            best = w;
-        }
-    }
-    return best;
-}
-
-void
-SectorCache::touch(std::uint64_t set, std::uint32_t way)
-{
-    lru_[set * kWays + way] = tick_++;
-}
-
 void
 SectorCache::evictSector(Cycle at, std::uint64_t set, std::uint32_t way)
 {
-    Sector &s = sectors_[set * kWays + way];
-    bear_assert(s.valid, "evicting an invalid sector");
+    bear_assert(tags_.validAt(set, way), "evicting an invalid sector");
     ++sector_evictions_;
-    const std::uint64_t sector_addr = s.tag * sets_ + set;
+    const std::uint64_t sector_addr = tags_.tagAt(set, way) * sets_ + set;
+    const std::uint64_t block_valid =
+        tags_.meta(set, way, kBlockValidPlane);
+    const std::uint64_t block_dirty =
+        tags_.meta(set, way, kBlockDirtyPlane);
     if (config_.footprintPrefetch)
-        footprints_[sector_addr] = s.blockValid;
+        footprints_[sector_addr] = block_valid;
     for (std::uint32_t b = 0; b < kBlocksPerSector; ++b) {
-        if (!s.blockValid[b])
+        if (!((block_valid >> b) & 1))
             continue;
         const LineAddr line = sector_addr * kBlocksPerSector + b;
-        if (s.blockDirty[b]) {
+        if ((block_dirty >> b) & 1) {
             // The dirty-replacement penalty: read every dirty block out
             // of the DRAM cache and push it to main memory.
             dram_.read(at, coordOf(set, way, b), kLineSize);
@@ -100,9 +70,9 @@ SectorCache::evictSector(Cycle at, std::uint64_t set, std::uint32_t way)
         }
         notifyEviction(line);
     }
-    s.valid = false;
-    s.blockValid.reset();
-    s.blockDirty.reset();
+    // evict() clears valid and both block bitmaps; the way's LRU age
+    // survives, as it did before the port.
+    tags_.evict(set, way);
 }
 
 DramCacheReadOutcome
@@ -112,15 +82,17 @@ SectorCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
     const std::uint64_t set = setOf(sector);
     const std::uint64_t tag = tagOf(sector);
     const std::uint32_t block = blockOf(line);
-    std::uint32_t way = findWay(set, tag);
+    const TagProbe probe = tags_.probe(set, tag);
+    std::uint32_t way = probe.hit ? probe.way : kWays;
 
     DramCacheReadOutcome outcome;
-    if (way != kWays && sectors_[set * kWays + way].blockValid[block]) {
+    if (way != kWays
+        && ((tags_.meta(set, way, kBlockValidPlane) >> block) & 1)) {
         const DramResult res =
             dram_.read(at, coordOf(set, way, block), kLineSize);
         bloat_.note(BloatCategory::HitProbe, kLineSize);
         bloat_.noteUseful();
-        touch(set, way);
+        tags_.touch(set, way);
         outcome.source = ServiceSource::L4Hit;
         outcome.presentAfter = true;
         outcome.dataReady = res.dataReady;
@@ -133,19 +105,20 @@ SectorCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
 
     if (way == kWays) {
         // Allocate the sector, evicting an LRU victim if needed.
-        way = victimWay(set);
-        Sector &victim = sectors_[set * kWays + way];
-        if (victim.valid)
+        way = tags_.victimWay(set);
+        if (tags_.validAt(set, way))
             evictSector(at, set, way);
-        victim.tag = tag;
-        victim.valid = true;
+        tags_.install(set, way, tag);
         if (config_.footprintPrefetch)
             prefetchFootprint(at, sector, set, way, block);
     }
-    Sector &s = sectors_[set * kWays + way];
-    s.blockValid[block] = true;
-    s.blockDirty[block] = false;
-    touch(set, way);
+    tags_.setMeta(set, way, kBlockValidPlane,
+                  tags_.meta(set, way, kBlockValidPlane)
+                      | (1ULL << block));
+    tags_.setMeta(set, way, kBlockDirtyPlane,
+                  tags_.meta(set, way, kBlockDirtyPlane)
+                      & ~(1ULL << block));
+    tags_.touch(set, way);
     dram_.write(at, coordOf(set, way, block), kLineSize);
     bloat_.note(BloatCategory::MissFill, kLineSize);
     if (trace_) {
@@ -156,7 +129,7 @@ SectorCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
     return outcome;
 }
 
-void
+Cycle
 SectorCache::serviceWriteback(const WritebackRequest &request)
 {
     const Cycle at = request.issuedAt;
@@ -164,31 +137,37 @@ SectorCache::serviceWriteback(const WritebackRequest &request)
     const std::uint64_t sector = sectorOf(line);
     const std::uint64_t set = setOf(sector);
     const std::uint32_t block = blockOf(line);
-    const std::uint32_t way = findWay(set, tagOf(sector));
+    const TagProbe probe = tags_.probe(set, tagOf(sector));
 
-    if (way == kWays) {
+    if (!probe.hit) {
         // Sector absent: writeback-miss no-allocate, as in the baseline.
         ++writeback_misses_;
         memory_.writeLine(at, line);
-        return;
+        return at;
     }
 
-    Sector &s = sectors_[set * kWays + way];
-    touch(set, way);
-    if (s.blockValid[block]) {
+    const std::uint32_t way = probe.way;
+    tags_.touch(set, way);
+    const std::uint64_t block_valid =
+        tags_.meta(set, way, kBlockValidPlane);
+    tags_.setMeta(set, way, kBlockDirtyPlane,
+                  tags_.meta(set, way, kBlockDirtyPlane)
+                      | (1ULL << block));
+    if ((block_valid >> block) & 1) {
         ++writeback_hits_;
-        s.blockDirty[block] = true;
         dram_.write(at, coordOf(set, way, block), kLineSize);
         bloat_.note(BloatCategory::WritebackUpdate, kLineSize);
     } else {
         // Space is reserved in the resident sector: install the dirty
         // block (Writeback Fill traffic).
         ++writeback_hits_;
-        s.blockValid[block] = true;
-        s.blockDirty[block] = true;
+        tags_.setMeta(set, way, kBlockValidPlane,
+                      block_valid | (1ULL << block));
         dram_.write(at, coordOf(set, way, block), kLineSize);
         bloat_.note(BloatCategory::WritebackFill, kLineSize);
     }
+    // The SRAM sector tags resolve the writeback without a DRAM probe.
+    return at;
 }
 
 bool
@@ -196,9 +175,10 @@ SectorCache::contains(LineAddr line) const
 {
     const std::uint64_t sector = sectorOf(line);
     const std::uint64_t set = setOf(sector);
-    const std::uint32_t way = findWay(set, tagOf(sector));
-    return way != kWays
-        && sectors_[set * kWays + way].blockValid[blockOf(line)];
+    const TagProbe probe = tags_.probe(set, tagOf(sector));
+    return probe.hit
+        && ((tags_.meta(set, probe.way, kBlockValidPlane)
+             >> blockOf(line)) & 1);
 }
 
 bool
@@ -206,9 +186,10 @@ SectorCache::holdsDirty(LineAddr line) const
 {
     const std::uint64_t sector = sectorOf(line);
     const std::uint64_t set = setOf(sector);
-    const std::uint32_t way = findWay(set, tagOf(sector));
-    return way != kWays
-        && sectors_[set * kWays + way].blockDirty[blockOf(line)];
+    const TagProbe probe = tags_.probe(set, tagOf(sector));
+    return probe.hit
+        && ((tags_.meta(set, probe.way, kBlockDirtyPlane)
+             >> blockOf(line)) & 1);
 }
 
 void
@@ -219,9 +200,12 @@ SectorCache::prefetchFootprint(Cycle at, std::uint64_t sector,
     const auto it = footprints_.find(sector);
     if (it == footprints_.end())
         return;
-    Sector &s = sectors_[set * kWays + way];
+    const std::uint64_t footprint = it->second;
     for (std::uint32_t b = 0; b < kBlocksPerSector; ++b) {
-        if (!it->second[b] || s.blockValid[b] || b == demand_block)
+        const std::uint64_t valid =
+            tags_.meta(set, way, kBlockValidPlane);
+        if (!((footprint >> b) & 1) || ((valid >> b) & 1)
+            || b == demand_block)
             continue;
         // Each prefetched block costs a main-memory read plus a
         // DRAM-cache fill -- the "extra bandwidth consumed by
@@ -229,8 +213,11 @@ SectorCache::prefetchFootprint(Cycle at, std::uint64_t sector,
         memory_.readLine(at, sector * kBlocksPerSector + b);
         dram_.write(at, coordOf(set, way, b), kLineSize);
         bloat_.note(BloatCategory::MissFill, kLineSize);
-        s.blockValid[b] = true;
-        s.blockDirty[b] = false;
+        tags_.setMeta(set, way, kBlockValidPlane,
+                      valid | (1ULL << b));
+        tags_.setMeta(set, way, kBlockDirtyPlane,
+                      tags_.meta(set, way, kBlockDirtyPlane)
+                          & ~(1ULL << b));
         ++blocks_prefetched_;
     }
 }

@@ -16,12 +16,11 @@
 #ifndef BEAR_DRAMCACHE_SECTOR_CACHE_HH
 #define BEAR_DRAMCACHE_SECTOR_CACHE_HH
 
-#include <bitset>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "dramcache/dram_cache.hh"
+#include "dramcache/tag_store.hh"
 
 namespace bear
 {
@@ -73,16 +72,12 @@ class SectorCache : public DramCache
   protected:
     DramCacheReadOutcome serviceRead(Cycle at, LineAddr line, Pc pc,
                                      CoreId core) override;
-    void serviceWriteback(const WritebackRequest &request) override;
+    Cycle serviceWriteback(const WritebackRequest &request) override;
 
   private:
-    struct Sector
-    {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        std::bitset<kBlocksPerSector> blockValid;
-        std::bitset<kBlocksPerSector> blockDirty;
-    };
+    /** TagStore metadata planes: per-block bitmaps of one sector. */
+    static constexpr std::uint32_t kBlockValidPlane = 0;
+    static constexpr std::uint32_t kBlockDirtyPlane = 1;
 
     /** Sector-granular address of a line. */
     std::uint64_t sectorOf(LineAddr line) const
@@ -108,10 +103,6 @@ class SectorCache : public DramCache
     DramCoord coordOf(std::uint64_t set, std::uint32_t way,
                       std::uint32_t block) const;
 
-    std::uint32_t findWay(std::uint64_t set, std::uint64_t tag) const;
-    std::uint32_t victimWay(std::uint64_t set) const;
-    void touch(std::uint64_t set, std::uint32_t way);
-
     /** Flush a victim sector: dirty blocks to memory, notifications. */
     void evictSector(Cycle at, std::uint64_t set, std::uint32_t way);
 
@@ -123,13 +114,11 @@ class SectorCache : public DramCache
 
     SectorCacheConfig config_;
     std::uint64_t sets_;
-    std::vector<Sector> sectors_; ///< [set * kWays + way]
-    std::vector<std::uint64_t> lru_;
-    std::uint64_t tick_ = 1;
+    /** 32-way sector tags + LRU + per-block bitmaps (SoA store). */
+    TagStore tags_;
 
     /** Footprint history: blocks touched in the last residency. */
-    std::unordered_map<std::uint64_t, std::bitset<kBlocksPerSector>>
-        footprints_;
+    std::unordered_map<std::uint64_t, std::uint64_t> footprints_;
 
     std::uint64_t sector_evictions_ = 0;
     std::uint64_t dirty_flushed_ = 0;

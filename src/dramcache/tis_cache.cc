@@ -8,11 +8,9 @@ namespace bear
 TisCache::TisCache(std::uint64_t capacity_bytes, DramSystem &dram,
                    DramSystem &memory, BloatTracker &bloat)
     : DramCache(dram, memory, bloat),
-      sets_(Bytes{capacity_bytes} / kLineSize / kWays)
+      sets_(Bytes{capacity_bytes} / kLineSize / kWays),
+      tags_(TagStoreConfig{sets_, kWays, TagRepl::Lru, 1, 0})
 {
-    bear_assert(sets_ > 0, "TIS cache needs capacity");
-    ways_.resize(sets_ * kWays);
-    lru_.resize(sets_ * kWays, 0);
 }
 
 DramCoord
@@ -33,55 +31,21 @@ TisCache::coordOf(std::uint64_t set, std::uint32_t way) const
     return coord;
 }
 
-std::uint32_t
-TisCache::findWay(std::uint64_t set, std::uint64_t tag) const
-{
-    const std::uint64_t base = set * kWays;
-    for (std::uint32_t w = 0; w < kWays; ++w) {
-        const WayState &ws = ways_[base + w];
-        if (ws.valid && ws.tag == tag)
-            return w;
-    }
-    return kWays;
-}
-
-std::uint32_t
-TisCache::victimWay(std::uint64_t set) const
-{
-    const std::uint64_t base = set * kWays;
-    std::uint32_t best = 0;
-    std::uint64_t oldest = ~0ULL;
-    for (std::uint32_t w = 0; w < kWays; ++w) {
-        if (!ways_[base + w].valid)
-            return w;
-        if (lru_[base + w] < oldest) {
-            oldest = lru_[base + w];
-            best = w;
-        }
-    }
-    return best;
-}
-
-void
-TisCache::touch(std::uint64_t set, std::uint32_t way)
-{
-    lru_[set * kWays + way] = tick_++;
-}
-
 DramCacheReadOutcome
 TisCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
 {
     const std::uint64_t set = setOf(line);
     const std::uint64_t tag = tagOf(line);
-    const std::uint32_t way = findWay(set, tag);
+    const TagProbe probe = tags_.probe(set, tag);
 
     DramCacheReadOutcome outcome;
-    if (way != kWays) {
+    if (probe.hit) {
         // Tags are on chip: the DRAM access moves only the data line.
-        const DramResult res = dram_.read(at, coordOf(set, way), kLineSize);
+        const DramResult res =
+            dram_.read(at, coordOf(set, probe.way), kLineSize);
         bloat_.note(BloatCategory::HitProbe, kLineSize);
         bloat_.noteUseful();
-        touch(set, way);
+        tags_.touch(set, probe.way);
         outcome.source = ServiceSource::L4Hit;
         outcome.presentAfter = true;
         outcome.dataReady = res.dataReady;
@@ -93,21 +57,20 @@ TisCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
     outcome.dataReady = mem.dataReady;
 
     // Fill, evicting the LRU way.
-    const std::uint32_t victim = victimWay(set);
-    WayState &ws = ways_[set * kWays + victim];
-    if (ws.valid) {
-        if (ws.dirty) {
+    const std::uint32_t victim = tags_.victimWay(set);
+    if (tags_.validAt(set, victim)) {
+        const LineAddr victim_line =
+            tags_.tagAt(set, victim) * sets_ + set;
+        if (tags_.dirtyAt(set, victim)) {
             // No probe ever read this line: pay a Dirty-Eviction read.
             dram_.read(at, coordOf(set, victim), kLineSize);
             bloat_.note(BloatCategory::DirtyEviction, kLineSize);
-            memory_.writeLine(at, ws.tag * sets_ + set);
+            memory_.writeLine(at, victim_line);
         }
-        notifyEviction(ws.tag * sets_ + set);
+        notifyEviction(victim_line);
     }
-    ws.tag = tag;
-    ws.valid = true;
-    ws.dirty = false;
-    touch(set, victim);
+    tags_.install(set, victim, tag);
+    tags_.touch(set, victim);
     dram_.write(at, coordOf(set, victim), kLineSize);
     bloat_.note(BloatCategory::MissFill, kLineSize);
     if (trace_) {
@@ -118,38 +81,39 @@ TisCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
     return outcome;
 }
 
-void
+Cycle
 TisCache::serviceWriteback(const WritebackRequest &request)
 {
     const Cycle at = request.issuedAt;
     const LineAddr line = request.line;
     const std::uint64_t set = setOf(line);
-    const std::uint32_t way = findWay(set, tagOf(line));
-    if (way != kWays) {
+    const TagProbe probe = tags_.probe(set, tagOf(line));
+    if (probe.hit) {
         ++writeback_hits_;
-        WayState &ws = ways_[set * kWays + way];
-        ws.dirty = true;
-        touch(set, way);
-        dram_.write(at, coordOf(set, way), kLineSize);
+        tags_.setDirty(set, probe.way, true);
+        tags_.touch(set, probe.way);
+        dram_.write(at, coordOf(set, probe.way), kLineSize);
         bloat_.note(BloatCategory::WritebackUpdate, kLineSize);
     } else {
         ++writeback_misses_;
         memory_.writeLine(at, line);
     }
+    // The SRAM tags resolve the writeback without a DRAM probe.
+    return at;
 }
 
 bool
 TisCache::contains(LineAddr line) const
 {
-    return findWay(setOf(line), tagOf(line)) != kWays;
+    return tags_.probe(setOf(line), tagOf(line)).hit;
 }
 
 bool
 TisCache::holdsDirty(LineAddr line) const
 {
     const std::uint64_t set = setOf(line);
-    const std::uint32_t way = findWay(set, tagOf(line));
-    return way != kWays && ways_[set * kWays + way].dirty;
+    const TagProbe probe = tags_.probe(set, tagOf(line));
+    return probe.hit && tags_.dirtyAt(set, probe.way);
 }
 
 Bytes

@@ -17,9 +17,9 @@
 #define BEAR_DRAMCACHE_TIS_CACHE_HH
 
 #include <string>
-#include <vector>
 
 #include "dramcache/dram_cache.hh"
+#include "dramcache/tag_store.hh"
 
 namespace bear
 {
@@ -44,30 +44,18 @@ class TisCache : public DramCache
   protected:
     DramCacheReadOutcome serviceRead(Cycle at, LineAddr line, Pc pc,
                                      CoreId core) override;
-    void serviceWriteback(const WritebackRequest &request) override;
+    Cycle serviceWriteback(const WritebackRequest &request) override;
 
   private:
-    struct WayState
-    {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
-
     std::uint64_t setOf(LineAddr line) const { return line % sets_; }
     std::uint64_t tagOf(LineAddr line) const { return line / sets_; }
 
     /** DRAM placement of (set, way): line-interleaved data array. */
     DramCoord coordOf(std::uint64_t set, std::uint32_t way) const;
 
-    std::uint32_t findWay(std::uint64_t set, std::uint64_t tag) const;
-    std::uint32_t victimWay(std::uint64_t set) const;
-    void touch(std::uint64_t set, std::uint32_t way);
-
     std::uint64_t sets_;
-    std::vector<WayState> ways_;
-    std::vector<std::uint64_t> lru_;
-    std::uint64_t tick_ = 1;
+    /** 32-way on-chip tags + LRU recency in the shared SoA store. */
+    TagStore tags_;
 };
 
 } // namespace bear

@@ -23,6 +23,8 @@ traceEventName(TraceEventKind kind)
         return "dcpShortCircuit";
       case TraceEventKind::BankConflictStall:
         return "bankConflictStall";
+      case TraceEventKind::Writeback:
+        return "writeback";
     }
     return "unknown";
 }

@@ -38,10 +38,11 @@ enum class TraceEventKind : std::uint8_t
     WritebackProbe,   ///< A writeback paid a tag probe in the cache.
     NtcAvoidedProbe,  ///< NTC/TTC guaranteed-miss skipped the probe.
     DcpShortCircuit,  ///< DCP bit resolved a writeback without a probe.
-    BankConflictStall ///< A DRAM access waited on a busy bank.
+    BankConflictStall,///< A DRAM access waited on a busy bank.
+    Writeback         ///< An LLC dirty eviction reached the DRAM cache.
 };
 
-constexpr int kTraceEventKinds = 7;
+constexpr int kTraceEventKinds = 8;
 
 /** Stable lower-case name for reports and the trace_stats tool. */
 const char *traceEventName(TraceEventKind kind);

@@ -1141,4 +1141,12 @@ allJobs(DesignKind design)
     return jobs;
 }
 
+double
+wallSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 } // namespace bear

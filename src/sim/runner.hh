@@ -314,6 +314,14 @@ std::vector<RunJob> mixJobs(DesignKind design);
  */
 std::vector<RunJob> allJobs(DesignKind design);
 
+/**
+ * Monotonic wall-clock seconds (arbitrary epoch), for benchmark
+ * harnesses that time throughput.  Lives here because the runner is
+ * the sanctioned wall-clock seam (tools/bearlint BL004): simulation
+ * code must never read the host clock, but the perf harness must.
+ */
+double wallSeconds();
+
 } // namespace bear
 
 #endif // BEAR_SIM_RUNNER_HH

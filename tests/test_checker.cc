@@ -109,10 +109,11 @@ class LossyCache : public DramCache
         return o;
     }
 
-    void
-    serviceWriteback(const WritebackRequest &) override
+    Cycle
+    serviceWriteback(const WritebackRequest &request) override
     {
         // Bug: neither keeps the line dirty nor writes memory.
+        return request.issuedAt;
     }
 
     std::string name() const override { return "Lossy"; }
@@ -147,10 +148,11 @@ class UnaccountedCache : public DramCache
         return o;
     }
 
-    void
+    Cycle
     serviceWriteback(const WritebackRequest &request) override
     {
         memory_.writeLine(request.issuedAt, request.line);
+        return request.issuedAt;
     }
 
     std::string name() const override { return "Unaccounted"; }

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Differential parity suite for the TagStore port (DESIGN.md §14).
+ *
+ * Every design is driven through the same golden prefix of the mcf and
+ * libquantum reference streams (reads plus a deterministic dirty-
+ * writeback shadow, as in test_differential.cc) and its observable
+ * counters — demand hits/misses, writeback hits/misses, total and
+ * useful bloat bytes — are asserted against values pinned from the
+ * pre-TagStore per-design tag layouts.  Any change to probe order,
+ * victim selection, replacement ticking or bloat attribution shows up
+ * here as an exact counter mismatch naming the design and workload.
+ *
+ * Regenerate the table after an *intentional* policy change with
+ *   BEAR_PARITY_DUMP=1 build/tests/test_design_parity
+ * and paste the emitted rows over kGolden below.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dramcache/bear_cache.hh"
+#include "tests/test_util.hh"
+#include "workloads/workload.hh"
+
+using namespace bear;
+using test::CacheHarness;
+
+namespace
+{
+
+constexpr int kRefs = 20000;
+constexpr std::uint64_t kSeed = 0xC0FFEE;
+constexpr double kScale = 0.0625;
+
+struct ParityCounters
+{
+    std::uint64_t demandHits = 0;
+    std::uint64_t demandMisses = 0;
+    std::uint64_t writebackHits = 0;
+    std::uint64_t writebackMisses = 0;
+    std::uint64_t bloatBytes = 0;  ///< BloatTracker::totalBytes
+    std::uint64_t usefulBytes = 0; ///< BloatTracker::usefulBytes
+};
+
+struct GoldenRow
+{
+    DesignKind design;
+    const char *workload;
+    ParityCounters expect;
+};
+
+/** Drive @p kind through the golden @p workload prefix. */
+ParityCounters
+driveDesign(DesignKind kind, const std::string &workload)
+{
+    CacheHarness h;
+    auto cache = h.make(kind);
+    cache->setEvictionListener([](LineAddr) { return false; });
+
+    WorkloadStream stream(profileByName(workload), kSeed, kScale);
+    Cycle t = 0;
+    LineAddr held = ~0ULL;
+    bool held_dirty = false;
+    bool held_dcp = false;
+    for (int i = 0; i < kRefs; ++i) {
+        const MemRef ref = stream.next();
+        const LineAddr line = lineOf(ref.vaddr);
+        const auto outcome = cache->read(t, line, ref.pc, 0);
+        if (held != ~0ULL && held_dirty)
+            cache->writeback({held, held_dcp, t + 5});
+        held = line;
+        held_dirty = ref.isWrite;
+        held_dcp = outcome.presentAfter;
+        t += 50;
+    }
+
+    ParityCounters c;
+    c.demandHits = cache->demandHits();
+    c.demandMisses = cache->demandMisses();
+    c.writebackHits = cache->writebackHits();
+    c.writebackMisses = cache->writebackMisses();
+    c.bloatBytes = h.bloat.totalBytes().count();
+    c.usefulBytes = h.bloat.usefulBytes().count();
+    return c;
+}
+
+std::vector<std::pair<DesignKind, const char *>>
+parityMatrix()
+{
+    std::vector<std::pair<DesignKind, const char *>> matrix;
+    std::vector<DesignKind> designs = test::allCacheDesigns();
+    designs.push_back(DesignKind::NoCache);
+    for (DesignKind kind : designs)
+        for (const char *workload : {"mcf", "libquantum"})
+            matrix.emplace_back(kind, workload);
+    return matrix;
+}
+
+// Captured with BEAR_PARITY_DUMP=1 against the pre-TagStore layouts
+// (per-design std::vector<Tad> / ways_ / lru_ shadow vectors).
+const std::vector<GoldenRow> kGolden = {
+    {DesignKind::Alloy, "mcf",
+     {3485u, 16515u, 5055u, 0u, 3730000u, 223040u}},
+    {DesignKind::Alloy, "libquantum",
+     {8472u, 11528u, 5042u, 0u, 3328960u, 542208u}},
+    {DesignKind::ProbBypass50, "mcf",
+     {2179u, 17821u, 2796u, 2259u, 2940880u, 139456u}},
+    {DesignKind::ProbBypass50, "libquantum",
+     {5144u, 14856u, 3185u, 1857u, 2855280u, 329216u}},
+    {DesignKind::ProbBypass90, "mcf",
+     {664u, 19336u, 635u, 4420u, 2211600u, 42496u}},
+    {DesignKind::ProbBypass90, "libquantum",
+     {1278u, 18722u, 751u, 4291u, 2215440u, 81792u}},
+    {DesignKind::Bab, "mcf",
+     {726u, 19274u, 758u, 4297u, 2254400u, 46464u}},
+    {DesignKind::Bab, "libquantum",
+     {1481u, 18519u, 906u, 4136u, 2247920u, 94784u}},
+    {DesignKind::BabDcp, "mcf",
+     {726u, 19274u, 758u, 4297u, 1850000u, 46464u}},
+    {DesignKind::BabDcp, "libquantum",
+     {1481u, 18519u, 906u, 4136u, 1844560u, 94784u}},
+    {DesignKind::Bear, "mcf",
+     {726u, 19274u, 758u, 4297u, 1560960u, 46464u}},
+    {DesignKind::Bear, "libquantum",
+     {1481u, 18519u, 906u, 4136u, 1105680u, 94784u}},
+    {DesignKind::InclusiveAlloy, "mcf",
+     {3485u, 16515u, 5055u, 0u, 3325600u, 223040u}},
+    {DesignKind::InclusiveAlloy, "libquantum",
+     {8472u, 11528u, 5042u, 0u, 2925600u, 542208u}},
+    {DesignKind::LohHill, "mcf",
+     {3557u, 16443u, 5055u, 0u, 4860544u, 227648u}},
+    {DesignKind::LohHill, "libquantum",
+     {8472u, 11528u, 5042u, 0u, 5800064u, 542208u}},
+    {DesignKind::MostlyClean, "mcf",
+     {3557u, 16443u, 5055u, 0u, 4860544u, 227648u}},
+    {DesignKind::MostlyClean, "libquantum",
+     {8472u, 11528u, 5042u, 0u, 5800064u, 542208u}},
+    {DesignKind::TagsInSram, "mcf",
+     {3557u, 16443u, 5055u, 0u, 1603520u, 227648u}},
+    {DesignKind::TagsInSram, "libquantum",
+     {8472u, 11528u, 5042u, 0u, 1602688u, 542208u}},
+    {DesignKind::SectorCache, "mcf",
+     {3378u, 16622u, 5055u, 0u, 1751040u, 216192u}},
+    {DesignKind::SectorCache, "libquantum",
+     {8472u, 11528u, 5042u, 0u, 1602688u, 542208u}},
+    {DesignKind::FootprintCache, "mcf",
+     {3381u, 16619u, 5055u, 0u, 1772160u, 216384u}},
+    {DesignKind::FootprintCache, "libquantum",
+     {8472u, 11528u, 5042u, 0u, 1602688u, 542208u}},
+    {DesignKind::BwOptimized, "mcf",
+     {3485u, 16515u, 5055u, 0u, 223040u, 223040u}},
+    {DesignKind::BwOptimized, "libquantum",
+     {8472u, 11528u, 5042u, 0u, 542208u, 542208u}},
+    {DesignKind::NoCache, "mcf",
+     {0u, 20000u, 0u, 5055u, 0u, 0u}},
+    {DesignKind::NoCache, "libquantum",
+     {0u, 20000u, 0u, 5042u, 0u, 0u}},
+};
+
+} // namespace
+
+/** With BEAR_PARITY_DUMP=1: print the golden table source and stop. */
+TEST(DesignParity, MatchesPreTagStoreCounters)
+{
+    const bool dump = std::getenv("BEAR_PARITY_DUMP") != nullptr;
+    if (dump) {
+        for (const auto &[kind, workload] : parityMatrix()) {
+            const ParityCounters c = driveDesign(kind, workload);
+            std::printf("    {DesignKind::%s, \"%s\",\n"
+                        "     {%lluu, %lluu, %lluu, %lluu, %lluu, "
+                        "%lluu}},\n",
+                        // enum identifier, not the display name
+                        [](DesignKind k) {
+                            switch (k) {
+                              case DesignKind::Alloy: return "Alloy";
+                              case DesignKind::ProbBypass50:
+                                return "ProbBypass50";
+                              case DesignKind::ProbBypass90:
+                                return "ProbBypass90";
+                              case DesignKind::Bab: return "Bab";
+                              case DesignKind::BabDcp: return "BabDcp";
+                              case DesignKind::Bear: return "Bear";
+                              case DesignKind::InclusiveAlloy:
+                                return "InclusiveAlloy";
+                              case DesignKind::LohHill: return "LohHill";
+                              case DesignKind::MostlyClean:
+                                return "MostlyClean";
+                              case DesignKind::TagsInSram:
+                                return "TagsInSram";
+                              case DesignKind::SectorCache:
+                                return "SectorCache";
+                              case DesignKind::FootprintCache:
+                                return "FootprintCache";
+                              case DesignKind::BwOptimized:
+                                return "BwOptimized";
+                              case DesignKind::NoCache: return "NoCache";
+                            }
+                            return "?";
+                        }(kind),
+                        workload,
+                        static_cast<unsigned long long>(c.demandHits),
+                        static_cast<unsigned long long>(c.demandMisses),
+                        static_cast<unsigned long long>(c.writebackHits),
+                        static_cast<unsigned long long>(
+                            c.writebackMisses),
+                        static_cast<unsigned long long>(c.bloatBytes),
+                        static_cast<unsigned long long>(c.usefulBytes));
+        }
+        GTEST_SKIP() << "dump mode: golden table printed";
+    }
+
+    ASSERT_NE(kGolden.size(), 0u)
+        << "golden table is empty; regenerate with BEAR_PARITY_DUMP=1";
+    for (const GoldenRow &row : kGolden) {
+        const ParityCounters got = driveDesign(row.design, row.workload);
+        const std::string where = std::string(designName(row.design))
+            + " / " + row.workload;
+        EXPECT_EQ(got.demandHits, row.expect.demandHits) << where;
+        EXPECT_EQ(got.demandMisses, row.expect.demandMisses) << where;
+        EXPECT_EQ(got.writebackHits, row.expect.writebackHits) << where;
+        EXPECT_EQ(got.writebackMisses, row.expect.writebackMisses)
+            << where;
+        EXPECT_EQ(got.bloatBytes, row.expect.bloatBytes) << where;
+        EXPECT_EQ(got.usefulBytes, row.expect.usefulBytes) << where;
+    }
+}

@@ -30,6 +30,12 @@
  *   BL005 include-hygiene     headers must open with a matching
  *         `#ifndef BEAR_..._HH` / `#define` guard (no #pragma once)
  *         and must not contain `using namespace` at any scope.
+ *   BL006 private-tag-array   a hand-rolled tag layout inside
+ *         src/dramcache/: a `std::vector<S>` member where S is an
+ *         AoS tag entry (has `tag` and `valid` members but no `set`
+ *         member — the NTC's set-indexed Entry is exempt), or a
+ *         shadow replacement vector named `lru_`.  All tag arrays go
+ *         through the shared SoA TagStore (dramcache/tag_store.hh).
  *
  * Diagnostics are machine-readable (`file:line: [BL###] message`) and
  * suppressible per line with `// bearlint-allow(BL###)` on the same
@@ -95,6 +101,9 @@ const RuleInfo kRules[] = {
     {"BL005", "include-hygiene",
      "header missing a BEAR_*_HH include guard, or `using "
      "namespace` in a header"},
+    {"BL006", "private-tag-array",
+     "hand-rolled tag vector / lru_ shadow vector in src/dramcache/ "
+     "instead of the shared SoA TagStore (dramcache/tag_store.hh)"},
 };
 
 // ---------------------------------------------------------------------
@@ -891,6 +900,85 @@ checkHeaderHygiene(const FileData &fd, Reporter &out)
 }
 
 // ---------------------------------------------------------------------
+// BL006 — private tag arrays in src/dramcache/
+// ---------------------------------------------------------------------
+
+/**
+ * The TagStore port (DESIGN.md §14) deleted every per-design
+ * `std::vector<Tad>`-style layout; this rule keeps them deleted.  A
+ * struct counts as a tag entry when its body declares `tag` and
+ * `valid` but no `set` — a set-indexed entry (the NTC's) is a victim
+ * buffer keyed by set, not a parallel tag plane, and stays legal.
+ */
+void
+checkPrivateTagArray(const FileData &fd, Reporter &out)
+{
+    if (fd.display.find("src/dramcache/") == std::string::npos
+        || endsWith(fd.display, "tag_store.hh"))
+        return;
+    const auto &t = fd.toks;
+    const long n = static_cast<long>(t.size());
+
+    // Tag-shaped struct/class definitions declared in this file.
+    std::set<std::string> tagShaped;
+    for (long i = 0; i + 2 < n; ++i) {
+        if (t[i].text != "struct" && t[i].text != "class")
+            continue;
+        if (t[i + 1].kind != 'i' || t[i + 2].text != "{")
+            continue;
+        long depth = 0;
+        bool hasTag = false, hasValid = false, hasSet = false;
+        for (long j = i + 2; j < n; ++j) {
+            if (t[j].text == "{") {
+                ++depth;
+            } else if (t[j].text == "}") {
+                if (--depth == 0)
+                    break;
+            } else if (t[j].kind == 'i') {
+                if (t[j].text == "tag")
+                    hasTag = true;
+                else if (t[j].text == "valid")
+                    hasValid = true;
+                else if (t[j].text == "set")
+                    hasSet = true;
+            }
+        }
+        if (hasTag && hasValid && !hasSet)
+            tagShaped.insert(t[i + 1].text);
+    }
+
+    for (long i = 0; i < n; ++i) {
+        if (t[i].text != "vector" || i + 1 >= n
+            || t[i + 1].text != "<")
+            continue;
+        const long after = skipTemplateArgs(t, i + 1);
+        if (after < 0)
+            continue;
+        // Element type: the last identifier inside the template args
+        // (`std::uint64_t` resolves to `uint64_t`, `Tad` to itself).
+        std::string elem;
+        for (long k = i + 2; k < after - 1; ++k)
+            if (t[k].kind == 'i')
+                elem = t[k].text;
+        if (tagShaped.find(elem) != tagShaped.end()) {
+            out.report(fd, t[i].line, "BL006",
+                       "hand-rolled tag array 'std::vector<" + elem
+                           + ">' in src/dramcache/; use the shared "
+                             "SoA TagStore (dramcache/tag_store.hh)");
+            continue;
+        }
+        if (after < n && t[after].kind == 'i'
+            && (t[after].text == "lru_"
+                || endsWith(t[after].text, "_lru_"))) {
+            out.report(fd, t[after].line, "BL006",
+                       "shadow replacement vector '" + t[after].text
+                           + "' in src/dramcache/; use TagStore's "
+                             "replacement plane");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
@@ -993,6 +1081,7 @@ runRules(const std::vector<FileData> &files, Reporter &out)
         checkNakedMutex(fd, out);
         checkNondeterminism(fd, out);
         checkHeaderHygiene(fd, out);
+        checkPrivateTagArray(fd, out);
     }
 }
 

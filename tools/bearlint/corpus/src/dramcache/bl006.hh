@@ -1,0 +1,41 @@
+#ifndef BEAR_TOOLS_BEARLINT_CORPUS_SRC_DRAMCACHE_BL006_HH
+#define BEAR_TOOLS_BEARLINT_CORPUS_SRC_DRAMCACHE_BL006_HH
+
+// BL006 golden corpus: hand-rolled tag layouts inside src/dramcache/.
+// The struct with `tag` + `valid` and no `set` member is an AoS tag
+// entry; vectors of it, and `lru_` shadow vectors, must be flagged.
+// The NTC-style entry carries its own set index and stays legal.
+
+#include <cstdint>
+#include <vector>
+
+namespace bear
+{
+
+struct Tad
+{
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+};
+
+struct NtcEntry
+{
+    std::uint64_t bank = 0;
+    std::uint64_t setIndex = 0; // named away from `set` on purpose...
+    std::uint64_t set = 0;      // ...and the real thing, which exempts
+    std::uint64_t tag = 0;
+    bool valid = false;
+};
+
+class PrivateLayout
+{
+  private:
+    std::vector<Tad> tads_;          // BAD: AoS tag plane
+    std::vector<NtcEntry> entries_;  // ok: set-indexed victim buffer
+    std::vector<std::uint64_t> lru_; // BAD: shadow replacement vector
+};
+
+} // namespace bear
+
+#endif // BEAR_TOOLS_BEARLINT_CORPUS_SRC_DRAMCACHE_BL006_HH

@@ -24,6 +24,9 @@
 #   8. strict thread-safety build: clang with -Wthread-safety
 #      -Werror=thread-safety-analysis over the whole tree (skipped
 #      with a notice when clang++ is absent)
+#   9. benchmarks (DESIGN.md §14): Release build, run the micro and
+#      fig12 harnesses, refresh BENCH_micro.json / BENCH_fig12.json
+#      at the repo root and fail on malformed or empty output
 #
 #   tools/ci.sh [jobs]
 set -euo pipefail
@@ -31,12 +34,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs="${1:-$(nproc)}"
 
-echo "=== [1/8] tier-1 build + tests"
+echo "=== [1/9] tier-1 build + tests"
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
-echo "=== [2/8] observability smoke (trace_stats + traced run)"
+echo "=== [2/9] observability smoke (trace_stats + traced run)"
 build/tools/trace_stats --selftest
 report="$(mktemp)"
 workdir="$(mktemp -d)"
@@ -45,7 +48,7 @@ BEAR_JSON="${report}" BEAR_TRACE=1024 BEAR_WARMUP=10000 \
     BEAR_MEASURE=5000 build/examples/latency_profile mcf BEAR >/dev/null
 build/tools/trace_stats "${report}" >/dev/null
 
-echo "=== [3/8] trace round-trip smoke (record, dump, replay, diff)"
+echo "=== [3/9] trace round-trip smoke (record, dump, replay, diff)"
 trace="${workdir}/mcf.beartrace"
 BEAR_WARMUP=10000 BEAR_MEASURE=5000 \
     build/tools/trace_record mcf "${trace}" >/dev/null
@@ -58,12 +61,12 @@ BEAR_JSON="${workdir}/replay.jsonl" BEAR_WARMUP=10000 \
 # The replayed report must be byte-identical to the live one.
 diff "${workdir}/live.jsonl" "${workdir}/replay.jsonl"
 
-echo "=== [4/8] ASan+UBSan build + tests"
+echo "=== [4/9] ASan+UBSan build + tests"
 cmake -B build-san -S . -DBEAR_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j "${jobs}"
 ctest --test-dir build-san --output-on-failure -j "${jobs}"
 
-echo "=== [5/8] chaos smoke (faulted sweep -> partial -> resume)"
+echo "=== [5/9] chaos smoke (faulted sweep -> partial -> resume)"
 chaos_env=(BEAR_WARMUP=10000 BEAR_MEASURE=5000)
 journal="${workdir}/chaos.journal"
 
@@ -94,7 +97,7 @@ env "${chaos_env[@]}" BEAR_JOURNAL="${journal}" \
     build-san/tools/chaos_sweep >/dev/null
 diff "${workdir}/chaos-clean.jsonl" "${workdir}/chaos-final.jsonl"
 
-echo "=== [6/8] ThreadSanitizer (threaded sweep + chaos contract)"
+echo "=== [6/9] ThreadSanitizer (threaded sweep + chaos contract)"
 cmake -B build-tsan -S . -DBEAR_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${jobs}"
 # Drive the worker pool with real contention: every design of the
@@ -120,10 +123,10 @@ BEAR_WORKERS=4 BEAR_WARMUP=2000 BEAR_MEASURE=1000 \
     BEAR_JSON="${workdir}/tsan-chaos-final.jsonl" \
     build-tsan/tools/chaos_sweep >/dev/null
 
-echo "=== [7/8] static analysis (bearlint + clang-tidy)"
+echo "=== [7/9] static analysis (bearlint + clang-tidy)"
 tools/lint.sh build
 
-echo "=== [8/8] strict thread-safety build (clang)"
+echo "=== [8/9] strict thread-safety build (clang)"
 if command -v clang++ >/dev/null 2>&1; then
     cmake -B build-strict -S . -DCMAKE_CXX_COMPILER=clang++ \
         -DBEAR_STRICT_WARNINGS=ON >/dev/null
@@ -132,5 +135,34 @@ else
     echo "clang++ not found; skipping the -Werror=thread-safety" \
          "-analysis build" >&2
 fi
+
+echo "=== [9/9] benchmark snapshots (Release micro + fig12)"
+cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-rel -j "${jobs}"
+# Each harness self-validates (re-parses its own JSON before exit 0);
+# the checks below additionally pin the schema tags and non-emptiness
+# so a truncated file can never be mistaken for a snapshot.
+build-rel/bench/micro_structures --benchmark_min_time=0.2 \
+    > "${workdir}/micro.log"
+build-rel/bench/perf_baseline > "${workdir}/fig12.log"
+for f in BENCH_micro.json BENCH_fig12.json; do
+    [[ -s "${f}" ]] || { echo "bench: ${f} missing or empty" >&2; exit 1; }
+done
+grep -q '"schema":"bear-bench-micro-v1"' BENCH_micro.json || {
+    echo "bench: BENCH_micro.json lacks its schema tag" >&2
+    exit 1
+}
+grep -q '"schema":"bear-bench-fig12-v1"' BENCH_fig12.json || {
+    echo "bench: BENCH_fig12.json lacks its schema tag" >&2
+    exit 1
+}
+grep -q 'BM_TagStoreProbe' BENCH_micro.json || {
+    echo "bench: BENCH_micro.json is missing the TagStore benches" >&2
+    exit 1
+}
+grep -q '"refsPerSec"' BENCH_fig12.json || {
+    echo "bench: BENCH_fig12.json carries no refs/sec" >&2
+    exit 1
+}
 
 echo "=== CI OK"
