@@ -157,6 +157,57 @@ BM_DramChannelRead(benchmark::State &state)
 }
 BENCHMARK(BM_DramChannelRead);
 
+/**
+ * Posted-write churn with reads interleaved to trigger batch drains:
+ * the write path exercises the arrival-sorted ring post (out-of-order
+ * by up to ~7 slots), the cursor-cached arrived count, and the O(1)
+ * head pop of drainWrites.
+ */
+void
+BM_DramChannelWriteDrain(benchmark::State &state)
+{
+    DramChannel ch(DramTiming{}, makeCacheGeometry(), {});
+    Rng rng(11);
+    Cycle t = 0;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        t += 13;
+        // Adversarial out-of-order arrivals: the post time jumps ahead
+        // of the channel clock by a random jitter, so sorted insertion
+        // happens mid-ring, not just at the tail.
+        ch.write(t + rng.below(96),
+                 static_cast<std::uint32_t>(rng.below(16)),
+                 rng.below(1 << 14), kLineSize);
+        if ((++i & 7) == 0) {
+            benchmark::DoNotOptimize(
+                ch.read(t, static_cast<std::uint32_t>(rng.below(16)),
+                        rng.below(1 << 14), kLineSize));
+        }
+    }
+}
+BENCHMARK(BM_DramChannelWriteDrain);
+
+/**
+ * Gap-filling bus reservation under an adversarial arrival pattern:
+ * earliest repeatedly jumps back by up to kSkewWindow/4, forcing the
+ * hint-resumed gap search to walk instead of staying pinned at the
+ * tail (the circular window's worst case).
+ */
+void
+BM_BusTimelineReserve(benchmark::State &state)
+{
+    BusTimeline bus;
+    Rng rng(10);
+    Cycle t = 0;
+    for (auto _ : state) {
+        t += 9;
+        const Cycle skew = rng.below(BusTimeline::kSkewWindow / 4);
+        benchmark::DoNotOptimize(
+            bus.reserve(t > skew ? t - skew : 0, 5));
+    }
+}
+BENCHMARK(BM_BusTimelineReserve);
+
 void
 BM_AlloyCacheRead(benchmark::State &state)
 {

@@ -217,8 +217,7 @@ AlloyCache::serviceRead(Cycle at, LineAddr line, Pc pc, CoreId core)
         mapi_->update(core, pc, actual_hit);
 
     if (actual_hit) {
-        bloat_.note(BloatCategory::HitProbe, kTadTransfer);
-        bloat_.noteUseful();
+        bloat_.noteHit(kTadTransfer);
         outcome.source = ServiceSource::L4Hit;
         outcome.presentAfter = true;
         outcome.dataReady = probe.dataReady;

@@ -60,6 +60,20 @@ class BloatTracker
     /** A demand line was delivered to the processor from the cache. */
     void noteUseful() { useful_bytes_ += kLineSize; }
 
+    /**
+     * A demand hit moved @p volume on the DRAM-cache bus: attribute it
+     * to HitProbe and credit the 64 B useful line in one branch-free
+     * update (the fused form of note(HitProbe, v) + noteUseful(),
+     * which every design's hit path used to issue as two calls).
+     */
+    void
+    noteHit(Bytes volume)
+    {
+        bytes_[static_cast<std::size_t>(BloatCategory::HitProbe)] +=
+            volume;
+        useful_bytes_ += kLineSize;
+    }
+
     Bytes
     bytes(BloatCategory category) const
     {

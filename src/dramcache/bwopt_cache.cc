@@ -25,8 +25,7 @@ BwOptCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
         // The single physical operation: move the demand line.
         const DramResult res =
             dram_.read(at, layout_.coordOf(set), kLineSize);
-        bloat_.note(BloatCategory::HitProbe, kLineSize);
-        bloat_.noteUseful();
+        bloat_.noteHit(kLineSize);
         outcome.source = ServiceSource::L4Hit;
         outcome.presentAfter = true;
         outcome.dataReady = res.dataReady;

@@ -72,8 +72,7 @@ LohHillCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
         const DramResult tag_read = dram_.read(dispatch, coord, kTagBytes);
         const DramResult data_read =
             dram_.read(tag_read.dataReady, coord, kLineSize);
-        bloat_.note(BloatCategory::HitProbe, kTagBytes + kLineSize);
-        bloat_.noteUseful();
+        bloat_.noteHit(kTagBytes + kLineSize);
         // LRU promotion rewrites one tag line (paper footnote 3).
         dram_.write(data_read.dataReady, coord, kLineSize);
         bloat_.note(BloatCategory::HitProbe, kLineSize);

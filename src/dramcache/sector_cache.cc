@@ -90,8 +90,7 @@ SectorCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
         && ((tags_.meta(set, way, kBlockValidPlane) >> block) & 1)) {
         const DramResult res =
             dram_.read(at, coordOf(set, way, block), kLineSize);
-        bloat_.note(BloatCategory::HitProbe, kLineSize);
-        bloat_.noteUseful();
+        bloat_.noteHit(kLineSize);
         tags_.touch(set, way);
         outcome.source = ServiceSource::L4Hit;
         outcome.presentAfter = true;

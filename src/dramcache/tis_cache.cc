@@ -43,8 +43,7 @@ TisCache::serviceRead(Cycle at, LineAddr line, Pc, CoreId)
         // Tags are on chip: the DRAM access moves only the data line.
         const DramResult res =
             dram_.read(at, coordOf(set, probe.way), kLineSize);
-        bloat_.note(BloatCategory::HitProbe, kLineSize);
-        bloat_.noteUseful();
+        bloat_.noteHit(kLineSize);
         tags_.touch(set, probe.way);
         outcome.source = ServiceSource::L4Hit;
         outcome.presentAfter = true;

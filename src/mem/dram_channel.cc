@@ -1,41 +1,106 @@
 #include "mem/dram_channel.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/log.hh"
 
 namespace bear
 {
 
+namespace
+{
+
+/** Initial BusTimeline ring capacity (grows by doubling, rarely). */
+constexpr std::uint64_t kTimelineInitialCapacity = 256;
+
+/**
+ * Absolute head/tail indices start here so that head-side slot
+ * shifting (which decrements head_) can never wrap below zero, and
+ * ordered index comparisons stay valid for any realistic run length.
+ */
+constexpr std::uint64_t kTimelineIndexBias = 1ULL << 63;
+
+} // namespace
+
+BusTimeline::BusTimeline()
+    : ring_(kTimelineInitialCapacity), mask_(kTimelineInitialCapacity - 1),
+      head_(kTimelineIndexBias), tail_(kTimelineIndexBias),
+      hint_(kTimelineIndexBias)
+{
+}
+
+void
+BusTimeline::grow()
+{
+    std::vector<Interval> bigger(ring_.size() * 2);
+    const std::uint64_t new_mask = bigger.size() - 1;
+    for (std::uint64_t i = head_; i != tail_; ++i)
+        bigger[i & new_mask] = at(i);
+    ring_.swap(bigger);
+    mask_ = new_mask;
+}
+
+std::uint64_t
+BusTimeline::openSlot(std::uint64_t pos)
+{
+    if (pos - head_ < tail_ - pos) {
+        // Head side is shorter: shift it left; the slot opens at
+        // pos - 1 and every index >= pos keeps its interval.
+        for (std::uint64_t i = head_; i < pos; ++i)
+            at(i - 1) = at(i);
+        --head_;
+        return pos - 1;
+    }
+    for (std::uint64_t i = tail_; i > pos; --i)
+        at(i) = at(i - 1);
+    ++tail_;
+    return pos;
+}
+
+void
+BusTimeline::removeSlot(std::uint64_t pos)
+{
+    if (pos - head_ < tail_ - pos - 1) {
+        for (std::uint64_t i = pos; i > head_; --i)
+            at(i) = at(i - 1);
+        ++head_;
+    } else {
+        for (std::uint64_t i = pos + 1; i < tail_; ++i)
+            at(i - 1) = at(i);
+        --tail_;
+    }
+}
+
 Cycle
 BusTimeline::reserve(Cycle earliest, Cycle duration)
 {
-    // Slide the pruning watermark forward and drop intervals that no
-    // future arrival can interact with.
+    // Slide the pruning watermark forward and advance the head index
+    // past intervals no future arrival can interact with — a circular
+    // pop, not the front-erase memmove of a flat vector.
     if (earliest > watermark_)
         watermark_ = earliest;
     const Cycle horizon =
         watermark_ > kSkewWindow ? watermark_ - kSkewWindow : 0;
-    std::size_t dead = 0;
-    while (dead < busy_.size() && busy_[dead].end < horizon)
-        ++dead;
-    if (dead > 0)
-        busy_.erase(busy_.begin(), busy_.begin() + dead);
+    while (head_ != tail_ && at(head_).end < horizon)
+        ++head_;
 
-    // First-fit gap search, starting at the first interval that can
-    // interact with `earliest` (binary search on the sorted starts).
+    // First-fit gap search.  The boundary (first interval whose end
+    // lies past `earliest`) is found by resuming from the cached hint:
+    // arrivals are near-monotonic, so it sits within a step or two of
+    // where the previous reservation landed, instead of a cold binary
+    // search over the whole window.
+    std::uint64_t pos = std::clamp(hint_, head_, tail_);
+    while (pos > head_ && at(pos - 1).end > earliest)
+        --pos;
+    while (pos < tail_ && at(pos).end <= earliest)
+        ++pos;
     Cycle candidate = earliest;
-    std::size_t pos = std::lower_bound(
-                          busy_.begin(), busy_.end(), earliest,
-                          [](const Interval &iv, Cycle t) {
-                              return iv.end <= t;
-                          })
-        - busy_.begin();
-    for (; pos < busy_.size(); ++pos) {
-        if (candidate + duration <= busy_[pos].start)
+    for (; pos < tail_; ++pos) {
+        if (candidate + duration <= at(pos).start)
             break;
-        if (busy_[pos].end > candidate)
-            candidate = busy_[pos].end;
+        if (at(pos).end > candidate)
+            candidate = at(pos).end;
     }
 
     // Insert [candidate, candidate+duration).  Neighbouring gaps too
@@ -43,18 +108,24 @@ BusTimeline::reserve(Cycle earliest, Cycle duration)
     // timeline stays compact (they could never be reserved anyway).
     const Cycle end = candidate + duration;
     const bool touch_prev =
-        pos > 0 && candidate <= busy_[pos - 1].end + kUselessGap;
+        pos > head_ && candidate <= at(pos - 1).end + kUselessGap;
     const bool touch_next =
-        pos < busy_.size() && busy_[pos].start <= end + kUselessGap;
+        pos < tail_ && at(pos).start <= end + kUselessGap;
     if (touch_prev && touch_next) {
-        busy_[pos - 1].end = busy_[pos].end;
-        busy_.erase(busy_.begin() + pos);
+        at(pos - 1).end = at(pos).end;
+        removeSlot(pos);
+        hint_ = pos - 1;
     } else if (touch_prev) {
-        busy_[pos - 1].end = end;
+        at(pos - 1).end = end;
+        hint_ = pos - 1;
     } else if (touch_next) {
-        busy_[pos].start = candidate;
+        at(pos).start = candidate;
+        hint_ = pos;
     } else {
-        busy_.insert(busy_.begin() + pos, Interval{candidate, end});
+        if (tail_ - head_ == ring_.size())
+            grow();
+        hint_ = openSlot(pos);
+        at(hint_) = Interval{candidate, end};
     }
     return candidate;
 }
@@ -68,7 +139,15 @@ DramChannel::DramChannel(const DramTiming &timing,
 {
     bear_assert(geometry.banksPerChannel > 0, "channel needs banks");
     bear_assert(geometry.busBeatWidth > BeatWidth{0}, "bus must move data");
-    write_queue_.reserve(wq.drainHigh + 1);
+    // True worst case for the ring: the overflow backstop in write()
+    // fires once occupancy reaches 4 * drainHigh, and a drain target
+    // of drainLow entries must remain representable; the next power of
+    // two covers every reachable occupancy, so the ring is fixed for
+    // the channel's lifetime (write() asserts it never overflows).
+    const std::uint64_t cap = std::bit_ceil(std::max<std::uint64_t>(
+        {4ULL * wq.drainHigh, wq.drainLow + 1ULL, 8ULL}));
+    write_ring_.resize(cap);
+    wq_mask_ = cap - 1;
 }
 
 Cycle
@@ -132,10 +211,9 @@ DramChannel::service(Cycle at, std::uint32_t bank_idx, std::uint64_t row,
     if (account_bytes)
         bytes_transferred_ += volume;
     bus_busy_cycles_ += burst;
-    if (row_hit) {
-        ++row_hits_;
-        ++counters.rowHits;
-    }
+    // Branch-free hit accounting: row_hit contributes 0 or 1.
+    row_hits_ += static_cast<std::uint64_t>(row_hit);
+    counters.rowHits += static_cast<std::uint64_t>(row_hit);
     counters.busyCycles += Cycles{bank.ready - start};
     activity_start_ = std::min(activity_start_, at);
     activity_end_ = std::max(activity_end_, data_end);
@@ -164,8 +242,9 @@ DramChannel::read(Cycle at, std::uint32_t bank, std::uint64_t row,
     ++reads_;
     ++bank_stats_[bank].reads;
     const DramResult result = service(at, bank, row, volume);
-    read_queue_delay_.sample(static_cast<double>(result.queueDelay));
-    read_latency_.sample(static_cast<double>(result.dataReady - at));
+    // One sample path: the histograms carry the exact sum and count,
+    // so their mean() IS the legacy scalar average — the old parallel
+    // Average members were pure double bookkeeping.
     queue_delay_hist_.sample(Cycles{result.queueDelay});
     read_latency_hist_.sample(Cycles{result.dataReady - at});
     return result;
@@ -174,14 +253,16 @@ DramChannel::read(Cycle at, std::uint32_t bank, std::uint64_t row,
 std::uint32_t
 DramChannel::arrivedWrites(Cycle at) const
 {
-    // The queue is sorted by arrival time.
-    std::uint32_t n = 0;
-    for (const auto &w : write_queue_) {
-        if (w.arrival > at)
-            break;
-        ++n;
-    }
-    return n;
+    // The ring is arrival-sorted; resume the boundary scan from the
+    // cached cursor.  Query times are near-monotonic, so the walk is
+    // amortised O(1) instead of a front-to-back rescan per call.
+    std::uint64_t cur = std::clamp(wq_arrived_hint_, wq_head_, wq_tail_);
+    while (cur < wq_tail_ && wqAt(cur).arrival <= at)
+        ++cur;
+    while (cur > wq_head_ && wqAt(cur - 1).arrival > at)
+        --cur;
+    wq_arrived_hint_ = cur;
+    return static_cast<std::uint32_t>(cur - wq_head_);
 }
 
 void
@@ -195,28 +276,35 @@ DramChannel::write(Cycle at, std::uint32_t bank, std::uint64_t row,
     // byte counters line up with the bloat tracker's post-time view
     // (the data burst itself happens at drain time).
     bytes_transferred_ += volume;
-    // Keep the queue sorted by arrival (writes are posted nearly in
-    // order; the insertion scan is short).
-    PendingWrite w{at, bank, row, volume};
-    auto it = write_queue_.end();
-    while (it != write_queue_.begin() && (it - 1)->arrival > at)
-        --it;
-    write_queue_.insert(it, w);
-    write_queue_depth_hist_.sample(Count{write_queue_.size()});
+    // Keep the ring sorted by arrival: writes are posted nearly in
+    // order, so the insertion point is at most a few slots from the
+    // tail (equal arrivals stay FIFO).  O(1) amortised; the ring is
+    // sized to the backstop's worst case and must never overflow.
+    bear_assert(wq_tail_ - wq_head_ < write_ring_.size(),
+                "write ring overflow (capacity ", write_ring_.size(), ")");
+    std::uint64_t pos = wq_tail_;
+    while (pos > wq_head_ && wqAt(pos - 1).arrival > at) {
+        wqAt(pos) = wqAt(pos - 1);
+        --pos;
+    }
+    wqAt(pos) = PendingWrite{at, bank, row, volume};
+    ++wq_tail_;
+    write_queue_depth_hist_.sample(Count{wq_tail_ - wq_head_});
 
     // Backstop: never let the physical queue structure overflow even
     // if no read arrives to trigger a drain.
-    if (write_queue_.size() >= 4 * wq_policy_.drainHigh)
-        drainWrites(write_queue_.back().arrival, wq_policy_.drainLow);
+    if (wq_tail_ - wq_head_ >= 4 * wq_policy_.drainHigh)
+        drainWrites(wqAt(wq_tail_ - 1).arrival, wq_policy_.drainLow);
 }
 
 void
 DramChannel::drainWrites(Cycle at, std::uint32_t target)
 {
     // Drain arrived writes, oldest first, down to the target level.
+    // Pop is a head-index bump; the arrived count is cursor-cached.
     while (arrivedWrites(at) > target) {
-        const PendingWrite w = write_queue_.front();
-        write_queue_.erase(write_queue_.begin());
+        const PendingWrite w = wqAt(wq_head_);
+        ++wq_head_;
         service(std::max(at, w.arrival), w.bank, w.row, w.volume,
                 /*account_bytes=*/false);
     }
@@ -226,8 +314,6 @@ void
 DramChannel::resetStats()
 {
     bytes_transferred_ = Bytes{0};
-    read_queue_delay_.reset();
-    read_latency_.reset();
     reads_ = 0;
     writes_ = 0;
     row_hits_ = 0;

@@ -15,6 +15,12 @@
  * per-channel write queue and drained in batches once the queue
  * reaches a high-water mark, so reads are prioritised until a drain
  * forces them to wait behind the write burst.
+ *
+ * Both per-access structures are amortised O(1) (DESIGN.md §15): the
+ * write queue is a fixed-capacity power-of-two ring kept arrival-
+ * sorted with a cursor-cached arrived count, and the bus timeline is a
+ * circular-index interval window whose gap search resumes from the
+ * previous reservation instead of a cold binary search.
  */
 
 #ifndef BEAR_MEM_DRAM_CHANNEL_HH
@@ -68,15 +74,32 @@ struct DramResult
  * a sliding window and lets a request claim the first gap after its
  * ready time — which is exactly what an out-of-order memory controller
  * does with its command queue.
+ *
+ * Storage is a circular-index window over a power-of-two ring:
+ * watermark pruning advances the head index (no front-erase memmove),
+ * and the gap search resumes from the cached position of the previous
+ * reservation, walking at most the out-of-order skew instead of
+ * re-binary-searching from cold.  Middle insert/remove (rare: only
+ * when a reservation lands strictly between coalesced neighbours)
+ * shifts whichever side of the window is shorter.
  */
 class BusTimeline
 {
   public:
+    /** Arrivals are never more than this far out of order. */
+    static constexpr Cycle kSkewWindow = 1 << 14;
+
+    /** Gaps shorter than the shortest burst can never be used; they
+     *  are absorbed into neighbouring intervals on insert. */
+    static constexpr Cycle kUselessGap = 3;
+
+    BusTimeline();
+
     /** Reserve @p duration cycles no earlier than @p earliest;
      *  returns the scheduled start. */
     Cycle reserve(Cycle earliest, Cycle duration);
 
-    std::size_t intervals() const { return busy_.size(); }
+    std::size_t intervals() const { return tail_ - head_; }
 
   private:
     struct Interval
@@ -85,14 +108,25 @@ class BusTimeline
         Cycle end;
     };
 
-    /** Arrivals are never more than this far out of order. */
-    static constexpr Cycle kSkewWindow = 1 << 14;
+    Interval &at(std::uint64_t i) { return ring_[i & mask_]; }
+    const Interval &at(std::uint64_t i) const { return ring_[i & mask_]; }
 
-    /** Gaps shorter than the shortest burst can never be used; they
-     *  are absorbed into neighbouring intervals on insert. */
-    static constexpr Cycle kUselessGap = 3;
+    /** Double the ring, preserving absolute indices. */
+    void grow();
 
-    std::vector<Interval> busy_; ///< sorted, disjoint, coalesced
+    /** Open a slot at logical position @p pos (shifts the shorter
+     *  side); returns the slot's absolute index after shifting. */
+    std::uint64_t openSlot(std::uint64_t pos);
+
+    /** Close the slot at logical position @p pos (shifts the shorter
+     *  side). */
+    void removeSlot(std::uint64_t pos);
+
+    std::vector<Interval> ring_; ///< power-of-two circular storage
+    std::uint64_t mask_ = 0;
+    std::uint64_t head_ = 0; ///< absolute index of the oldest interval
+    std::uint64_t tail_ = 0; ///< absolute index one past the newest
+    std::uint64_t hint_ = 0; ///< gap-search resume point (absolute)
     Cycle watermark_ = 0;
 };
 
@@ -121,27 +155,33 @@ class DramChannel
     /** Drain arrived writes down to @p target entries, starting at @p at. */
     void drainWrites(Cycle at, std::uint32_t target);
 
-    /** Writes whose arrival time is <= @p at (queue is arrival-sorted). */
+    /** Writes whose arrival time is <= @p at (queue is arrival-sorted).
+     *  Amortised O(1): the count is resumed from a cached cursor that
+     *  tracks the near-monotonic query times. */
     std::uint32_t arrivedWrites(Cycle at) const;
 
     /** Force-drain everything, future-stamped writes included. */
     void
     drainAll(Cycle at)
     {
-        const Cycle horizon = write_queue_.empty()
+        const Cycle horizon = wq_head_ == wq_tail_
             ? at
-            : std::max(at, write_queue_.back().arrival);
+            : std::max(at, wqAt(wq_tail_ - 1).arrival);
         drainWrites(horizon, 0);
     }
 
     Bytes bytesTransferred() const { return bytes_transferred_; }
-    double avgReadQueueDelay() const { return read_queue_delay_.mean(); }
-    double avgReadLatency() const { return read_latency_.mean(); }
+    double avgReadQueueDelay() const { return queue_delay_hist_.mean(); }
+    double avgReadLatency() const { return read_latency_hist_.mean(); }
     std::uint64_t readCount() const { return reads_; }
     std::uint64_t writeCount() const { return writes_; }
     std::uint64_t rowHitCount() const { return row_hits_; }
     std::uint64_t busBusyCycles() const { return bus_busy_cycles_; }
-    std::size_t writeQueueDepth() const { return write_queue_.size(); }
+    std::size_t writeQueueDepth() const { return wq_tail_ - wq_head_; }
+
+    /** Fixed write-ring capacity (power of two covering the backstop
+     *  high-water mark; the ring never reallocates mid-run). */
+    std::size_t writeQueueCapacity() const { return write_ring_.size(); }
 
     /** Per-bank activity since the last resetStats(). */
     const BankCounters &
@@ -150,7 +190,9 @@ class DramChannel
         return bank_stats_[bank];
     }
 
-    /** Read service-latency distribution (arrival to last data beat). */
+    /** Read service-latency distribution (arrival to last data beat).
+     *  Also the source of avgReadLatency(): the histogram's exact mean
+     *  replaces the legacy double-sampled scalar Average. */
     const obs::LatencyHistogram &
     readLatencyHistogram() const
     {
@@ -209,6 +251,13 @@ class DramChannel
         Bytes volume;
     };
 
+    PendingWrite &wqAt(std::uint64_t i) { return write_ring_[i & wq_mask_]; }
+    const PendingWrite &
+    wqAt(std::uint64_t i) const
+    {
+        return write_ring_[i & wq_mask_];
+    }
+
     /** Shared service path for reads and drained writes; drained
      *  writes were byte-accounted at post time. */
     DramResult service(Cycle at, std::uint32_t bank_idx, std::uint64_t row,
@@ -223,11 +272,24 @@ class DramChannel
 
     std::vector<Bank> banks_;
     BusTimeline bus_;
-    std::vector<PendingWrite> write_queue_;
+
+    /**
+     * Arrival-sorted write queue as a fixed-capacity power-of-two ring.
+     * Posting shifts at most the out-of-order tail (writes arrive
+     * nearly in order), popping advances the head, and the arrived
+     * count below is cursor-cached — all amortised O(1).  The capacity
+     * covers the 4 * drainHigh overflow backstop exactly, so the ring
+     * is asserted never to grow (DESIGN.md §15).
+     */
+    std::vector<PendingWrite> write_ring_;
+    std::uint64_t wq_mask_ = 0;
+    std::uint64_t wq_head_ = 0; ///< absolute index of the oldest write
+    std::uint64_t wq_tail_ = 0; ///< absolute index one past the newest
+    /** Cursor of the first not-yet-arrived entry from the last
+     *  arrivedWrites() query (absolute index; re-clamped per query). */
+    mutable std::uint64_t wq_arrived_hint_ = 0;
 
     Bytes bytes_transferred_{0};
-    Average read_queue_delay_;
-    Average read_latency_;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
     std::uint64_t row_hits_ = 0;

@@ -95,7 +95,7 @@ System::System(const SystemConfig &config,
 System::~System() = default;
 
 void
-System::flushWritebacks(Cycle now)
+System::drainDueWritebacks(Cycle now)
 {
     while (!wb_queue_.empty() && wb_queue_.front().issuedAt <= now) {
         const WritebackRequest wb = wb_queue_.front();
@@ -104,6 +104,8 @@ System::flushWritebacks(Cycle now)
         wb_queue_.pop_back();
         dram_cache_->writeback(wb);
     }
+    wb_next_due_ =
+        wb_queue_.empty() ? ~Cycle{0} : wb_queue_.front().issuedAt;
 }
 
 void
@@ -142,6 +144,7 @@ System::step(CoreId core_id)
         wb_queue_.push_back(*wb);
         std::push_heap(wb_queue_.begin(), wb_queue_.end(),
                        IssuedLater{});
+        wb_next_due_ = std::min(wb_next_due_, wb->issuedAt);
     }
 
     core.completeMiss(read.dataReady, ref.dependent);

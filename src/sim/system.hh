@@ -163,8 +163,24 @@ class System
     /** Process one reference of @p core. */
     void step(CoreId core);
 
-    /** Issue deferred writebacks whose time has come (<= @p now). */
-    void flushWritebacks(Cycle now);
+    /**
+     * Issue deferred writebacks whose time has come (<= @p now).
+     * Called once per simulated reference, so the common nothing-due
+     * case is a single compare against the cached min-issuedAt
+     * watermark — the heap itself is only touched when a writeback is
+     * actually due (DESIGN.md §15).
+     */
+    void
+    flushWritebacks(Cycle now)
+    {
+        if (now < wb_next_due_)
+            return;
+        drainDueWritebacks(now);
+    }
+
+    /** Slow path of flushWritebacks: pop and issue every due entry,
+     *  then refresh the watermark from the new heap top. */
+    void drainDueWritebacks(Cycle now);
 
     /**
      * Dirty L3 evictions waiting for their logical issue time
@@ -185,6 +201,10 @@ class System
     };
 
     std::vector<WritebackRequest> wb_queue_; ///< min-heap by issuedAt
+
+    /** Smallest issuedAt in wb_queue_ (~0 when empty): the per-ref
+     *  drain check never touches the heap until something is due. */
+    Cycle wb_next_due_ = ~Cycle{0};
 
     SystemConfig config_;
     std::vector<std::unique_ptr<RefStream>> streams_;

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "common/rng.hh"
 #include "mem/dram_channel.hh"
 
 using namespace bear;
@@ -14,6 +19,77 @@ makeChannel()
 {
     return DramChannel(DramTiming{}, makeCacheGeometry(), {});
 }
+
+/**
+ * Naive reference for the gap-filling bus timeline: the original flat
+ * sorted-vector implementation (front-erase pruning, cold binary
+ * search, middle insert).  The optimized circular-index BusTimeline
+ * must schedule every reservation identically — that equivalence is
+ * what lets the O(1) port keep the replay byte-identity contract.
+ */
+class NaiveTimeline
+{
+  public:
+    Cycle
+    reserve(Cycle earliest, Cycle duration)
+    {
+        if (earliest > watermark_)
+            watermark_ = earliest;
+        const Cycle horizon = watermark_ > BusTimeline::kSkewWindow
+            ? watermark_ - BusTimeline::kSkewWindow
+            : 0;
+        std::size_t dead = 0;
+        while (dead < busy_.size() && busy_[dead].end < horizon)
+            ++dead;
+        if (dead > 0)
+            busy_.erase(busy_.begin(),
+                        busy_.begin() + static_cast<long>(dead));
+
+        Cycle candidate = earliest;
+        std::size_t pos = static_cast<std::size_t>(
+            std::lower_bound(busy_.begin(), busy_.end(), earliest,
+                             [](const Interval &iv, Cycle t) {
+                                 return iv.end <= t;
+                             })
+            - busy_.begin());
+        for (; pos < busy_.size(); ++pos) {
+            if (candidate + duration <= busy_[pos].start)
+                break;
+            if (busy_[pos].end > candidate)
+                candidate = busy_[pos].end;
+        }
+
+        const Cycle end = candidate + duration;
+        const bool touch_prev = pos > 0
+            && candidate <= busy_[pos - 1].end + BusTimeline::kUselessGap;
+        const bool touch_next = pos < busy_.size()
+            && busy_[pos].start <= end + BusTimeline::kUselessGap;
+        if (touch_prev && touch_next) {
+            busy_[pos - 1].end = busy_[pos].end;
+            busy_.erase(busy_.begin() + static_cast<long>(pos));
+        } else if (touch_prev) {
+            busy_[pos - 1].end = end;
+        } else if (touch_next) {
+            busy_[pos].start = candidate;
+        } else {
+            busy_.insert(busy_.begin() + static_cast<long>(pos),
+                         Interval{candidate, end});
+        }
+        return candidate;
+    }
+
+    std::size_t intervals() const { return busy_.size(); }
+
+  private:
+    struct Interval
+    {
+        Cycle start;
+        Cycle end;
+    };
+
+    std::vector<Interval> busy_;
+    Cycle watermark_ = 0;
+};
 
 } // namespace
 
@@ -49,6 +125,112 @@ TEST(BusTimeline, CoalescingKeepsTimelineCompact)
     for (int i = 0; i < 1000; ++i)
         bus.reserve(0, 5);
     EXPECT_LE(bus.intervals(), 4u);
+}
+
+TEST(BusTimeline, CoalescesIntoPreviousInterval)
+{
+    BusTimeline bus;
+    bus.reserve(100, 5); // [100,105)
+    // A gap of exactly kUselessGap after the previous interval is too
+    // small for any burst and gets absorbed into one merged interval.
+    EXPECT_EQ(bus.reserve(105 + BusTimeline::kUselessGap, 5),
+              105 + BusTimeline::kUselessGap);
+    EXPECT_EQ(bus.intervals(), 1u);
+}
+
+TEST(BusTimeline, CoalescesIntoNextInterval)
+{
+    BusTimeline bus;
+    bus.reserve(100, 5); // [100,105)
+    // An earlier reservation ending exactly kUselessGap before the
+    // existing interval's start is glued onto its front.
+    EXPECT_EQ(bus.reserve(100 - 5 - BusTimeline::kUselessGap, 5), 92u);
+    EXPECT_EQ(bus.intervals(), 1u);
+}
+
+TEST(BusTimeline, CoalescesBothNeighbours)
+{
+    BusTimeline bus;
+    bus.reserve(100, 5); // [100,105)
+    bus.reserve(112, 5); // [112,117)
+    EXPECT_EQ(bus.intervals(), 2u);
+    // [106,111) touches [100,105) within kUselessGap on the left and
+    // [112,117) on the right: all three merge into one interval.
+    EXPECT_EQ(bus.reserve(106, 5), 106u);
+    EXPECT_EQ(bus.intervals(), 1u);
+}
+
+TEST(BusTimeline, JustBeyondUselessGapStaysSeparate)
+{
+    BusTimeline bus;
+    bus.reserve(100, 5); // [100,105)
+    // Gap of kUselessGap + 1 survives as a (useless-for-5-but-legal)
+    // standalone interval.
+    EXPECT_EQ(bus.reserve(105 + BusTimeline::kUselessGap + 1, 5), 109u);
+    EXPECT_EQ(bus.intervals(), 2u);
+}
+
+TEST(BusTimeline, WatermarkPruningAtSkewBoundary)
+{
+    BusTimeline bus;
+    bus.reserve(0, 5); // [0,5)
+    // Watermark slides to kSkewWindow + 5: horizon = 5, and pruning
+    // drops intervals with end < horizon — [0,5) is exactly at the
+    // boundary (end == horizon) and must survive.
+    bus.reserve(BusTimeline::kSkewWindow + 5, 5);
+    EXPECT_EQ(bus.intervals(), 2u);
+    // One cycle further the horizon passes the boundary and [0,5)
+    // dies; the new reservation packs behind the live interval and
+    // coalesces with it, so a surviving [0,5) would read as 2 here.
+    EXPECT_EQ(bus.reserve(BusTimeline::kSkewWindow + 6, 5),
+              BusTimeline::kSkewWindow + 10);
+    EXPECT_EQ(bus.intervals(), 1u);
+}
+
+TEST(BusTimeline, PrunedWindowStaysReservable)
+{
+    BusTimeline bus;
+    // March far enough that the head index advances many times; the
+    // circular window must keep packing reservations back to back.
+    Cycle last = 0;
+    for (int i = 0; i < 20000; ++i)
+        last = bus.reserve(static_cast<Cycle>(i) * 40, 5);
+    EXPECT_EQ(last, 19999u * 40u);
+    EXPECT_LE(bus.intervals(),
+              static_cast<std::size_t>(BusTimeline::kSkewWindow / 40 + 2));
+}
+
+/**
+ * Differential: 10k reservations with a randomized out-of-order
+ * arrival pattern (forward marches, backward skews up to the full
+ * window, occasional far-future jumps that force watermark pruning)
+ * must schedule identically on the optimized circular timeline and
+ * the naive flat-vector reference, at every single step.
+ */
+TEST(BusTimeline, RandomizedDifferentialAgainstNaiveReference)
+{
+    BusTimeline fast;
+    NaiveTimeline naive;
+    Rng rng(0xD1FF);
+    Cycle t = 1000;
+    for (int i = 0; i < 10000; ++i) {
+        t += rng.below(12);
+        Cycle earliest = t;
+        const std::uint64_t mode = rng.below(16);
+        if (mode == 0) {
+            t += BusTimeline::kSkewWindow * 2; // watermark jump
+            earliest = t;
+        } else if (mode < 6) {
+            const Cycle skew = rng.below(BusTimeline::kSkewWindow);
+            earliest = t > skew ? t - skew : 0; // out-of-order arrival
+        }
+        const Cycle duration = 1 + rng.below(8);
+        ASSERT_EQ(fast.reserve(earliest, duration),
+                  naive.reserve(earliest, duration))
+            << "diverged at reservation " << i;
+        ASSERT_EQ(fast.intervals(), naive.intervals())
+            << "window shape diverged at reservation " << i;
+    }
 }
 
 TEST(DramChannel, ClosedBankLatency)
@@ -152,6 +334,43 @@ TEST(DramChannel, DrainAllEmptiesTheQueue)
     ch.drainAll(0);
     EXPECT_EQ(ch.writeQueueDepth(), 0u);
     EXPECT_EQ(ch.writeCount(), 10u);
+}
+
+TEST(DramChannel, OutOfOrderPostsKeepArrivedCountExact)
+{
+    DramChannel ch = makeChannel();
+    // Posts land out of order; the ring keeps them arrival-sorted.
+    ch.write(100, 0, 1, kLineSize);
+    ch.write(50, 0, 2, kLineSize);
+    ch.write(150, 0, 3, kLineSize);
+    EXPECT_EQ(ch.arrivedWrites(10), 0u);
+    EXPECT_EQ(ch.arrivedWrites(60), 1u);
+    EXPECT_EQ(ch.arrivedWrites(120), 2u);
+    EXPECT_EQ(ch.arrivedWrites(200), 3u);
+    // Query times are not required to be monotonic: the cached cursor
+    // must walk back down as correctly as it walks up.
+    EXPECT_EQ(ch.arrivedWrites(99), 1u);
+    EXPECT_EQ(ch.arrivedWrites(50), 1u);
+    EXPECT_EQ(ch.arrivedWrites(49), 0u);
+}
+
+TEST(DramChannel, WriteRingSizedForBackstopAndNeverGrows)
+{
+    WriteQueuePolicy wq;
+    DramChannel ch(DramTiming{}, makeCacheGeometry(), wq);
+    // The ring covers the backstop high-water mark (4 * drainHigh,
+    // rounded to a power of two) and is fixed for the channel's life.
+    const std::size_t cap = ch.writeQueueCapacity();
+    EXPECT_EQ(cap, std::bit_ceil<std::size_t>(4 * wq.drainHigh));
+    // Flood writes with no interleaved reads: only the occupancy
+    // backstop keeps the queue bounded.
+    for (std::uint32_t i = 0; i < 16 * wq.drainHigh; ++i) {
+        ch.write(static_cast<Cycle>(i) * 3, i % 16, 5000 + i, kLineSize);
+        ASSERT_LE(ch.writeQueueDepth(), cap);
+        ASSERT_EQ(ch.writeQueueCapacity(), cap);
+    }
+    EXPECT_EQ(ch.writeCount(), 16u * wq.drainHigh);
+    EXPECT_LT(ch.writeQueueDepth(), 4u * wq.drainHigh);
 }
 
 TEST(DramChannel, StatsResetKeepsTimingState)

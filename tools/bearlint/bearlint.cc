@@ -36,6 +36,12 @@
  *         member — the NTC's set-indexed Entry is exempt), or a
  *         shadow replacement vector named `lru_`.  All tag arrays go
  *         through the shared SoA TagStore (dramcache/tag_store.hh).
+ *   BL007 hot-path-shift      `erase(... begin ...)` or
+ *         `insert(... begin ...)` member calls inside src/mem/ or
+ *         src/dramcache/ — a front/middle container mutation that
+ *         memmoves the tail on the per-access timing path.  The O(1)
+ *         channel-model port (DESIGN.md §15) removed every such
+ *         shift; hot-path queues use circular indices instead.
  *
  * Diagnostics are machine-readable (`file:line: [BL###] message`) and
  * suppressible per line with `// bearlint-allow(BL###)` on the same
@@ -104,6 +110,9 @@ const RuleInfo kRules[] = {
     {"BL006", "private-tag-array",
      "hand-rolled tag vector / lru_ shadow vector in src/dramcache/ "
      "instead of the shared SoA TagStore (dramcache/tag_store.hh)"},
+    {"BL007", "hot-path-shift",
+     "erase/insert at begin() inside src/mem/ or src/dramcache/ "
+     "(O(n) memmove per access; use a circular index / ring buffer)"},
 };
 
 // ---------------------------------------------------------------------
@@ -979,6 +988,51 @@ checkPrivateTagArray(const FileData &fd, Reporter &out)
 }
 
 // ---------------------------------------------------------------------
+// BL007 — O(n) front/middle container shifts on the timing hot path
+// ---------------------------------------------------------------------
+
+/**
+ * The O(1) channel-model port (DESIGN.md §15) replaced every
+ * `erase(begin(), ...)` / `insert(begin() + k, ...)` memmove on the
+ * per-access path with circular head/tail indices; this rule keeps
+ * them out.  Scope is deliberately limited to the hot directories
+ * (src/mem/, src/dramcache/): shifting a small cold vector elsewhere
+ * is fine and stays legal.
+ */
+void
+checkHotPathShift(const FileData &fd, Reporter &out)
+{
+    if (fd.display.find("src/mem/") == std::string::npos
+        && fd.display.find("src/dramcache/") == std::string::npos)
+        return;
+    const auto &t = fd.toks;
+    const long n = static_cast<long>(t.size());
+    for (long i = 1; i + 1 < n; ++i) {
+        if (t[i].text != "erase" && t[i].text != "insert")
+            continue;
+        // Member-call syntax only: a free function named insert (or a
+        // declaration) is not a container mutation.
+        if (t[i - 1].text != "." && t[i - 1].text != "->")
+            continue;
+        if (t[i + 1].text != "(")
+            continue;
+        const long close = matchForward(t, i + 1);
+        if (close < 0)
+            continue;
+        bool at_begin = false;
+        for (long j = i + 2; j < close && !at_begin; ++j)
+            at_begin = t[j].text == "begin" || t[j].text == "cbegin";
+        if (at_begin) {
+            out.report(fd, t[i].line, "BL007",
+                       "'" + t[i].text
+                           + "(... begin ...)' shifts the container "
+                             "on the timing hot path; use a circular "
+                             "index / ring buffer (DESIGN.md §15)");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
@@ -1082,6 +1136,7 @@ runRules(const std::vector<FileData> &files, Reporter &out)
         checkNondeterminism(fd, out);
         checkHeaderHygiene(fd, out);
         checkPrivateTagArray(fd, out);
+        checkHotPathShift(fd, out);
     }
 }
 

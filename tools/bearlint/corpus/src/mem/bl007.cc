@@ -1,0 +1,35 @@
+// BL007 golden corpus: front/middle vector mutation in a hot-path
+// directory.  The file never compiles as part of the build; it only
+// exists for `bearlint --selftest`.
+
+#include <vector>
+
+struct Interval
+{
+    unsigned long start;
+    unsigned long end;
+};
+
+struct Queue
+{
+    std::vector<Interval> busy_;
+
+    void
+    shifts()
+    {
+        busy_.erase(busy_.begin());                               // BL007
+        busy_.erase(busy_.begin(), busy_.begin() + 4);            // BL007
+        busy_.insert(busy_.begin() + 2, Interval{1, 2});          // BL007
+        this->busy_.erase(this->busy_.cbegin());                  // BL007
+    }
+
+    void
+    legal()
+    {
+        busy_.pop_back();                // tail mutation is O(1)
+        busy_.push_back(Interval{3, 4}); // tail mutation is O(1)
+        busy_.erase(busy_.end() - 1);    // no begin token involved
+        // Suppressed: a deliberate, justified cold-path shift.
+        busy_.erase(busy_.begin()); // bearlint-allow(BL007)
+    }
+};

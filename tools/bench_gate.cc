@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Perf-regression gate over BENCH_micro.json snapshots.
+ *
+ * Compares a freshly produced microbenchmark snapshot against the
+ * committed baseline and fails when any benchmark present in BOTH
+ * documents regressed by more than the threshold (default 25% on
+ * nsPerOp).  Benchmarks that exist on only one side are reported as
+ * notes, never failures: adding a benchmark must not break CI, and a
+ * renamed one shows up as an add+drop pair for a human to judge.
+ *
+ *   bench_gate <baseline.json> <fresh.json> [--threshold PCT]
+ *   bench_gate --selftest
+ *
+ * Exit status: 0 when every shared benchmark is within the threshold,
+ * 1 on a regression, 2 on unusable input (missing file, malformed
+ * JSON, wrong schema, empty benchmark list) — so a broken snapshot
+ * can never be mistaken for a pass.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "tools/tool_args.hh"
+
+namespace
+{
+
+using bear::JsonValue;
+
+const char *const kUsage =
+    "usage: bench_gate <baseline.json> <fresh.json> [--threshold PCT]\n"
+    "       bench_gate --selftest\n"
+    "  --threshold  max allowed nsPerOp regression in percent"
+    " (default 25)\n";
+
+constexpr std::uint64_t kDefaultThresholdPct = 25;
+
+/**
+ * Extract name -> nsPerOp from one bear-bench-micro-v1 document.
+ * Returns false (with a message on stderr) for anything that is not a
+ * well-formed, non-empty snapshot.
+ */
+bool
+loadSnapshot(const std::string &label, const std::string &text,
+             std::map<std::string, double> &out)
+{
+    const auto doc = JsonValue::parse(text);
+    if (!doc) {
+        std::fprintf(stderr, "bench_gate: %s: %s\n", label.c_str(),
+                     doc.error().message().c_str());
+        return false;
+    }
+    const JsonValue *schema = doc->find("schema");
+    if (!schema || schema->asString() != "bear-bench-micro-v1") {
+        std::fprintf(stderr,
+                     "bench_gate: %s: not a bear-bench-micro-v1 "
+                     "snapshot\n",
+                     label.c_str());
+        return false;
+    }
+    const JsonValue *benches = doc->find("benchmarks");
+    if (!benches) {
+        std::fprintf(stderr, "bench_gate: %s: no \"benchmarks\" array\n",
+                     label.c_str());
+        return false;
+    }
+    for (const JsonValue &b : benches->elements()) {
+        const JsonValue *name = b.find("name");
+        const JsonValue *ns = b.find("nsPerOp");
+        if (!name || !ns) {
+            std::fprintf(stderr,
+                         "bench_gate: %s: benchmark entry without "
+                         "name/nsPerOp\n",
+                         label.c_str());
+            return false;
+        }
+        out[name->asString()] = ns->asDouble();
+    }
+    if (out.empty()) {
+        std::fprintf(stderr, "bench_gate: %s: empty benchmark list\n",
+                     label.c_str());
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Compare the shared benchmarks.  Returns 0 (all within threshold) or
+ * 1 (at least one regression); prints one verdict line per shared
+ * benchmark so the CI log shows the whole trajectory, not just the
+ * failures.
+ */
+int
+compareSnapshots(const std::map<std::string, double> &base,
+                 const std::map<std::string, double> &fresh,
+                 std::uint64_t threshold_pct)
+{
+    const double limit = 1.0 + static_cast<double>(threshold_pct) / 100.0;
+    int rc = 0;
+    std::size_t shared = 0;
+    for (const auto &[name, base_ns] : base) {
+        const auto it = fresh.find(name);
+        if (it == fresh.end()) {
+            std::printf("bench_gate: note: %s only in baseline\n",
+                        name.c_str());
+            continue;
+        }
+        ++shared;
+        const double fresh_ns = it->second;
+        // A zero/negative baseline cannot anchor a ratio; flag it as a
+        // regression so a corrupt snapshot never silently passes.
+        const bool bad_base = !(base_ns > 0.0) || !std::isfinite(base_ns);
+        const bool regressed =
+            bad_base || !std::isfinite(fresh_ns)
+            || fresh_ns > base_ns * limit;
+        const double pct = bad_base
+            ? 0.0
+            : 100.0 * (fresh_ns / base_ns - 1.0);
+        std::printf("bench_gate: %-32s %10.2f -> %10.2f ns/op "
+                    "(%+6.1f%%)%s\n",
+                    name.c_str(), base_ns, fresh_ns, pct,
+                    regressed ? "  REGRESSION" : "");
+        if (regressed)
+            rc = 1;
+    }
+    for (const auto &[name, ns] : fresh) {
+        if (base.find(name) == base.end())
+            std::printf("bench_gate: note: %s only in fresh run "
+                        "(%.2f ns/op)\n",
+                        name.c_str(), ns);
+    }
+    if (shared == 0) {
+        // Disjoint name sets gate nothing — treat as unusable input.
+        std::fprintf(stderr,
+                     "bench_gate: no benchmark appears in both "
+                     "snapshots\n");
+        return 2;
+    }
+    return rc;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_gate: cannot open %s\n%s",
+                     path.c_str(), kUsage);
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+std::string
+snapshot(std::initializer_list<std::pair<const char *, double>> rows)
+{
+    std::ostringstream ss;
+    ss << R"({"schema":"bear-bench-micro-v1","benchmarks":[)";
+    bool first = true;
+    for (const auto &[name, ns] : rows) {
+        if (!first)
+            ss << ',';
+        first = false;
+        ss << R"({"name":")" << name << R"(","nsPerOp":)" << ns << '}';
+    }
+    ss << "]}";
+    return ss.str();
+}
+
+int
+selftest()
+{
+    int failures = 0;
+    auto check = [&](bool cond, const char *what) {
+        if (!cond) {
+            std::fprintf(stderr, "selftest: FAILED: %s\n", what);
+            ++failures;
+        }
+    };
+    auto gate = [&](const std::string &base_text,
+                    const std::string &fresh_text,
+                    std::uint64_t threshold) {
+        std::map<std::string, double> base, fresh;
+        if (!loadSnapshot("base", base_text, base)
+            || !loadSnapshot("fresh", fresh_text, fresh))
+            return 2;
+        return compareSnapshots(base, fresh, threshold);
+    };
+
+    // Within threshold (24% worse on one bench, 20% better on another).
+    check(gate(snapshot({{"A", 100.0}, {"B", 50.0}}),
+               snapshot({{"A", 124.0}, {"B", 40.0}}), 25)
+              == 0,
+          "24% slower must pass a 25% gate");
+    // Past threshold on a single shared benchmark.
+    check(gate(snapshot({{"A", 100.0}, {"B", 50.0}}),
+               snapshot({{"A", 126.0}, {"B", 50.0}}), 25)
+              == 1,
+          "26% slower must fail a 25% gate");
+    // Added/removed benchmarks are notes, not failures.
+    check(gate(snapshot({{"A", 100.0}, {"Old", 10.0}}),
+               snapshot({{"A", 100.0}, {"New", 10.0}}), 25)
+              == 0,
+          "add+drop around a stable shared bench must pass");
+    // Disjoint snapshots gate nothing: unusable, not a pass.
+    check(gate(snapshot({{"A", 100.0}}), snapshot({{"B", 100.0}}), 25)
+              == 2,
+          "disjoint name sets must be rejected");
+    // A zero baseline can't anchor a ratio.
+    check(gate(snapshot({{"A", 0.0}}), snapshot({{"A", 1.0}}), 25) == 1,
+          "zero baseline must flag, never pass");
+    // Malformed / wrong-schema inputs are rejected before comparing.
+    check(gate("{not json", snapshot({{"A", 1.0}}), 25) == 2,
+          "malformed baseline must be rejected");
+    check(gate(R"({"schema":"other","benchmarks":[]})",
+               snapshot({{"A", 1.0}}), 25)
+              == 2,
+          "wrong schema tag must be rejected");
+    check(gate(R"({"schema":"bear-bench-micro-v1","benchmarks":[]})",
+               snapshot({{"A", 1.0}}), 25)
+              == 2,
+          "empty benchmark list must be rejected");
+    // Custom threshold is honoured.
+    check(gate(snapshot({{"A", 100.0}}), snapshot({{"A", 104.0}}), 5)
+              == 0,
+          "4% slower must pass a 5% gate");
+    check(gate(snapshot({{"A", 100.0}}), snapshot({{"A", 106.0}}), 5)
+              == 1,
+          "6% slower must fail a 5% gate");
+
+    if (failures == 0)
+        std::printf("bench_gate selftest: all checks passed\n");
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bear::tools::ToolArgs args(argc, argv, {"threshold"}, kUsage);
+    if (args.selftest())
+        return selftest();
+    if (args.positional().size() != 2) {
+        std::fprintf(stderr, "bench_gate: need a baseline and a fresh "
+                             "snapshot\n%s",
+                     kUsage);
+        return 2;
+    }
+    const std::uint64_t threshold =
+        args.u64Or("threshold", kDefaultThresholdPct);
+    std::string base_text, fresh_text;
+    if (!readFile(args.positional()[0], base_text)
+        || !readFile(args.positional()[1], fresh_text))
+        return 2;
+    std::map<std::string, double> base, fresh;
+    if (!loadSnapshot(args.positional()[0], base_text, base)
+        || !loadSnapshot(args.positional()[1], fresh_text, fresh))
+        return 2;
+    return compareSnapshots(base, fresh, threshold);
+}

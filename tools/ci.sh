@@ -26,7 +26,10 @@
 #      with a notice when clang++ is absent)
 #   9. benchmarks (DESIGN.md §14): Release build, run the micro and
 #      fig12 harnesses, refresh BENCH_micro.json / BENCH_fig12.json
-#      at the repo root and fail on malformed or empty output
+#      at the repo root and fail on malformed or empty output; then
+#      bench_gate compares the fresh micro snapshot against the
+#      committed baseline and fails on a >25% nsPerOp regression of
+#      any benchmark present in both
 #
 #   tools/ci.sh [jobs]
 set -euo pipefail
@@ -139,6 +142,11 @@ fi
 echo "=== [9/9] benchmark snapshots (Release micro + fig12)"
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-rel -j "${jobs}"
+# Stash the committed micro snapshot before the bench run overwrites
+# it: it is the baseline the regression gate compares against.
+if [[ -s BENCH_micro.json ]]; then
+    cp BENCH_micro.json "${workdir}/micro-baseline.json"
+fi
 # Each harness self-validates (re-parses its own JSON before exit 0);
 # the checks below additionally pin the schema tags and non-emptiness
 # so a truncated file can never be mistaken for a snapshot.
@@ -164,5 +172,15 @@ grep -q '"refsPerSec"' BENCH_fig12.json || {
     echo "bench: BENCH_fig12.json carries no refs/sec" >&2
     exit 1
 }
+# Perf-regression gate: any benchmark present in both the committed
+# baseline and the fresh run may not be more than 25% slower.  A
+# first-ever run (no committed snapshot) skips with a notice.
+build-rel/tools/bench_gate --selftest
+if [[ -s "${workdir}/micro-baseline.json" ]]; then
+    build-rel/tools/bench_gate "${workdir}/micro-baseline.json" \
+        BENCH_micro.json --threshold 25
+else
+    echo "bench: no committed BENCH_micro.json baseline; gate skipped"
+fi
 
 echo "=== CI OK"
