@@ -159,15 +159,19 @@ using Cycles = units_detail::Quantity<struct CyclesTag>;
 /** Dimensionless occupancy counts (queue depths, outstanding ops). */
 using Count = units_detail::Quantity<struct CountTag>;
 
+/** Wall-clock durations in microseconds (service-time accounting). */
+using Micros = units_detail::Quantity<struct MicrosTag>;
+
 static_assert(sizeof(Bytes) == 8 && sizeof(Beats) == 8
                   && sizeof(Lines) == 8 && sizeof(Cycles) == 8
-                  && sizeof(Count) == 8,
+                  && sizeof(Count) == 8 && sizeof(Micros) == 8,
               "unit wrappers must stay register-sized");
 static_assert(std::is_trivially_copyable_v<Bytes>
                   && std::is_trivially_copyable_v<Beats>
                   && std::is_trivially_copyable_v<Lines>
                   && std::is_trivially_copyable_v<Cycles>
-                  && std::is_trivially_copyable_v<Count>,
+                  && std::is_trivially_copyable_v<Count>
+                  && std::is_trivially_copyable_v<Micros>,
               "unit wrappers must stay zero-cost");
 
 /**

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Client side of the beard protocol (DESIGN.md §16).
+ *
+ * One call = one tenant session: connect, Hello with the chosen
+ * design, stream the trace bytes as CRC-sealed TraceData frames,
+ * collect the Report.  Busy replies are handled here — the client
+ * sleeps for the server's retry hint and reconnects, counting the
+ * rejections so load tests can assert that backpressure actually
+ * engaged.  Every server-side rejection surfaces as the ServeError
+ * the daemon sent, not as a bare disconnect.
+ *
+ * bearload and the in-process serve tests both drive sessions through
+ * this class, so the protocol has exactly one client implementation.
+ */
+
+#ifndef BEAR_SERVE_CLIENT_HH
+#define BEAR_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/frame.hh"
+
+namespace bear::serve
+{
+
+/** One session's parameters. */
+struct ClientOptions
+{
+    std::string socketPath;
+    std::string design = "BEAR";
+
+    /** Give up after this many Busy replies. */
+    std::uint32_t maxBusyRetries = 1000;
+
+    /** Trace bytes per TraceData frame. */
+    std::size_t frameBytes = 64 * 1024;
+};
+
+/** What a completed session produced. */
+struct SessionOutcome
+{
+    std::string reportJson;
+    HelloOk session;
+    /** Busy replies absorbed before admission. */
+    std::uint32_t busyRetries = 0;
+};
+
+class Client
+{
+  public:
+    /**
+     * Run one full tenant session over @p trace_bytes (the raw
+     * contents of a .beartrace file).  Retries Busy replies with the
+     * server's hint; every other failure returns its ServeError.
+     */
+    [[nodiscard]] static Expected<SessionOutcome, ServeError>
+    runSession(const ClientOptions &options,
+               const std::vector<std::uint8_t> &trace_bytes);
+
+    /** Fetch the daemon-wide bear-serve-stats-v1 JSON. */
+    [[nodiscard]] static Expected<std::string, ServeError>
+    fetchStats(const std::string &socket_path);
+};
+
+} // namespace bear::serve
+
+#endif // BEAR_SERVE_CLIENT_HH

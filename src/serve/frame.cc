@@ -1,0 +1,298 @@
+#include "serve/frame.hh"
+
+#include <cstring>
+
+namespace bear::serve
+{
+
+namespace
+{
+
+/** Is @p type one of the wire protocol's frame types? */
+bool
+knownFrameType(std::uint8_t type)
+{
+    return type >= static_cast<std::uint8_t>(FrameType::Hello)
+        && type <= static_cast<std::uint8_t>(FrameType::Bye);
+}
+
+} // namespace
+
+const char *
+frameTypeName(FrameType type)
+{
+    switch (type) {
+    case FrameType::Hello:
+        return "hello";
+    case FrameType::HelloOk:
+        return "hello-ok";
+    case FrameType::Busy:
+        return "busy";
+    case FrameType::TraceData:
+        return "trace-data";
+    case FrameType::TraceDone:
+        return "trace-done";
+    case FrameType::Report:
+        return "report";
+    case FrameType::StatsReq:
+        return "stats-req";
+    case FrameType::StatsReport:
+        return "stats-report";
+    case FrameType::Error:
+        return "error";
+    case FrameType::Bye:
+        return "bye";
+    }
+    return "?";
+}
+
+std::vector<std::uint8_t>
+encodeFrame(FrameType type, const std::uint8_t *payload,
+            std::size_t size)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(kFrameHeaderBytes + size + kFrameCrcBytes);
+    out.push_back(static_cast<std::uint8_t>(type));
+    trace::putU32(out, static_cast<std::uint32_t>(size));
+    out.insert(out.end(), payload, payload + size);
+    const std::uint32_t crc = trace::crc32(out.data(), out.size());
+    trace::putU32(out, crc);
+    return out;
+}
+
+std::vector<std::uint8_t>
+encodeFrame(FrameType type, const std::vector<std::uint8_t> &payload)
+{
+    return encodeFrame(type, payload.data(), payload.size());
+}
+
+void
+FrameDecoder::ingest(const std::uint8_t *data, std::size_t size)
+{
+    buffer_.insert(buffer_.end(), data, data + size);
+}
+
+Expected<std::optional<Frame>, ServeError>
+FrameDecoder::next()
+{
+    if (failed_)
+        return unexpected(sticky_);
+    if (buffer_.size() < kFrameHeaderBytes)
+        return std::optional<Frame>{};
+
+    const std::uint8_t type = buffer_[0];
+    const std::uint32_t length = trace::getU32(buffer_.data() + 1);
+    // Bounds before allocation: a corrupted length field must be an
+    // error message, never a commitment to allocate what it claims.
+    if (length > kMaxFramePayloadBytes) {
+        failed_ = true;
+        sticky_ = ServeError{
+            ServeErrorKind::Oversized,
+            "frame declares a " + std::to_string(length)
+                + "-byte payload; the cap is "
+                + std::to_string(kMaxFramePayloadBytes)};
+        return unexpected(sticky_);
+    }
+    if (!knownFrameType(type)) {
+        failed_ = true;
+        sticky_ = ServeError{ServeErrorKind::BadFrame,
+                             "unknown frame type 0x"
+                                 + std::to_string(type)};
+        return unexpected(sticky_);
+    }
+
+    const std::size_t frame_size =
+        kFrameHeaderBytes + length + kFrameCrcBytes;
+    if (buffer_.size() < frame_size)
+        return std::optional<Frame>{};
+
+    const std::uint32_t stored =
+        trace::getU32(buffer_.data() + frame_size - kFrameCrcBytes);
+    const std::uint32_t computed =
+        trace::crc32(buffer_.data(), frame_size - kFrameCrcBytes);
+    if (stored != computed) {
+        failed_ = true;
+        sticky_ = ServeError{
+            ServeErrorKind::BadCrc,
+            "frame checksum mismatch (stored "
+                + std::to_string(stored) + ", computed "
+                + std::to_string(computed) + ")"};
+        return unexpected(sticky_);
+    }
+
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.payload.assign(buffer_.begin() + kFrameHeaderBytes,
+                         buffer_.begin() + kFrameHeaderBytes + length);
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin()
+                      + static_cast<std::ptrdiff_t>(frame_size));
+    return std::optional<Frame>{std::move(frame)};
+}
+
+Expected<bool, ServeError>
+FrameDecoder::finish() const
+{
+    if (failed_)
+        return unexpected(sticky_);
+    if (!buffer_.empty()) {
+        return unexpected(ServeError{
+            ServeErrorKind::Truncated,
+            "connection closed inside a frame ("
+                + std::to_string(buffer_.size()) + " bytes buffered)"});
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+buildHello(const std::string &design_name)
+{
+    std::vector<std::uint8_t> payload(kHelloMagic, kHelloMagic + 4);
+    payload.reserve(9 + design_name.size());
+    trace::putU32(payload, kServeProtocolVersion);
+    payload.push_back(static_cast<std::uint8_t>(design_name.size()));
+    for (const char c : design_name)
+        payload.push_back(static_cast<std::uint8_t>(c));
+    return payload;
+}
+
+Expected<HelloRequest, ServeError>
+parseHello(const std::vector<std::uint8_t> &payload)
+{
+    if (payload.size() < 9) {
+        return unexpected(ServeError{
+            ServeErrorKind::BadFrame,
+            "hello payload holds " + std::to_string(payload.size())
+                + " bytes; need at least 9"});
+    }
+    if (std::memcmp(payload.data(), kHelloMagic, 4) != 0) {
+        return unexpected(ServeError{ServeErrorKind::BadMagic,
+                                     "hello does not open with BSRV"});
+    }
+    const std::uint32_t version = trace::getU32(payload.data() + 4);
+    if (version != kServeProtocolVersion) {
+        return unexpected(ServeError{
+            ServeErrorKind::BadVersion,
+            "peer speaks protocol v" + std::to_string(version)
+                + ", this daemon speaks v"
+                + std::to_string(kServeProtocolVersion)});
+    }
+    const std::size_t name_len = payload[8];
+    if (payload.size() != 9 + name_len) {
+        return unexpected(ServeError{
+            ServeErrorKind::BadFrame,
+            "hello names a " + std::to_string(name_len)
+                + "-byte design but carries "
+                + std::to_string(payload.size() - 9) + " name bytes"});
+    }
+    HelloRequest request;
+    request.designName.assign(
+        reinterpret_cast<const char *>(payload.data()) + 9, name_len);
+    auto design = parseDesignName(request.designName);
+    if (!design.hasValue())
+        return unexpected(design.error());
+    request.design = *design;
+    return request;
+}
+
+std::vector<std::uint8_t>
+buildHelloOk(const HelloOk &ok)
+{
+    std::vector<std::uint8_t> payload;
+    trace::putU32(payload, kServeProtocolVersion);
+    trace::putU64(payload, ok.tenantId);
+    trace::putU32(payload, ok.shard);
+    return payload;
+}
+
+Expected<HelloOk, ServeError>
+parseHelloOk(const std::vector<std::uint8_t> &payload)
+{
+    if (payload.size() != 16) {
+        return unexpected(ServeError{
+            ServeErrorKind::BadFrame,
+            "hello-ok payload holds " + std::to_string(payload.size())
+                + " bytes; expected 16"});
+    }
+    const std::uint32_t version = trace::getU32(payload.data());
+    if (version != kServeProtocolVersion) {
+        return unexpected(ServeError{
+            ServeErrorKind::BadVersion,
+            "server speaks protocol v" + std::to_string(version)
+                + ", this client speaks v"
+                + std::to_string(kServeProtocolVersion)});
+    }
+    HelloOk ok;
+    ok.tenantId = trace::getU64(payload.data() + 4);
+    ok.shard = trace::getU32(payload.data() + 12);
+    return ok;
+}
+
+std::vector<std::uint8_t>
+buildBusy(std::uint32_t retry_ms)
+{
+    std::vector<std::uint8_t> payload;
+    trace::putU32(payload, retry_ms);
+    return payload;
+}
+
+Expected<std::uint32_t, ServeError>
+parseBusy(const std::vector<std::uint8_t> &payload)
+{
+    if (payload.size() != 4) {
+        return unexpected(ServeError{
+            ServeErrorKind::BadFrame,
+            "busy payload holds " + std::to_string(payload.size())
+                + " bytes; expected 4"});
+    }
+    return trace::getU32(payload.data());
+}
+
+std::vector<std::uint8_t>
+buildError(const ServeError &error)
+{
+    std::vector<std::uint8_t> payload;
+    payload.reserve(1 + error.detail.size());
+    payload.push_back(static_cast<std::uint8_t>(error.kind));
+    for (const char c : error.detail)
+        payload.push_back(static_cast<std::uint8_t>(c));
+    return payload;
+}
+
+ServeError
+parseError(const std::vector<std::uint8_t> &payload)
+{
+    if (payload.empty()) {
+        return ServeError{ServeErrorKind::BadFrame,
+                          "error frame with an empty payload"};
+    }
+    ServeError error;
+    error.kind = static_cast<ServeErrorKind>(payload[0]);
+    error.detail.assign(
+        reinterpret_cast<const char *>(payload.data()) + 1,
+        payload.size() - 1);
+    return error;
+}
+
+Expected<DesignKind, ServeError>
+parseDesignName(const std::string &name)
+{
+    static constexpr DesignKind kRoster[] = {
+        DesignKind::Alloy,          DesignKind::ProbBypass50,
+        DesignKind::ProbBypass90,   DesignKind::Bab,
+        DesignKind::BabDcp,         DesignKind::Bear,
+        DesignKind::InclusiveAlloy, DesignKind::LohHill,
+        DesignKind::MostlyClean,    DesignKind::TagsInSram,
+        DesignKind::SectorCache,    DesignKind::FootprintCache,
+        DesignKind::BwOptimized,    DesignKind::NoCache,
+    };
+    for (DesignKind kind : kRoster) {
+        if (name == designName(kind))
+            return kind;
+    }
+    return unexpected(ServeError{
+        ServeErrorKind::BadDesign,
+        "\"" + name + "\" is not in the design roster"});
+}
+
+} // namespace bear::serve

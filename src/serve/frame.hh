@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The beard wire protocol: versioned, CRC-sealed, length-prefixed
+ * frames over a Unix-domain stream socket (DESIGN.md §16).
+ *
+ * A frame is
+ *
+ *     [ type u8 ][ payloadLen u32 LE ][ payload ][ crc32 u32 LE ]
+ *
+ * where the CRC covers type, length, and payload — the same IEEE
+ * CRC32 the .beartrace format uses, so one checksum implementation
+ * guards both the stored and the transported form of a trace.  The
+ * length field is validated against kMaxFramePayloadBytes *before*
+ * any allocation, exactly as the trace reader treats chunk lengths: a
+ * corrupted or hostile length is an error message, never an OOM.
+ *
+ * A session is: client sends Hello (magic + protocol version + design
+ * name), server answers HelloOk (tenant id + shard) or Busy (retry
+ * hint) or Error; client streams the raw bytes of a .beartrace file
+ * as TraceData frames (any slicing — frames need not align with
+ * chunk boundaries) and seals the upload with TraceDone; the server
+ * simulates and answers with one Report frame carrying the schema-v2
+ * JSON run report, then closes.  A StatsReq outside a session returns
+ * the daemon-wide StatsReport.  Every rejection is an Error frame
+ * (kind byte + detail string) so clients see *why*, not just a hangup.
+ */
+
+#ifndef BEAR_SERVE_FRAME_HH
+#define BEAR_SERVE_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dramcache/bear_cache.hh"
+#include "serve/serve_error.hh"
+
+namespace bear::serve
+{
+
+/** Bumped whenever the wire layout changes shape. */
+constexpr std::uint32_t kServeProtocolVersion = 1;
+
+/** First 4 payload bytes of every Hello. */
+constexpr unsigned char kHelloMagic[4] = {'B', 'S', 'R', 'V'};
+
+/** Frame header: type byte + little-endian payload length. */
+constexpr std::size_t kFrameHeaderBytes = 5;
+constexpr std::size_t kFrameCrcBytes = 4;
+
+/**
+ * Upper bound on one frame's payload.  Large enough for several trace
+ * chunks per frame (kMaxChunkPayloadBytes is 128 KiB) and any report;
+ * small enough that a corrupted length field cannot commit the daemon
+ * to a gigabyte allocation.
+ */
+constexpr std::uint32_t kMaxFramePayloadBytes = 1U << 20;
+
+/** On-the-wire frame types. */
+enum class FrameType : std::uint8_t
+{
+    Hello = 0x01,       ///< c->s: magic + version + design name
+    HelloOk = 0x02,     ///< s->c: version + tenant id + shard
+    Busy = 0x03,        ///< s->c: admission rejected; retry-ms hint
+    TraceData = 0x04,   ///< c->s: raw .beartrace bytes, any slicing
+    TraceDone = 0x05,   ///< c->s: upload complete, simulate now
+    Report = 0x06,      ///< s->c: schema-v2 JSON run report
+    StatsReq = 0x07,    ///< c->s: daemon-wide statistics, please
+    StatsReport = 0x08, ///< s->c: bear-serve-stats-v1 JSON
+    Error = 0x09,       ///< s->c: kind byte + diagnostic detail
+    Bye = 0x0A,         ///< either: orderly close
+};
+
+const char *frameTypeName(FrameType type);
+
+/** One decoded frame: its type and owned payload bytes. */
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Serialise one frame (header + payload + CRC), ready to send. */
+std::vector<std::uint8_t> encodeFrame(FrameType type,
+                                      const std::uint8_t *payload,
+                                      std::size_t size);
+
+std::vector<std::uint8_t>
+encodeFrame(FrameType type, const std::vector<std::uint8_t> &payload);
+
+/**
+ * Incremental frame reassembly over arbitrarily sliced socket reads,
+ * mirroring trace::StreamingTraceDecoder: ingest() buffers bytes,
+ * next() pops the oldest complete frame after validating its length
+ * bound, type, and CRC.  The first malformed frame fails the decoder
+ * permanently — after garbage there is no trustworthy resync point in
+ * a length-prefixed stream.
+ */
+class FrameDecoder
+{
+  public:
+    void ingest(const std::uint8_t *data, std::size_t size);
+
+    /**
+     * The oldest complete frame, nullopt when more bytes are needed.
+     */
+    [[nodiscard]] Expected<std::optional<Frame>, ServeError> next();
+
+    /** End of stream: Truncated if bytes sit inside an open frame. */
+    [[nodiscard]] Expected<bool, ServeError> finish() const;
+
+  private:
+    std::vector<std::uint8_t> buffer_;
+    bool failed_ = false;
+    ServeError sticky_;
+};
+
+/** Parsed Hello payload. */
+struct HelloRequest
+{
+    std::string designName;
+    DesignKind design = DesignKind::Bear;
+};
+
+/** Serialise a Hello payload for @p design. */
+std::vector<std::uint8_t> buildHello(const std::string &design_name);
+
+/**
+ * Validate and parse a Hello payload: magic, protocol version, and a
+ * design name that must match one of the roster's designName()
+ * spellings (the wire format has no numeric design ids, so renaming a
+ * design cannot silently re-bind old clients to a different one).
+ */
+[[nodiscard]] Expected<HelloRequest, ServeError>
+parseHello(const std::vector<std::uint8_t> &payload);
+
+/** HelloOk payload: protocol version + tenant id + shard index. */
+struct HelloOk
+{
+    std::uint64_t tenantId = 0;
+    std::uint32_t shard = 0;
+};
+
+std::vector<std::uint8_t> buildHelloOk(const HelloOk &ok);
+
+[[nodiscard]] Expected<HelloOk, ServeError>
+parseHelloOk(const std::vector<std::uint8_t> &payload);
+
+/** Busy payload: how long the client should wait before retrying. */
+std::vector<std::uint8_t> buildBusy(std::uint32_t retry_ms);
+
+[[nodiscard]] Expected<std::uint32_t, ServeError>
+parseBusy(const std::vector<std::uint8_t> &payload);
+
+/** Error payload: kind byte + detail string. */
+std::vector<std::uint8_t> buildError(const ServeError &error);
+
+/** Decode an Error payload back into the ServeError it carried. */
+ServeError parseError(const std::vector<std::uint8_t> &payload);
+
+/** Reverse of designName(): the roster spelling, or BadDesign. */
+[[nodiscard]] Expected<DesignKind, ServeError>
+parseDesignName(const std::string &name);
+
+} // namespace bear::serve
+
+#endif // BEAR_SERVE_FRAME_HH

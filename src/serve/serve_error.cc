@@ -1,0 +1,52 @@
+#include "serve/serve_error.hh"
+
+namespace bear::serve
+{
+
+const char *
+serveErrorKindName(ServeErrorKind kind)
+{
+    switch (kind) {
+    case ServeErrorKind::Io:
+        return "io";
+    case ServeErrorKind::BadFrame:
+        return "bad-frame";
+    case ServeErrorKind::BadMagic:
+        return "bad-magic";
+    case ServeErrorKind::BadVersion:
+        return "bad-version";
+    case ServeErrorKind::BadCrc:
+        return "bad-crc";
+    case ServeErrorKind::Truncated:
+        return "truncated";
+    case ServeErrorKind::Oversized:
+        return "oversized";
+    case ServeErrorKind::BadDesign:
+        return "bad-design";
+    case ServeErrorKind::BadTrace:
+        return "bad-trace";
+    case ServeErrorKind::Protocol:
+        return "protocol";
+    case ServeErrorKind::Busy:
+        return "busy";
+    case ServeErrorKind::Draining:
+        return "draining";
+    case ServeErrorKind::Internal:
+        return "internal";
+    }
+    return "?";
+}
+
+std::string
+ServeError::message() const
+{
+    return std::string("[") + serveErrorKindName(kind) + "] " + detail;
+}
+
+ServeError
+fromTraceError(const trace::TraceError &error)
+{
+    return ServeError{ServeErrorKind::BadTrace, error.message()};
+}
+
+} // namespace bear::serve

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Structured errors of the serving layer (DESIGN.md §16).
+ *
+ * Everything that can go wrong on a beard connection — a malformed
+ * frame, a protocol-version mismatch, a truncated upload, a corrupt
+ * .beartrace payload — is an expected input, not a programming error:
+ * the daemon is multi-tenant, and one tenant's garbage must never
+ * take down another tenant's simulation.  So the serve layer follows
+ * the trace layer's contract exactly: no exceptions cross the module
+ * boundary for anticipated failures; fallible operations return
+ * Expected<_, ServeError> and the connection that caused the error
+ * gets a loud, attributable diagnostic (an Error frame plus a server
+ * log line) while every other session keeps running.
+ */
+
+#ifndef BEAR_SERVE_SERVE_ERROR_HH
+#define BEAR_SERVE_SERVE_ERROR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/expected.hh"
+#include "trace/trace_format.hh"
+
+namespace bear::serve
+{
+
+/** What went wrong, coarsely; detail carries the specifics. */
+enum class ServeErrorKind : std::uint8_t
+{
+    Io,         ///< socket syscall failed (errno in detail)
+    BadFrame,   ///< frame structure violated (unknown type, bad length)
+    BadMagic,   ///< HELLO does not open with the protocol magic
+    BadVersion, ///< peer speaks a different protocol version
+    BadCrc,     ///< frame checksum mismatch
+    Truncated,  ///< connection closed mid-frame or mid-session
+    Oversized,  ///< declared payload length exceeds the frame cap
+    BadDesign,  ///< HELLO names a design not in the roster
+    BadTrace,   ///< .beartrace payload failed to decode
+    Protocol,   ///< well-formed frame at the wrong point in the session
+    Busy,       ///< admission control rejected the session
+    Draining,   ///< daemon is shutting down; no new sessions
+    Internal,   ///< server-side simulation failure (contained)
+};
+
+const char *serveErrorKindName(ServeErrorKind kind);
+
+/** One serve-layer failure: kind + human-readable specifics. */
+struct ServeError
+{
+    ServeErrorKind kind = ServeErrorKind::Io;
+    std::string detail;
+
+    std::string message() const;
+};
+
+/** Wrap a trace-decode failure, keeping its full attribution. */
+ServeError fromTraceError(const trace::TraceError &error);
+
+} // namespace bear::serve
+
+#endif // BEAR_SERVE_SERVE_ERROR_HH

@@ -6,7 +6,6 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
-#include <csignal>
 #include <cstdlib>
 #include <new>
 #include <optional>
@@ -15,6 +14,7 @@
 
 #include "common/fault.hh"
 #include "common/log.hh"
+#include "sim/single_run.hh"
 #include "trace/trace_reader.hh"
 #include "trace/trace_writer.hh"
 
@@ -137,33 +137,6 @@ envString(const char *name, std::string &out)
 }
 
 /**
- * SIGINT/SIGTERM land here: record the signal and restore the default
- * disposition, so a second ^C force-kills instead of waiting for the
- * drain.  Only the async-signal-safe store happens in handler
- * context; the monitor thread does the actual cancellation, the
- * unwinding workers finalize traces, and the journal is already
- * flushed per append — nothing computed is lost.
- */
-std::atomic<int> g_signal{0};
-
-extern "C" void
-bearSignalHandler(int sig)
-{
-    g_signal.store(sig, std::memory_order_relaxed);
-    std::signal(sig, SIG_DFL);
-}
-
-void
-installSignalHandlersOnce()
-{
-    static OnceFlag once;
-    callOnce(once, [] {
-        std::signal(SIGINT, bearSignalHandler);
-        std::signal(SIGTERM, bearSignalHandler);
-    });
-}
-
-/**
  * Carries a failed IPC_alone reference run out of a mix job's
  * execute(); the catch layer re-attributes it to the mix cell with
  * phase = IpcAlone.
@@ -216,53 +189,6 @@ checkFaultSite(const char *site, const std::string &scope,
         return;
     if (auto kind = inj.evaluate(site, scope))
         actOnFault(*kind, site, control);
-}
-
-/**
- * Failure evidence gathered while the System is still alive: the tail
- * of the event-trace ring (when BEAR_TRACE is on) and the busiest
- * DRAM-cache banks with their queue state.
- */
-std::string
-gatherDiagnostics(System &system, JobControl &control)
-{
-    std::ostringstream os;
-    os << "phase=" << control.phaseName() << " progress="
-       << control.progress.load(std::memory_order_relaxed)
-       << " simulated refs";
-
-    if (obs::EventTrace *tr = system.trace()) {
-        const auto events = tr->snapshot();
-        const std::size_t keep =
-            std::min<std::size_t>(events.size(), 8);
-        os << "\nevent-trace tail (last " << keep << " of "
-           << tr->recorded() << " recorded):";
-        for (std::size_t i = events.size() - keep; i < events.size();
-             ++i) {
-            const auto &e = events[i];
-            os << "\n  cycle " << e.at << ' '
-               << obs::traceEventName(e.kind) << " where=0x"
-               << std::hex << e.where << std::dec << " value="
-               << e.value;
-        }
-    }
-
-    auto banks = system.cacheDram().bankUtilization();
-    std::sort(banks.begin(), banks.end(),
-              [](const BankUtilization &a, const BankUtilization &b) {
-                  return a.busyCycles > b.busyCycles;
-              });
-    const std::size_t keep = std::min<std::size_t>(banks.size(), 4);
-    os << "\nbusiest DRAM-cache banks:";
-    for (std::size_t i = 0; i < keep; ++i) {
-        const auto &b = banks[i];
-        os << "\n  ch" << b.channel << "/bank" << b.bank << " reads="
-           << b.reads << " writes=" << b.writes << " rowHits="
-           << b.rowHits << " rowConflicts=" << b.rowConflicts
-           << " busy=" << b.busyCycles.count() << " conflictStall="
-           << b.conflictStallCycles.count();
-    }
-    return os.str();
 }
 
 /**
@@ -337,12 +263,6 @@ RunError::message() const
     if (attempts > 1)
         m += detail::format(" (after ", attempts, " attempts)");
     return m;
-}
-
-bool
-interruptRequested()
-{
-    return g_signal.load(std::memory_order_relaxed) != 0;
 }
 
 Expected<RunnerOptions, EnvError>
@@ -557,7 +477,7 @@ Runner::Runner(const RunnerOptions &options) : options_(options)
         }
     }
 
-    installSignalHandlersOnce();
+    installInterruptHandlers();
     monitor_ = std::thread([this] { monitorLoop(); });
 }
 
@@ -725,32 +645,23 @@ Runner::execute(const RunJob &job, JobControl &control, JobPhase &phase)
 
     bool writer_finished = false;
     try {
-        System system(config, std::move(streams));
-        try {
-            phase = JobPhase::Warmup;
-            control.setPhase("warmup");
-            checkFaultSite("job.warmup", key, control);
-            system.run(options_.warmupRefsPerCore);
-            system.resetStats();
-
-            phase = JobPhase::Measure;
-            control.setPhase("measure");
-            checkFaultSite("job.measure", key, control);
-            system.run(options_.measureRefsPerCore);
-        } catch (JobCancelled &cancelled) {
-            // Attach the evidence while the System still exists.
-            if (cancelled.diagnostics.empty()) {
-                cancelled.diagnostics =
-                    gatherDiagnostics(system, control);
+        SingleRunSpec spec;
+        spec.config = config;
+        spec.warmupRefsPerCore = options_.warmupRefsPerCore;
+        spec.measureRefsPerCore = options_.measureRefsPerCore;
+        spec.workload = workload_name;
+        spec.design = designName(job.design);
+        spec.isMix = job.mix != nullptr;
+        spec.onPhase = [&](RunPhase p) {
+            if (p == RunPhase::Warmup) {
+                phase = JobPhase::Warmup;
+                checkFaultSite("job.warmup", key, control);
+            } else {
+                phase = JobPhase::Measure;
+                checkFaultSite("job.measure", key, control);
             }
-            throw;
-        }
-
-        RunResult result;
-        result.workload = workload_name;
-        result.design = designName(job.design);
-        result.isMix = job.mix != nullptr;
-        result.stats = system.stats();
+        };
+        RunResult result = runSingleTenant(spec, std::move(streams));
         if (job.mix) {
             for (std::uint32_t c = 0; c < options_.cores; ++c) {
                 auto alone = ipcAloneContained(job.mix->benchmarks[c],
@@ -965,20 +876,20 @@ Runner::ipcAloneContained(const std::string &benchmark,
             profileByName(benchmark), options_.seed + 0x1000,
             options_.scale));
 
-        System system(config, std::move(streams));
-        try {
+        SingleRunSpec spec;
+        spec.config = config;
+        spec.warmupRefsPerCore = options_.warmupRefsPerCore;
+        spec.measureRefsPerCore = options_.measureRefsPerCore;
+        spec.workload = benchmark;
+        spec.design = err.design;
+        // Both phases report as ipc_alone: the reference run is one
+        // opaque step of its enclosing mix cell.
+        spec.onPhase = [&](RunPhase) {
             control->setPhase("ipc_alone");
-            system.run(options_.warmupRefsPerCore);
-            system.resetStats();
-            system.run(options_.measureRefsPerCore);
-        } catch (JobCancelled &cancelled) {
-            if (cancelled.diagnostics.empty()) {
-                cancelled.diagnostics =
-                    gatherDiagnostics(system, *control);
-            }
-            throw;
-        }
-        const double ipc = system.stats().ipcPerCore[0];
+        };
+        const RunResult alone = runSingleTenant(spec,
+                                                std::move(streams));
+        const double ipc = alone.stats.ipcPerCore[0];
 
         MutexLock lock(mutex_);
         auto [it, inserted] = alone_cache_.emplace(benchmark, ipc);

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The single-tenant run primitive shared by the batch runner
+ * (sim/runner) and the serving daemon (src/serve).
+ *
+ * One "run" is the paper's methodology in miniature: build a System
+ * over per-core reference streams, execute the warm-up phase, reset
+ * statistics, execute the measurement phase, and gather the schema-v2
+ * statistics.  Runner::execute wrapped that sequence in sweep
+ * machinery (memoisation, retries, recording tees); beard needs the
+ * same sequence per tenant session without any of that.  Factoring it
+ * here is what makes the serve byte-identity guarantee structural: a
+ * served session and an offline replay execute literally the same
+ * code over equivalent streams, so their reports cannot diverge.
+ *
+ * Cancellation composes unchanged: when spec.config.control is set,
+ * the run checkpoints the cancel flag every simulated reference and
+ * unwinds as JobCancelled with diagnostics (event-trace tail, busiest
+ * banks) attached while the System is still alive — the runner's
+ * watchdog and beard's drain both ride on it.
+ */
+
+#ifndef BEAR_SIM_SINGLE_RUN_HH
+#define BEAR_SIM_SINGLE_RUN_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/system.hh"
+
+namespace bear
+{
+
+/** Lifecycle phases reported to SingleRunSpec::onPhase. */
+enum class RunPhase : std::uint8_t
+{
+    Warmup,
+    Measure,
+};
+
+/** One single-tenant run: system knobs, phase budgets, labels. */
+struct SingleRunSpec
+{
+    /** System knobs; config.control wires cooperative cancellation. */
+    SystemConfig config;
+
+    std::uint64_t warmupRefsPerCore = 0;
+    std::uint64_t measureRefsPerCore = 0;
+
+    /** Labels carried into the RunResult (report identity). */
+    std::string workload;
+    std::string design;
+    bool isMix = false;
+
+    /**
+     * Invoked at each phase boundary, after the phase label is
+     * published to the JobControl and before the phase executes.  The
+     * runner injects its fault sites here; beard leaves it empty.
+     */
+    std::function<void(RunPhase)> onPhase;
+};
+
+/**
+ * Execute one run over @p streams (one per core) and return the
+ * completed RunResult.  Throws JobCancelled (diagnostics attached)
+ * when the control requests cancellation, and propagates whatever a
+ * fault hook throws.
+ */
+RunResult
+runSingleTenant(const SingleRunSpec &spec,
+                std::vector<std::unique_ptr<RefStream>> streams);
+
+/**
+ * Failure evidence gathered while the System is still alive: the tail
+ * of the event-trace ring (when tracing is on) and the busiest
+ * DRAM-cache banks with their queue state.
+ */
+std::string gatherRunDiagnostics(System &system, JobControl &control);
+
+/**
+ * Install the process-wide SIGINT/SIGTERM handlers (idempotent).  The
+ * first signal is recorded — interruptRequested() turns true — and
+ * the disposition resets to default so a second signal force-kills.
+ * Runner's constructor calls this; long-running daemons (beard) call
+ * it directly and poll interruptRequested() to start their drain.
+ */
+void installInterruptHandlers();
+
+} // namespace bear
+
+#endif // BEAR_SIM_SINGLE_RUN_HH

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "trace/trace_stream_decoder.hh"
 
 namespace bear::trace
 {
@@ -240,61 +241,16 @@ TraceReader::loadChunk()
                     std::to_string(computed) + ")"));
         }
 
-        buffer_.clear();
-        buffer_.reserve(records);
-        const std::uint8_t *p = frame.data() + kChunkHeaderBytes;
-        const std::uint8_t *end = p + payload_bytes;
-        std::uint64_t prev_vaddr = 0;
-        std::uint64_t prev_pc = 0;
-        for (std::uint32_t i = 0; i < records; ++i) {
-            if (p == end) {
-                return unexpected(errorAt(
-                    TraceErrorKind::BadChunk,
-                    "payload ends after " + std::to_string(i) +
-                        " of " + std::to_string(records) +
-                        " records"));
-            }
-            const std::uint8_t flags = *p++;
-            if (flags & static_cast<std::uint8_t>(~kFlagMask)) {
-                return unexpected(errorAt(
-                    TraceErrorKind::BadChunk,
-                    "reserved flag bits set in record " +
-                        std::to_string(i)));
-            }
-            std::uint64_t vaddr_zz = 0;
-            std::uint64_t pc_zz = 0;
-            std::uint64_t gap = 0;
-            if (!getVarint(&p, end, &vaddr_zz)
-                || !getVarint(&p, end, &pc_zz)
-                || !getVarint(&p, end, &gap)) {
-                return unexpected(errorAt(
-                    TraceErrorKind::BadChunk,
-                    "malformed varint in record " +
-                        std::to_string(i)));
-            }
-            if (gap > UINT32_MAX) {
-                return unexpected(errorAt(
-                    TraceErrorKind::BadChunk,
-                    "instruction gap overflows 32 bits in record " +
-                        std::to_string(i)));
-            }
-            prev_vaddr += static_cast<std::uint64_t>(
-                unzigzag(vaddr_zz));
-            prev_pc += static_cast<std::uint64_t>(unzigzag(pc_zz));
-            MemRef ref;
-            ref.vaddr = prev_vaddr;
-            ref.pc = prev_pc;
-            ref.instGap = static_cast<std::uint32_t>(gap);
-            ref.isWrite = (flags & kFlagWrite) != 0;
-            ref.dependent = (flags & kFlagDependent) != 0;
-            buffer_.push_back(ref);
+        // Record decoding is shared with the socket-streaming path
+        // (trace_stream_decoder); only the offset/chunk attribution
+        // is ours.
+        auto decoded = decodeChunkRecords(
+            frame.data() + kChunkHeaderBytes, payload_bytes, records);
+        if (!decoded.hasValue()) {
+            return unexpected(
+                errorAt(decoded.error().kind, decoded.error().detail));
         }
-        if (p != end) {
-            return unexpected(errorAt(
-                TraceErrorKind::BadChunk,
-                std::to_string(end - p) +
-                    " trailing bytes after the last record"));
-        }
+        buffer_ = std::move(decoded.value());
 
         buffer_pos_ = 0;
         buffer_core_ = core;

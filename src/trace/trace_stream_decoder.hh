@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Incremental .beartrace decoding for byte streams (sockets).
+ *
+ * TraceReader assumes a seekable file; the serving layer (src/serve)
+ * receives the same format as arbitrarily sliced socket payloads.
+ * StreamingTraceDecoder is the incremental counterpart: feed() it any
+ * prefix of a .beartrace byte stream and it validates and decodes
+ * exactly as much as has arrived — header first (magic, version,
+ * fields, header CRC), then chunk frames (bounds-checked lengths
+ * before any allocation, CRC32 per chunk) — accumulating records per
+ * core.  finish() runs the end-of-stream checks (nothing buffered
+ * mid-structure, decoded records match the header's record count).
+ *
+ * Every rejection is the same TraceError taxonomy TraceReader raises,
+ * so a truncated upload or a flipped bit on the wire is a loud,
+ * attributable diagnostic at the connection that sent it — never a
+ * crash and never a quietly wrong simulation.
+ *
+ * VectorReplayStream adapts one core's decoded records into the
+ * RefStream interface with the same wrap-around semantics as
+ * TraceReplayStream, so a streamed trace feeds System identically to
+ * a replayed file (the serve byte-identity tests pin this).
+ */
+
+#ifndef BEAR_TRACE_TRACE_STREAM_DECODER_HH
+#define BEAR_TRACE_TRACE_STREAM_DECODER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/expected.hh"
+#include "core/trace.hh"
+#include "trace/trace_format.hh"
+
+namespace bear::trace
+{
+
+/**
+ * Decode the delta-encoded records of one chunk payload (flags byte +
+ * three varints per record, zigzag address/PC deltas).  The error, if
+ * any, carries kind and detail only; callers attach their own byte
+ * offset and chunk index.  Shared by TraceReader::loadChunk and
+ * StreamingTraceDecoder so the two decode paths cannot drift.
+ */
+[[nodiscard]] Expected<std::vector<MemRef>, TraceError>
+decodeChunkRecords(const std::uint8_t *payload,
+                   std::size_t payload_bytes, std::uint32_t records);
+
+/**
+ * Upper bound on the core count a *streamed* header may claim.  The
+ * file reader can trust its caller; a daemon cannot let a hostile
+ * header commit it to per-core allocations, so anything above this is
+ * BadHeader before the per-core record vectors exist.
+ */
+constexpr std::uint32_t kMaxStreamCoreCount = 4096;
+
+/** Push-model .beartrace decoder over an in-memory reassembly buffer. */
+class StreamingTraceDecoder
+{
+  public:
+    /**
+     * Consume @p size bytes of the stream.  Decodes every structure
+     * that is now complete; bytes of a still-incomplete header or
+     * chunk are buffered for the next feed().  The first malformed
+     * structure fails the decoder permanently (subsequent calls
+     * return the same error).
+     */
+    [[nodiscard]] Expected<bool, TraceError>
+    feed(const std::uint8_t *data, std::size_t size);
+
+    /**
+     * End of stream: fails with Truncated when bytes are buffered
+     * inside an unfinished structure, and with CountMismatch when the
+     * decoded total differs from the header's record count.
+     */
+    [[nodiscard]] Expected<bool, TraceError> finish();
+
+    /** Has the header been decoded yet (meta() is meaningful)? */
+    bool headerDone() const { return state_ != State::Header; }
+
+    const TraceMeta &meta() const { return meta_; }
+
+    /** Decoded records so far, per core (indexed 0..coreCount-1). */
+    const std::vector<std::vector<MemRef>> &coreRecords() const
+    {
+        return core_records_;
+    }
+
+    /** Move the decoded records out (decoder keeps meta and counts). */
+    std::vector<std::vector<MemRef>> takeCoreRecords()
+    {
+        return std::move(core_records_);
+    }
+
+    std::uint64_t recordsDecoded() const { return records_seen_; }
+    std::uint64_t bytesConsumed() const { return consumed_; }
+
+  private:
+    enum class State : std::uint8_t
+    {
+        Header, ///< waiting for the fixed header + name + CRC
+        Chunks, ///< decoding chunk frames
+        Failed, ///< first error is sticky
+    };
+
+    /** Decode every complete structure in buffer_. */
+    [[nodiscard]] Expected<bool, TraceError> advance();
+    [[nodiscard]] Expected<bool, TraceError> decodeHeader();
+    [[nodiscard]] Expected<bool, TraceError> decodeChunks();
+
+    TraceError errorAt(TraceErrorKind kind, std::string detail) const;
+    Unexpected<TraceError> fail(TraceError error);
+
+    State state_ = State::Header;
+    std::vector<std::uint8_t> buffer_; ///< unconsumed stream bytes
+    std::uint64_t consumed_ = 0; ///< stream offset of buffer_[0]
+    TraceMeta meta_;
+    std::vector<std::vector<MemRef>> core_records_;
+    std::uint64_t records_seen_ = 0;
+    std::uint64_t chunk_index_ = 0;
+    TraceError sticky_; ///< the first failure, replayed forever
+};
+
+/**
+ * RefStream over one core's decoded records, wrapping around at the
+ * end exactly like TraceReplayStream (a short trace still feeds an
+ * arbitrarily long run).  The records are owned by value: sessions
+ * outlive the decoder that produced them.
+ */
+class VectorReplayStream : public RefStream
+{
+  public:
+    /** @p records must be non-empty (panics otherwise). */
+    explicit VectorReplayStream(std::vector<MemRef> records);
+
+    MemRef next() override;
+
+    /** Times the stream wrapped back to the first record. */
+    std::uint64_t wrapCount() const { return wrap_count_; }
+
+  private:
+    std::vector<MemRef> records_;
+    std::size_t position_ = 0;
+    std::uint64_t wrap_count_ = 0;
+};
+
+} // namespace bear::trace
+
+#endif // BEAR_TRACE_TRACE_STREAM_DECODER_HH

@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Unit tests for the serving layer (src/serve): wire-frame round
+ * trips, the corruption contracts (truncated, bad magic, bad version,
+ * bad CRC, oversized length — every one a structured ServeError),
+ * split-feed equivalence of the incremental frame decoder, and the
+ * headline guarantees of the daemon itself — a served session's
+ * report is byte-identical to the offline Runner's for the same trace
+ * and design, 64 concurrent tenants against a tiny admission queue
+ * all complete with backpressure demonstrably engaging, and a drain
+ * requested by an interrupt exits 130 like Runner::run does.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "serve/client.hh"
+#include "serve/frame.hh"
+#include "serve/serve_error.hh"
+#include "serve/server.hh"
+#include "sim/report.hh"
+#include "sim/runner.hh"
+#include "trace/trace_format.hh"
+#include "trace/trace_writer.hh"
+
+using namespace bear;
+using namespace bear::serve;
+
+namespace
+{
+
+/** ctest runs tests of one binary as parallel processes: paths must
+ *  be unique per test *and* per process. */
+std::string
+uniquePath(const std::string &stem, const std::string &ext)
+{
+    return ::testing::TempDir() + stem + "-"
+        + std::to_string(static_cast<unsigned>(::getpid())) + ext;
+}
+
+std::vector<std::uint8_t>
+slurpBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    return std::vector<std::uint8_t>(bytes.begin(), bytes.end());
+}
+
+/** A small deterministic two-core trace (no RNG, no workload). */
+bool
+writeSampleTrace(const std::string &path)
+{
+    trace::TraceMeta meta;
+    meta.workload = "selftest";
+    meta.coreCount = 2;
+    meta.seed = 7;
+    auto writer = trace::TraceWriter::create(path, meta);
+    if (!writer.hasValue())
+        return false;
+    for (std::uint32_t i = 0; i < 512; ++i) {
+        for (CoreId core = 0; core < 2; ++core) {
+            MemRef ref;
+            ref.vaddr = 0x10000 + 64ULL * ((i * 7 + core * 131) % 256);
+            ref.pc = 0x400000 + 4ULL * (i % 32);
+            ref.instGap = 1 + (i % 3);
+            ref.isWrite = (i % 5) == 0;
+            ref.dependent = (i % 2) == 0;
+            if (!writer->append(core, ref).hasValue())
+                return false;
+        }
+    }
+    return writer->finish().hasValue();
+}
+
+/** Small budgets: these tests prove plumbing, not paper numbers. */
+RunnerOptions
+smallBudgets()
+{
+    RunnerOptions options;
+    options.scale = 0.015625;
+    options.warmupRefsPerCore = 2000;
+    options.measureRefsPerCore = 1000;
+    options.workers = 1;
+    return options;
+}
+
+ServerOptions
+loopbackOptions(const std::string &socket_path, std::uint32_t shards,
+                std::uint32_t queue_depth)
+{
+    ServerOptions options;
+    options.socketPath = socket_path;
+    options.shards = shards;
+    options.queueDepth = queue_depth;
+    options.busyRetryMs = 2;
+    options.run = smallBudgets();
+    return options;
+}
+
+/** Drain a decoder of every complete frame it currently holds. */
+std::vector<Frame>
+drainFrames(FrameDecoder &decoder)
+{
+    std::vector<Frame> frames;
+    for (;;) {
+        auto next = decoder.next();
+        EXPECT_TRUE(next.hasValue());
+        if (!next.hasValue() || !next->has_value())
+            break;
+        frames.push_back(std::move(**next));
+    }
+    return frames;
+}
+
+// --- Wire-frame round trips -----------------------------------------
+
+TEST(ServeFrame, HelloRoundTrip)
+{
+    const auto payload = buildHello("BEAR");
+    auto parsed = parseHello(payload);
+    ASSERT_TRUE(parsed.hasValue());
+    EXPECT_EQ(parsed->designName, "BEAR");
+    EXPECT_EQ(parsed->design, DesignKind::Bear);
+}
+
+TEST(ServeFrame, HelloOkAndBusyRoundTrip)
+{
+    HelloOk ok;
+    ok.tenantId = 0x1122334455667788ULL;
+    ok.shard = 3;
+    auto parsed_ok = parseHelloOk(buildHelloOk(ok));
+    ASSERT_TRUE(parsed_ok.hasValue());
+    EXPECT_EQ(parsed_ok->tenantId, ok.tenantId);
+    EXPECT_EQ(parsed_ok->shard, ok.shard);
+
+    auto parsed_busy = parseBusy(buildBusy(250));
+    ASSERT_TRUE(parsed_busy.hasValue());
+    EXPECT_EQ(*parsed_busy, 250U);
+}
+
+TEST(ServeFrame, ErrorFrameRoundTrip)
+{
+    ServeError error;
+    error.kind = ServeErrorKind::BadTrace;
+    error.detail = "chunk 3 checksum";
+    const ServeError back = parseError(buildError(error));
+    EXPECT_EQ(back.kind, ServeErrorKind::BadTrace);
+    EXPECT_EQ(back.detail, "chunk 3 checksum");
+}
+
+// --- Corruption contracts -------------------------------------------
+
+TEST(ServeFrame, HelloBadMagicRejected)
+{
+    auto payload = buildHello("BEAR");
+    payload[0] ^= 0x20;
+    auto parsed = parseHello(payload);
+    ASSERT_FALSE(parsed.hasValue());
+    EXPECT_EQ(parsed.error().kind, ServeErrorKind::BadMagic);
+}
+
+TEST(ServeFrame, HelloBadVersionRejected)
+{
+    auto payload = buildHello("BEAR");
+    payload[4] ^= 0xFF; // low byte of the protocol version
+    auto parsed = parseHello(payload);
+    ASSERT_FALSE(parsed.hasValue());
+    EXPECT_EQ(parsed.error().kind, ServeErrorKind::BadVersion);
+}
+
+TEST(ServeFrame, HelloUnknownDesignRejected)
+{
+    auto parsed = parseHello(buildHello("NOT-A-DESIGN"));
+    ASSERT_FALSE(parsed.hasValue());
+    EXPECT_EQ(parsed.error().kind, ServeErrorKind::BadDesign);
+}
+
+TEST(ServeFrame, CrcFlipRejectedAndSticky)
+{
+    const std::vector<std::uint8_t> body = {1, 2, 3, 4, 5};
+    auto wire = encodeFrame(FrameType::TraceData, body);
+    wire[kFrameHeaderBytes + 2] ^= 0x01; // flip one payload byte
+
+    FrameDecoder decoder;
+    decoder.ingest(wire.data(), wire.size());
+    auto next = decoder.next();
+    ASSERT_FALSE(next.hasValue());
+    EXPECT_EQ(next.error().kind, ServeErrorKind::BadCrc);
+
+    // After garbage there is no resync: the failure is permanent.
+    auto again = decoder.next();
+    ASSERT_FALSE(again.hasValue());
+    EXPECT_EQ(again.error().kind, ServeErrorKind::BadCrc);
+}
+
+TEST(ServeFrame, TruncatedStreamRejected)
+{
+    const std::vector<std::uint8_t> body = {9, 8, 7};
+    const auto wire = encodeFrame(FrameType::TraceData, body);
+
+    FrameDecoder decoder;
+    decoder.ingest(wire.data(), wire.size() - 2);
+    auto next = decoder.next();
+    ASSERT_TRUE(next.hasValue());
+    EXPECT_FALSE(next->has_value()); // incomplete, not an error yet
+
+    auto finished = decoder.finish();
+    ASSERT_FALSE(finished.hasValue());
+    EXPECT_EQ(finished.error().kind, ServeErrorKind::Truncated);
+}
+
+TEST(ServeFrame, OversizedLengthRejectedBeforePayload)
+{
+    // A 5-byte header declaring a payload over the cap must fail
+    // immediately — before the decoder ever sees (or allocates for)
+    // the claimed payload.
+    std::vector<std::uint8_t> header;
+    header.push_back(
+        static_cast<std::uint8_t>(FrameType::TraceData));
+    trace::putU32(header, kMaxFramePayloadBytes + 1);
+
+    FrameDecoder decoder;
+    decoder.ingest(header.data(), header.size());
+    auto next = decoder.next();
+    ASSERT_FALSE(next.hasValue());
+    EXPECT_EQ(next.error().kind, ServeErrorKind::Oversized);
+}
+
+TEST(ServeFrame, UnknownFrameTypeRejected)
+{
+    // Hand-build a CRC-valid frame with a type outside the enum, so
+    // the rejection is attributable to the type check alone.
+    std::vector<std::uint8_t> wire;
+    wire.push_back(0x7F);
+    trace::putU32(wire, 0);
+    trace::putU32(wire, trace::crc32(wire.data(), wire.size()));
+
+    FrameDecoder decoder;
+    decoder.ingest(wire.data(), wire.size());
+    auto next = decoder.next();
+    ASSERT_FALSE(next.hasValue());
+    EXPECT_EQ(next.error().kind, ServeErrorKind::BadFrame);
+}
+
+// --- Incremental decoding -------------------------------------------
+
+TEST(ServeFrame, SplitFeedEquivalence)
+{
+    std::vector<std::uint8_t> body(300);
+    for (std::size_t i = 0; i < body.size(); ++i)
+        body[i] = static_cast<std::uint8_t>(i * 13);
+
+    std::vector<std::uint8_t> wire;
+    for (const auto &frame :
+         {encodeFrame(FrameType::Hello, buildHello("BEAR")),
+          encodeFrame(FrameType::TraceData, body),
+          encodeFrame(FrameType::TraceDone, {}),
+          encodeFrame(FrameType::Bye, {})})
+        wire.insert(wire.end(), frame.begin(), frame.end());
+
+    FrameDecoder whole;
+    whole.ingest(wire.data(), wire.size());
+    const std::vector<Frame> expected = drainFrames(whole);
+    ASSERT_EQ(expected.size(), 4U);
+    EXPECT_TRUE(whole.finish().hasValue());
+
+    // Byte-at-a-time must yield the identical frame sequence.
+    FrameDecoder split;
+    std::vector<Frame> got;
+    for (const std::uint8_t byte : wire) {
+        split.ingest(&byte, 1);
+        for (Frame &frame : drainFrames(split))
+            got.push_back(std::move(frame));
+    }
+    EXPECT_TRUE(split.finish().hasValue());
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].type, expected[i].type);
+        EXPECT_EQ(got[i].payload, expected[i].payload);
+    }
+}
+
+// --- The daemon itself ----------------------------------------------
+
+TEST(ServeLoopback, ReportByteIdenticalToOfflineRunner)
+{
+    const std::string trace_path =
+        uniquePath("serve-identity", ".beartrace");
+    const std::string socket_path =
+        uniquePath("serve-identity", ".sock");
+    ASSERT_TRUE(writeSampleTrace(trace_path));
+
+    std::string served;
+    {
+        Server server(loopbackOptions(socket_path, 1, 2));
+        auto started = server.start();
+        ASSERT_TRUE(started.hasValue());
+
+        ClientOptions copts;
+        copts.socketPath = socket_path;
+        copts.design = "BEAR";
+        auto outcome =
+            Client::runSession(copts, slurpBytes(trace_path));
+        ASSERT_TRUE(outcome.hasValue())
+            << outcome.error().message();
+        served = outcome->reportJson;
+
+        server.requestDrain(CancelReason::None);
+        EXPECT_EQ(server.serve(), 0);
+    }
+
+    RunnerOptions ropts = smallBudgets();
+    ropts.cores = 2;
+    ropts.traceInPath = trace_path;
+    Runner runner(ropts);
+    const RunResult offline =
+        runner.runRate(DesignKind::Bear, "selftest");
+    EXPECT_EQ(served, runResultToJson(offline));
+    std::remove(trace_path.c_str());
+}
+
+TEST(ServeLoopback, SixtyFourTenantsWithBackpressure)
+{
+    const std::string trace_path =
+        uniquePath("serve-load", ".beartrace");
+    const std::string socket_path = uniquePath("serve-load", ".sock");
+    ASSERT_TRUE(writeSampleTrace(trace_path));
+    const std::vector<std::uint8_t> trace_bytes =
+        slurpBytes(trace_path);
+    std::remove(trace_path.c_str());
+
+    constexpr std::size_t kTenants = 64;
+    std::vector<std::string> reports(kTenants);
+    std::vector<std::string> errors(kTenants);
+    std::vector<std::uint32_t> busy(kTenants, 0);
+
+    {
+        // Two shards with a 4-deep admission bound against 64
+        // simultaneous sessions: backpressure must engage.
+        Server server(loopbackOptions(socket_path, 2, 4));
+        auto started = server.start();
+        ASSERT_TRUE(started.hasValue());
+
+        std::vector<std::thread> tenants;
+        tenants.reserve(kTenants);
+        for (std::size_t t = 0; t < kTenants; ++t) {
+            tenants.emplace_back([&, t] {
+                ClientOptions copts;
+                copts.socketPath = socket_path;
+                copts.design = "BEAR";
+                auto outcome =
+                    Client::runSession(copts, trace_bytes);
+                if (outcome.hasValue()) {
+                    reports[t] = outcome->reportJson;
+                    busy[t] = outcome->busyRetries;
+                } else {
+                    errors[t] = outcome.error().message();
+                }
+            });
+        }
+        for (std::thread &tenant : tenants)
+            tenant.join();
+
+        server.requestDrain(CancelReason::None);
+        EXPECT_EQ(server.serve(), 0);
+    }
+
+    std::uint64_t busy_total = 0;
+    for (std::size_t t = 0; t < kTenants; ++t) {
+        EXPECT_TRUE(errors[t].empty()) << "tenant " << t << ": "
+                                       << errors[t];
+        EXPECT_EQ(reports[t], reports[0]) << "tenant " << t
+                                          << " diverged";
+        busy_total += busy[t];
+    }
+    EXPECT_FALSE(reports[0].empty());
+    EXPECT_GE(busy_total, 1U)
+        << "64 tenants against 8 admission slots never saw Busy";
+}
+
+TEST(ServeDrain, InterruptDrainExits130)
+{
+    Server server(
+        loopbackOptions(uniquePath("serve-drain", ".sock"), 1, 1));
+    auto started = server.start();
+    ASSERT_TRUE(started.hasValue());
+    EXPECT_FALSE(server.draining());
+    server.requestDrain(CancelReason::Interrupt);
+    EXPECT_TRUE(server.draining());
+    EXPECT_EQ(server.serve(), 130);
+}
+
+TEST(ServeDrain, FirstDrainReasonWins)
+{
+    Server server(
+        loopbackOptions(uniquePath("serve-drain2", ".sock"), 1, 1));
+    auto started = server.start();
+    ASSERT_TRUE(started.hasValue());
+    server.requestDrain(CancelReason::None);
+    server.requestDrain(CancelReason::Interrupt); // too late
+    EXPECT_EQ(server.serve(), 0);
+}
+
+TEST(ServeStats, DaemonStatsReachableOverTheWire)
+{
+    const std::string socket_path =
+        uniquePath("serve-stats", ".sock");
+    Server server(loopbackOptions(socket_path, 1, 1));
+    auto started = server.start();
+    ASSERT_TRUE(started.hasValue());
+
+    auto stats = Client::fetchStats(socket_path);
+    ASSERT_TRUE(stats.hasValue()) << stats.error().message();
+    EXPECT_NE(stats->find("bear-serve-stats-v1"), std::string::npos);
+
+    server.requestDrain(CancelReason::None);
+    EXPECT_EQ(server.serve(), 0);
+}
+
+} // namespace

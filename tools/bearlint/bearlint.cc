@@ -42,6 +42,13 @@
  *         memmoves the tail on the per-access timing path.  The O(1)
  *         channel-model port (DESIGN.md §15) removed every such
  *         shift; hot-path queues use circular indices instead.
+ *   BL008 raw-socket-io       socket(2)-family and blocking-I/O
+ *         calls (socket/bind/listen/accept/connect, the send and
+ *         recv families, poll/select/epoll) outside src/serve/.  The
+ *         serve layer
+ *         owns every file descriptor and its error handling
+ *         (DESIGN.md §16); a stray blocking recv elsewhere is an
+ *         unkillable thread the drain logic cannot see.
  *
  * Diagnostics are machine-readable (`file:line: [BL###] message`) and
  * suppressible per line with `// bearlint-allow(BL###)` on the same
@@ -113,6 +120,9 @@ const RuleInfo kRules[] = {
     {"BL007", "hot-path-shift",
      "erase/insert at begin() inside src/mem/ or src/dramcache/ "
      "(O(n) memmove per access; use a circular index / ring buffer)"},
+    {"BL008", "raw-socket-io",
+     "socket(2)-family / blocking-I/O call outside src/serve/ (the "
+     "serve layer owns all socket descriptors; DESIGN.md §16)"},
 };
 
 // ---------------------------------------------------------------------
@@ -1033,6 +1043,59 @@ checkHotPathShift(const FileData &fd, Reporter &out)
 }
 
 // ---------------------------------------------------------------------
+// BL008 — raw socket / blocking I/O outside the serve layer
+// ---------------------------------------------------------------------
+
+/**
+ * beard's daemon loop (src/serve/, DESIGN.md §16) is the only place a
+ * socket descriptor may be created or blocked on: its recv timeouts,
+ * poll ticks and drain logic are what make every blocking call
+ * interruptible.  A raw recv() elsewhere is a thread the drain cannot
+ * wake.  read()/write() are deliberately not banned — the simulator's
+ * own DramCache::read would drown the rule in false positives — so
+ * the gate is the calls that create or service sockets.
+ */
+void
+checkRawSocketIo(const FileData &fd, Reporter &out)
+{
+    if (fd.display.find("src/serve/") != std::string::npos)
+        return;
+    static const std::set<std::string> kBanned = {
+        "socket", "bind", "listen", "accept", "accept4", "connect",
+        "recv", "recvfrom", "recvmsg", "send", "sendto", "sendmsg",
+        "setsockopt", "getsockopt", "shutdown", "poll", "ppoll",
+        "select", "pselect", "epoll_create", "epoll_create1",
+        "epoll_ctl", "epoll_wait"};
+    const auto &t = fd.toks;
+    for (long i = 0; i < static_cast<long>(t.size()); ++i) {
+        if (t[i].kind != 'i'
+            || kBanned.find(t[i].text) == kBanned.end())
+            continue;
+        if (i + 1 >= static_cast<long>(t.size())
+            || t[i + 1].text != "(")
+            continue;
+        const std::string prev = i > 0 ? t[i - 1].text : std::string();
+        if (prev == "." || prev == "->")
+            continue; // a member of ours, not the libc call
+        if (prev == "::") {
+            // `::bind(` at global scope is the libc call; a
+            // namespace-qualified `util::bind(` is someone else's.
+            if (i >= 2
+                && (t[i - 2].kind == 'i' || t[i - 2].text == ">"))
+                continue;
+        } else if (i > 0 && t[i - 1].kind == 'i' && prev != "return"
+                   && prev != "else" && prev != "do"
+                   && prev != "case") {
+            continue; // `int socket(...)` — a declaration
+        }
+        out.report(fd, t[i].line, "BL008",
+                   "raw socket / blocking-I/O call '" + t[i].text
+                       + "()' outside src/serve/; route it through "
+                         "the serve layer (DESIGN.md §16)");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
@@ -1137,6 +1200,7 @@ runRules(const std::vector<FileData> &files, Reporter &out)
         checkHeaderHygiene(fd, out);
         checkPrivateTagArray(fd, out);
         checkHotPathShift(fd, out);
+        checkRawSocketIo(fd, out);
     }
 }
 

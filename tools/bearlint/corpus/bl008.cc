@@ -1,0 +1,46 @@
+// Golden corpus: BL008 raw socket / blocking I/O outside src/serve/.
+
+extern "C" {
+int socket(int, int, int);
+int bind(int, const void *, unsigned);
+int listen(int, int);
+int accept(int, void *, unsigned *);
+long recv(int, void *, unsigned long, int);
+long send(int, const void *, unsigned long, int);
+int poll(void *, unsigned long, int);
+int close(int);
+}
+
+namespace util
+{
+template <typename F>
+int
+bind(F)
+{
+    return 0;
+}
+} // namespace util
+
+int
+serveRaw()
+{
+    const int fd = socket(2, 1, 0);                // line 27: violation
+    bind(fd, nullptr, 0);                          // line 28: violation
+    ::listen(fd, 8);                               // line 29: violation
+    const int peer = accept(fd, nullptr, nullptr); // line 30: violation
+    char buf[16];
+    recv(peer, buf, sizeof(buf), 0);               // line 32: violation
+    send(peer, buf, sizeof(buf), 0);               // line 33: violation
+    poll(nullptr, 0, 100);                         // line 34: violation
+
+    // Not violations: member syntax and qualified non-libc names.
+    struct Endpoint
+    {
+        int connect() { return 0; }
+        void shutdown() {}
+    } ep;
+    ep.connect();
+    ep.shutdown();
+    util::bind(3);
+    return close(peer);
+}

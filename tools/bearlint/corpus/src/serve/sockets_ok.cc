@@ -1,0 +1,17 @@
+// Golden corpus: src/serve/ is the sanctioned socket seam — the same
+// calls bl008.cc flags produce no BL008 diagnostics here.
+
+extern "C" {
+int socket(int, int, int);
+int listen(int, int);
+long recv(int, void *, unsigned long, int);
+}
+
+int
+serveHere()
+{
+    const int fd = socket(2, 1, 0);
+    ::listen(fd, 8);
+    char buf[8];
+    return static_cast<int>(recv(fd, buf, sizeof(buf), 0));
+}

@@ -30,6 +30,10 @@
 #      bench_gate compares the fresh micro snapshot against the
 #      committed baseline and fails on a >25% nsPerOp regression of
 #      any benchmark present in both
+#  10. serve smoke (DESIGN.md §16, under the sanitizer build): beard
+#      serves a recorded mcf trace to 8 concurrent bearload tenants;
+#      the served report must diff clean against beard --offline on
+#      the same trace, and SIGTERM must drain the daemon to exit 130
 #
 #   tools/ci.sh [jobs]
 set -euo pipefail
@@ -37,12 +41,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs="${1:-$(nproc)}"
 
-echo "=== [1/9] tier-1 build + tests"
+echo "=== [1/10] tier-1 build + tests"
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
-echo "=== [2/9] observability smoke (trace_stats + traced run)"
+echo "=== [2/10] observability smoke (trace_stats + traced run)"
 build/tools/trace_stats --selftest
 report="$(mktemp)"
 workdir="$(mktemp -d)"
@@ -51,7 +55,7 @@ BEAR_JSON="${report}" BEAR_TRACE=1024 BEAR_WARMUP=10000 \
     BEAR_MEASURE=5000 build/examples/latency_profile mcf BEAR >/dev/null
 build/tools/trace_stats "${report}" >/dev/null
 
-echo "=== [3/9] trace round-trip smoke (record, dump, replay, diff)"
+echo "=== [3/10] trace round-trip smoke (record, dump, replay, diff)"
 trace="${workdir}/mcf.beartrace"
 BEAR_WARMUP=10000 BEAR_MEASURE=5000 \
     build/tools/trace_record mcf "${trace}" >/dev/null
@@ -64,12 +68,12 @@ BEAR_JSON="${workdir}/replay.jsonl" BEAR_WARMUP=10000 \
 # The replayed report must be byte-identical to the live one.
 diff "${workdir}/live.jsonl" "${workdir}/replay.jsonl"
 
-echo "=== [4/9] ASan+UBSan build + tests"
+echo "=== [4/10] ASan+UBSan build + tests"
 cmake -B build-san -S . -DBEAR_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j "${jobs}"
 ctest --test-dir build-san --output-on-failure -j "${jobs}"
 
-echo "=== [5/9] chaos smoke (faulted sweep -> partial -> resume)"
+echo "=== [5/10] chaos smoke (faulted sweep -> partial -> resume)"
 chaos_env=(BEAR_WARMUP=10000 BEAR_MEASURE=5000)
 journal="${workdir}/chaos.journal"
 
@@ -100,7 +104,7 @@ env "${chaos_env[@]}" BEAR_JOURNAL="${journal}" \
     build-san/tools/chaos_sweep >/dev/null
 diff "${workdir}/chaos-clean.jsonl" "${workdir}/chaos-final.jsonl"
 
-echo "=== [6/9] ThreadSanitizer (threaded sweep + chaos contract)"
+echo "=== [6/10] ThreadSanitizer (threaded sweep + chaos contract)"
 cmake -B build-tsan -S . -DBEAR_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${jobs}"
 # Drive the worker pool with real contention: every design of the
@@ -126,10 +130,10 @@ BEAR_WORKERS=4 BEAR_WARMUP=2000 BEAR_MEASURE=1000 \
     BEAR_JSON="${workdir}/tsan-chaos-final.jsonl" \
     build-tsan/tools/chaos_sweep >/dev/null
 
-echo "=== [7/9] static analysis (bearlint + clang-tidy)"
+echo "=== [7/10] static analysis (bearlint + clang-tidy)"
 tools/lint.sh build
 
-echo "=== [8/9] strict thread-safety build (clang)"
+echo "=== [8/10] strict thread-safety build (clang)"
 if command -v clang++ >/dev/null 2>&1; then
     cmake -B build-strict -S . -DCMAKE_CXX_COMPILER=clang++ \
         -DBEAR_STRICT_WARNINGS=ON >/dev/null
@@ -139,7 +143,7 @@ else
          "-analysis build" >&2
 fi
 
-echo "=== [9/9] benchmark snapshots (Release micro + fig12)"
+echo "=== [9/10] benchmark snapshots (Release micro + fig12)"
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-rel -j "${jobs}"
 # Stash the committed micro snapshot before the bench run overwrites
@@ -181,6 +185,43 @@ if [[ -s "${workdir}/micro-baseline.json" ]]; then
         BENCH_micro.json --threshold 25
 else
     echo "bench: no committed BENCH_micro.json baseline; gate skipped"
+fi
+
+echo "=== [10/10] serve smoke under ASan/UBSan (beard + bearload)"
+serve_trace="${workdir}/serve-mcf.beartrace"
+serve_sock="${workdir}/beard.sock"
+serve_env=(BEAR_WARMUP=4000 BEAR_MEASURE=2000 BEAR_SCALE=0.015625)
+env "${serve_env[@]}" build-san/tools/trace_record mcf \
+    "${serve_trace}" --refs 6000 --cores 4 >/dev/null
+env "${serve_env[@]}" build-san/tools/beard --socket "${serve_sock}" \
+    --shards 2 --queue 2 >"${workdir}/beard.log" 2>&1 &
+beard_pid=$!
+for _ in $(seq 1 100); do
+    [[ -S "${serve_sock}" ]] && break
+    sleep 0.1
+done
+[[ -S "${serve_sock}" ]] || {
+    echo "serve: beard never bound ${serve_sock}" >&2
+    cat "${workdir}/beard.log" >&2
+    exit 1
+}
+# Eight concurrent tenants against 2 shards x 2 queue slots: every
+# session must complete and every report must be identical.
+build-san/tools/bearload "${serve_sock}" "${serve_trace}" \
+    --tenants 8 --report "${workdir}/served.json"
+env "${serve_env[@]}" build-san/tools/beard --offline "${serve_trace}" \
+    > "${workdir}/offline.json"
+# The served report must be byte-identical to the offline replay's.
+diff "${workdir}/served.json" "${workdir}/offline.json"
+# SIGTERM drains in-flight tenants and exits 130, mirroring the
+# runner's interrupt contract.
+kill -TERM "${beard_pid}"
+rc=0
+wait "${beard_pid}" || rc=$?
+if [[ "${rc}" -ne 130 ]]; then
+    echo "serve: beard drained with exit ${rc}, expected 130" >&2
+    cat "${workdir}/beard.log" >&2
+    exit 1
 fi
 
 echo "=== CI OK"

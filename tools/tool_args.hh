@@ -24,8 +24,50 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 namespace bear::tools
 {
+
+/**
+ * RAII scratch file for tool self-tests: mkstemp() at construction,
+ * unlink at destruction, so every early return (and every failure
+ * path) cleans up after itself.  Before this helper each selftest
+ * carried its own mkstemp/close/unlink choreography and the failure
+ * paths leaked the file.
+ */
+class TempFile
+{
+  public:
+    /** Create `/tmp/<stem>-XXXXXX`; valid() is false when the
+     *  temporary cannot be created. */
+    explicit TempFile(const char *stem)
+    {
+        std::string pattern = "/tmp/" + std::string(stem) + "-XXXXXX";
+        std::vector<char> buffer(pattern.begin(), pattern.end());
+        buffer.push_back('\0');
+        const int fd = ::mkstemp(buffer.data());
+        if (fd >= 0) {
+            ::close(fd);
+            path_.assign(buffer.data());
+        }
+    }
+
+    ~TempFile()
+    {
+        if (!path_.empty())
+            ::unlink(path_.c_str());
+    }
+
+    TempFile(const TempFile &) = delete;
+    TempFile &operator=(const TempFile &) = delete;
+
+    bool valid() const { return !path_.empty(); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
 
 /** A parsed command line: positionals plus `--name value` options. */
 class ToolArgs

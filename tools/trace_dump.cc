@@ -23,7 +23,6 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
-#include <unistd.h>
 #include <vector>
 
 #include "tools/tool_args.hh"
@@ -168,13 +167,13 @@ expectRejected(const std::string &path, bear::trace::TraceErrorKind kind,
 int
 selftest()
 {
-    char path[] = "/tmp/beartrace-dump-selftest-XXXXXX";
-    const int fd = mkstemp(path);
-    if (fd < 0) {
+    const bear::tools::TempFile temp("beartrace-dump-selftest");
+    const bear::tools::TempFile mutatedTemp("beartrace-dump-mut");
+    if (!temp.valid() || !mutatedTemp.valid()) {
         std::fprintf(stderr, "selftest: mkstemp failed\n");
         return 1;
     }
-    close(fd);
+    const std::string &path = temp.path();
 
     bool ok = true;
     {
@@ -186,7 +185,6 @@ selftest()
         if (!created.hasValue()) {
             std::fprintf(stderr, "selftest: %s\n",
                          created.error().message().c_str());
-            unlink(path);
             return 1;
         }
         bear::trace::TraceWriter writer = std::move(created.value());
@@ -198,7 +196,6 @@ selftest()
                 if (!appended.hasValue()) {
                     std::fprintf(stderr, "selftest: %s\n",
                                  appended.error().message().c_str());
-                    unlink(path);
                     return 1;
                 }
             }
@@ -209,7 +206,7 @@ selftest()
     ok = dump(path, 4) == 0 && ok;
 
     const std::vector<char> pristine = slurp(path);
-    const std::string mutated = std::string(path) + ".mut";
+    const std::string &mutated = mutatedTemp.path();
 
     // Flip one payload byte: the chunk CRC must catch it.
     std::vector<char> flipped = pristine;
@@ -247,8 +244,6 @@ selftest()
                         "future format version")
         && ok;
 
-    unlink(mutated.c_str());
-    unlink(path);
     if (ok) {
         std::printf("selftest passed\n");
         return 0;

@@ -22,7 +22,6 @@
 
 #include <cstdio>
 #include <string>
-#include <unistd.h>
 #include <vector>
 
 #include "sim/runner.hh"
@@ -95,13 +94,12 @@ record(const std::string &profile_name, const std::string &out_path,
 int
 selftest()
 {
-    char path[] = "/tmp/beartrace-selftest-XXXXXX";
-    const int fd = mkstemp(path);
-    if (fd < 0) {
+    const bear::tools::TempFile temp("beartrace-selftest");
+    if (!temp.valid()) {
         std::fprintf(stderr, "selftest: mkstemp failed\n");
         return 1;
     }
-    close(fd);
+    const std::string &path = temp.path();
 
     constexpr std::uint32_t kCores = 2;
     constexpr std::uint64_t kRefs = 500;
@@ -142,7 +140,6 @@ selftest()
             }
         }
     }
-    unlink(path);
     if (rc == 0)
         std::printf("selftest passed\n");
     return rc;

@@ -15,7 +15,8 @@
  * Missing or unreadable inputs print the usage text and exit
  * non-zero; nothing is ever silently summarised as "no documents".
  * The self-test runs an embedded report line through the same parse
- * and summarise path, so CI exercises the tool with zero simulation.
+ * and summarise path, then round-trips it through a scratch file via
+ * processFile(), so CI exercises the tool with zero simulation.
  */
 
 #include <algorithm>
@@ -229,6 +230,19 @@ selftest()
           "trace kind count");
     check(!JsonValue::parse("{\"unterminated\": ").hasValue(),
           "malformed document rejected");
+
+    // Round-trip the same document through the file-based path: write
+    // it as a one-line JSON-lines report and digest it exactly as a
+    // real `trace_stats <report.jsonl>` invocation would.
+    const bear::tools::TempFile temp("trace-stats-selftest");
+    check(temp.valid(), "scratch report file created");
+    if (temp.valid()) {
+        std::ofstream out(temp.path());
+        out << kSelftestLine << "\n";
+        out.close();
+        check(processFile(temp.path().c_str(), 4) == 0,
+              "file-based analyze path accepts the report");
+    }
 
     if (ok) {
         summarizeDocument(*doc, 4);
