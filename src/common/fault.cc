@@ -176,7 +176,8 @@ FaultInjector::disarm()
     MutexLock lock(mutex_);
     plan_ = FaultPlan{};
     counts_.clear();
-    fired_.clear();
+    // fired_ is kept until the next arm(): a chaos harness reads its
+    // tally after the faulted daemon has drained (and disarmed).
     armed_.store(false, std::memory_order_relaxed);
 }
 
@@ -223,6 +224,16 @@ FaultInjector::firedAt(const std::string &site) const
     MutexLock lock(mutex_);
     const auto it = fired_.find(site);
     return it == fired_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+FaultInjector::firedTotal() const
+{
+    MutexLock lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &entry : fired_)
+        total += entry.second;
+    return total;
 }
 
 FaultInjector &

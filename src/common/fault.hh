@@ -111,6 +111,11 @@ class FaultInjector
     /** Total faults injected at @p site since arm() (test hook). */
     std::uint64_t firedAt(const std::string &site) const;
 
+    /** Total faults injected at every site since arm() (test hook).
+     *  Survives disarm(), so a chaos harness can assert its soak
+     *  actually exercised the plan after the daemon drained. */
+    std::uint64_t firedTotal() const;
+
   private:
     mutable Mutex mutex_;
     FaultPlan plan_ GUARDED_BY(mutex_);

@@ -1,0 +1,141 @@
+#include "serve/channel.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace bear::serve
+{
+
+Expected<Channel, ServeError>
+Channel::connect(const std::string &socket_path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        return unexpected(ServeError{
+            ServeErrorKind::Io,
+            "socket path \"" + socket_path + "\" exceeds "
+                + std::to_string(sizeof(addr.sun_path) - 1)
+                + " bytes"});
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return unexpected(ServeError{
+            ServeErrorKind::Io,
+            std::string("socket: ") + std::strerror(errno)});
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr))
+        != 0) {
+        const int err = errno;
+        ::close(fd);
+        return unexpected(ServeError{ServeErrorKind::Io,
+                                     "connect " + socket_path + ": "
+                                         + std::strerror(err)});
+    }
+    return Channel(fd);
+}
+
+Channel::~Channel()
+{
+    close();
+}
+
+Channel::Channel(Channel &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      decoder_(std::move(other.decoder_))
+{
+}
+
+Channel &
+Channel::operator=(Channel &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        decoder_ = std::move(other.decoder_);
+    }
+    return *this;
+}
+
+void
+Channel::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Expected<bool, ServeError>
+Channel::sendRaw(const std::uint8_t *data, std::size_t size)
+{
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n =
+            ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return unexpected(ServeError{
+                ServeErrorKind::Io,
+                std::string("send: ") + std::strerror(errno)});
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+Expected<bool, ServeError>
+Channel::sendFrame(FrameType type,
+                   const std::vector<std::uint8_t> &payload)
+{
+    const auto bytes = encodeFrame(type, payload);
+    return sendRaw(bytes.data(), bytes.size());
+}
+
+Expected<bool, ServeError>
+Channel::sendFrame(FrameType type, const std::uint8_t *payload,
+                   std::size_t size)
+{
+    const auto bytes = encodeFrame(type, payload, size);
+    return sendRaw(bytes.data(), bytes.size());
+}
+
+Expected<Frame, ServeError>
+Channel::recvFrame()
+{
+    for (;;) {
+        auto next = decoder_.next();
+        if (!next.hasValue())
+            return unexpected(next.error());
+        if (next->has_value())
+            return std::move(**next);
+
+        std::uint8_t buffer[64 * 1024];
+        const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return unexpected(ServeError{
+                ServeErrorKind::Io,
+                std::string("recv: ") + std::strerror(errno)});
+        }
+        if (n == 0) {
+            return unexpected(ServeError{
+                ServeErrorKind::Truncated,
+                "server closed the connection mid-reply"});
+        }
+        decoder_.ingest(buffer, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace bear::serve

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * One framed connection to a beard daemon (DESIGN.md §16).
+ *
+ * Channel owns the socket, the frame encoder on the way out and the
+ * FrameDecoder on the way in, so every consumer of the protocol —
+ * the Client, bearload, the serve tests — speaks through exactly one
+ * transport implementation.  It also deliberately exposes sendRaw():
+ * resilience tests must be able to play a hostile client (half-open
+ * connections, drip-fed bytes, truncated frames), and bearlint BL008
+ * bans raw sockets outside src/serve, so the hostile dialect lives
+ * here behind an honest name instead of being re-implemented in every
+ * test file.
+ */
+
+#ifndef BEAR_SERVE_CHANNEL_HH
+#define BEAR_SERVE_CHANNEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/frame.hh"
+
+namespace bear::serve
+{
+
+/** A connected, framed, move-only beard protocol endpoint. */
+class Channel
+{
+  public:
+    /** Connect to the daemon's Unix socket; Io error on failure. */
+    [[nodiscard]] static Expected<Channel, ServeError>
+    connect(const std::string &socket_path);
+
+    Channel() = default;
+    ~Channel();
+
+    Channel(Channel &&other) noexcept;
+    Channel &operator=(Channel &&other) noexcept;
+    Channel(const Channel &) = delete;
+    Channel &operator=(const Channel &) = delete;
+
+    bool open() const { return fd_ >= 0; }
+
+    /** Encode and send one CRC-sealed frame. */
+    [[nodiscard]] Expected<bool, ServeError>
+    sendFrame(FrameType type, const std::vector<std::uint8_t> &payload);
+
+    [[nodiscard]] Expected<bool, ServeError>
+    sendFrame(FrameType type, const std::uint8_t *payload,
+              std::size_t size);
+
+    /**
+     * Send bytes with no framing — the hostile-client seam.  A
+     * correctness-path caller has no business here; use sendFrame.
+     */
+    [[nodiscard]] Expected<bool, ServeError>
+    sendRaw(const std::uint8_t *data, std::size_t size);
+
+    /** Block until one complete frame arrives (or the peer closes). */
+    [[nodiscard]] Expected<Frame, ServeError> recvFrame();
+
+    /** Close now (the destructor also closes). */
+    void close();
+
+  private:
+    explicit Channel(int fd) : fd_(fd) {}
+
+    int fd_ = -1;
+    FrameDecoder decoder_;
+};
+
+} // namespace bear::serve
+
+#endif // BEAR_SERVE_CHANNEL_HH

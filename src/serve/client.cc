@@ -1,132 +1,16 @@
 #include "serve/client.hh"
 
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
-#include <cstring>
 #include <thread>
 
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
+#include "serve/channel.hh"
 
 namespace bear::serve
 {
 
 namespace
 {
-
-/** Closes the connection on every exit path. */
-class FdGuard
-{
-  public:
-    explicit FdGuard(int fd) : fd_(fd) {}
-
-    ~FdGuard()
-    {
-        if (fd_ >= 0)
-            ::close(fd_);
-    }
-
-    FdGuard(const FdGuard &) = delete;
-    FdGuard &operator=(const FdGuard &) = delete;
-
-    int get() const { return fd_; }
-
-  private:
-    int fd_;
-};
-
-Expected<int, ServeError>
-connectTo(const std::string &path)
-{
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path)) {
-        return unexpected(ServeError{
-            ServeErrorKind::Io,
-            "socket path \"" + path + "\" exceeds "
-                + std::to_string(sizeof(addr.sun_path) - 1)
-                + " bytes"});
-    }
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-        return unexpected(ServeError{
-            ServeErrorKind::Io,
-            std::string("socket: ") + std::strerror(errno)});
-    }
-    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
-                  sizeof(addr))
-        != 0) {
-        const int err = errno;
-        ::close(fd);
-        return unexpected(ServeError{ServeErrorKind::Io,
-                                     "connect " + path + ": "
-                                         + std::strerror(err)});
-    }
-    return fd;
-}
-
-bool
-sendAll(int fd, const std::uint8_t *data, std::size_t size)
-{
-    std::size_t sent = 0;
-    while (sent < size) {
-        const ssize_t n =
-            ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        sent += static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
-Expected<bool, ServeError>
-sendFrame(int fd, FrameType type,
-          const std::vector<std::uint8_t> &payload)
-{
-    const auto bytes = encodeFrame(type, payload);
-    if (!sendAll(fd, bytes.data(), bytes.size())) {
-        return unexpected(ServeError{
-            ServeErrorKind::Io,
-            std::string("send: ") + std::strerror(errno)});
-    }
-    return true;
-}
-
-/** Block until one complete frame arrives (or the peer hangs up). */
-Expected<Frame, ServeError>
-recvFrame(int fd, FrameDecoder &decoder)
-{
-    for (;;) {
-        auto next = decoder.next();
-        if (!next.hasValue())
-            return unexpected(next.error());
-        if (next->has_value())
-            return std::move(**next);
-
-        std::uint8_t buffer[64 * 1024];
-        const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return unexpected(ServeError{
-                ServeErrorKind::Io,
-                std::string("recv: ") + std::strerror(errno)});
-        }
-        if (n == 0) {
-            return unexpected(ServeError{
-                ServeErrorKind::Truncated,
-                "server closed the connection mid-reply"});
-        }
-        decoder.ingest(buffer, static_cast<std::size_t>(n));
-    }
-}
 
 /** Unwrap a reply frame, turning Error frames into their ServeError. */
 Expected<Frame, ServeError>
@@ -147,6 +31,16 @@ expectFrame(Expected<Frame, ServeError> received, FrameType wanted)
 
 } // namespace
 
+std::uint32_t
+busyBackoffMs(std::uint32_t hint_ms, std::uint32_t attempt,
+              std::uint32_t max_backoff_ms)
+{
+    // Deterministic ramp matching the runner's retry backoff
+    // (10ms << attempt); the shift is capped so it cannot overflow.
+    const std::uint32_t ramp = 10u << std::min(attempt, 16u);
+    return std::min(max_backoff_ms, std::max(hint_ms, ramp));
+}
+
 Expected<SessionOutcome, ServeError>
 Client::runSession(const ClientOptions &options,
                    const std::vector<std::uint8_t> &trace_bytes)
@@ -154,18 +48,17 @@ Client::runSession(const ClientOptions &options,
     SessionOutcome outcome;
 
     for (std::uint32_t attempt = 0;; ++attempt) {
-        auto connected = connectTo(options.socketPath);
+        auto connected = Channel::connect(options.socketPath);
         if (!connected.hasValue())
             return unexpected(connected.error());
-        FdGuard fd(*connected);
-        FrameDecoder decoder;
+        Channel channel = std::move(*connected);
 
-        auto sent = sendFrame(fd.get(), FrameType::Hello,
-                              buildHello(options.design));
+        auto sent = channel.sendFrame(FrameType::Hello,
+                                      buildHello(options.design));
         if (!sent.hasValue())
             return unexpected(sent.error());
 
-        auto reply = recvFrame(fd.get(), decoder);
+        auto reply = channel.recvFrame();
         if (!reply.hasValue())
             return unexpected(reply.error());
         if (reply->type == FrameType::Busy) {
@@ -180,8 +73,12 @@ Client::runSession(const ClientOptions &options,
                         + " retries"});
             }
             ++outcome.busyRetries;
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(*retry_ms));
+            // The server's hint is advice, not an order: a hostile or
+            // broken daemon hinting 0 must not spin the client flat
+            // out, and a huge hint must not park it forever.
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                busyBackoffMs(*retry_ms, attempt,
+                              options.maxBackoffMs)));
             continue; // reconnect and try again
         }
         auto ok = expectFrame(std::move(reply), FrameType::HelloOk);
@@ -192,28 +89,40 @@ Client::runSession(const ClientOptions &options,
             return unexpected(session.error());
         outcome.session = *session;
 
+        // A send that fails mid-upload usually means the server
+        // already settled this session — reaped it, fault-injected
+        // it, or drained — sent its structured Error frame, and
+        // closed.  That frame is still readable from the receive
+        // buffer; surface it instead of a bare broken-pipe Io error,
+        // so the daemon's attribution survives the race between our
+        // writes and its close.
+        const auto settledReason =
+            [&channel](ServeError send_error) -> ServeError {
+            auto settled = channel.recvFrame();
+            if (settled.hasValue()
+                && settled->type == FrameType::Error)
+                return parseError(settled->payload);
+            return send_error;
+        };
+
         // Admitted: stream the trace and seal the upload.
         const std::size_t step =
             options.frameBytes ? options.frameBytes : 1;
         for (std::size_t at = 0; at < trace_bytes.size(); at += step) {
             const std::size_t take =
                 std::min(step, trace_bytes.size() - at);
-            auto data = sendFrame(
-                fd.get(), FrameType::TraceData,
-                std::vector<std::uint8_t>(
-                    trace_bytes.begin()
-                        + static_cast<std::ptrdiff_t>(at),
-                    trace_bytes.begin()
-                        + static_cast<std::ptrdiff_t>(at + take)));
+            auto data = channel.sendFrame(FrameType::TraceData,
+                                          trace_bytes.data() + at,
+                                          take);
             if (!data.hasValue())
-                return unexpected(data.error());
+                return unexpected(settledReason(data.error()));
         }
-        auto done = sendFrame(fd.get(), FrameType::TraceDone, {});
+        auto done = channel.sendFrame(FrameType::TraceDone, {});
         if (!done.hasValue())
-            return unexpected(done.error());
+            return unexpected(settledReason(done.error()));
 
-        auto report = expectFrame(recvFrame(fd.get(), decoder),
-                                  FrameType::Report);
+        auto report =
+            expectFrame(channel.recvFrame(), FrameType::Report);
         if (!report.hasValue())
             return unexpected(report.error());
         outcome.reportJson.assign(report->payload.begin(),
@@ -225,17 +134,16 @@ Client::runSession(const ClientOptions &options,
 Expected<std::string, ServeError>
 Client::fetchStats(const std::string &socket_path)
 {
-    auto connected = connectTo(socket_path);
+    auto connected = Channel::connect(socket_path);
     if (!connected.hasValue())
         return unexpected(connected.error());
-    FdGuard fd(*connected);
-    FrameDecoder decoder;
+    Channel channel = std::move(*connected);
 
-    auto sent = sendFrame(fd.get(), FrameType::StatsReq, {});
+    auto sent = channel.sendFrame(FrameType::StatsReq, {});
     if (!sent.hasValue())
         return unexpected(sent.error());
-    auto reply = expectFrame(recvFrame(fd.get(), decoder),
-                             FrameType::StatsReport);
+    auto reply =
+        expectFrame(channel.recvFrame(), FrameType::StatsReport);
     if (!reply.hasValue())
         return unexpected(reply.error());
     return std::string(reply->payload.begin(), reply->payload.end());

@@ -5,10 +5,11 @@
  * One call = one tenant session: connect, Hello with the chosen
  * design, stream the trace bytes as CRC-sealed TraceData frames,
  * collect the Report.  Busy replies are handled here — the client
- * sleeps for the server's retry hint and reconnects, counting the
- * rejections so load tests can assert that backpressure actually
- * engaged.  Every server-side rejection surfaces as the ServeError
- * the daemon sent, not as a bare disconnect.
+ * backs off deterministically (busyBackoffMs: the server's hint,
+ * bounded) and reconnects, counting the rejections so load tests can
+ * assert that backpressure actually engaged.  Every server-side
+ * rejection surfaces as the ServeError the daemon sent, not as a
+ * bare disconnect.
  *
  * bearload and the in-process serve tests both drive sessions through
  * this class, so the protocol has exactly one client implementation.
@@ -35,9 +36,24 @@ struct ClientOptions
     /** Give up after this many Busy replies. */
     std::uint32_t maxBusyRetries = 1000;
 
+    /** Ceiling on one Busy backoff sleep (see busyBackoffMs). */
+    std::uint32_t maxBackoffMs = 250;
+
     /** Trace bytes per TraceData frame. */
     std::size_t frameBytes = 64 * 1024;
 };
+
+/**
+ * Deterministic bounded Busy backoff: the server's retry hint is
+ * honoured but never trusted — the sleep is the larger of the hint
+ * and a 10ms << attempt ramp (the runner's BEAR_RETRIES backoff
+ * shape), clamped to @p max_backoff_ms.  A pathological daemon
+ * hinting 0 therefore cannot make a client spin flat out, and one
+ * hinting an hour cannot park it.
+ */
+std::uint32_t busyBackoffMs(std::uint32_t hint_ms,
+                            std::uint32_t attempt,
+                            std::uint32_t max_backoff_ms);
 
 /** What a completed session produced. */
 struct SessionOutcome

@@ -33,6 +33,10 @@ serveErrorKindName(ServeErrorKind kind)
         return "draining";
     case ServeErrorKind::Internal:
         return "internal";
+    case ServeErrorKind::Deadline:
+        return "deadline";
+    case ServeErrorKind::Idle:
+        return "idle";
     }
     return "?";
 }

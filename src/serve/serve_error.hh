@@ -42,6 +42,8 @@ enum class ServeErrorKind : std::uint8_t
     Busy,       ///< admission control rejected the session
     Draining,   ///< daemon is shutting down; no new sessions
     Internal,   ///< server-side simulation failure (contained)
+    Deadline,   ///< per-tenant watchdog: the simulation stopped advancing
+    Idle,       ///< idle/slow-loris session reaped to free its slot
 };
 
 const char *serveErrorKindName(ServeErrorKind kind);

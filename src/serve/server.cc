@@ -1,14 +1,21 @@
 #include "serve/server.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <deque>
+#include <new>
+#include <optional>
+#include <stdexcept>
+#include <thread>
 
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/fault.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "serve/serve_error.hh"
@@ -25,8 +32,8 @@ namespace
 /** Accept-loop poll period; bounds drain latency. */
 constexpr int kAcceptPollMs = 100;
 
-/** Per-connection receive timeout; bounds the drain-check latency. */
-constexpr long kRecvTimeoutMs = 200;
+/** Watchdog tick; bounds deadline/drain-cancel detection latency. */
+constexpr std::chrono::milliseconds kMonitorTick{20};
 
 /** STATS lists at most this many per-tenant entries. */
 constexpr std::size_t kMaxTenantEntries = 256;
@@ -102,7 +109,166 @@ writeHistogram(JsonWriter &json, const std::string &key,
     json.endObject();
 }
 
+/**
+ * Evaluate a connection-thread fault site (serve.accept, serve.decode,
+ * serve.reply).  A fired clause is contained right here and becomes a
+ * structured ServeError for this one tenant — the connection thread
+ * itself never unwinds, so the daemon keeps serving.  Stall is not
+ * honoured at connection sites (no watchdog watches a connection
+ * thread); serve.job.run is the stall site.
+ */
+std::optional<ServeError>
+connectionFault(const char *site, const std::string &scope)
+{
+    auto &inj = fault::injector();
+    if (!inj.armed())
+        return std::nullopt;
+    const auto kind = inj.evaluate(site, scope);
+    if (!kind)
+        return std::nullopt;
+    ContainmentScope contain;
+    try {
+        switch (*kind) {
+        case fault::FaultKind::Throw:
+            throw std::runtime_error(
+                detail::format("injected fault at ", site));
+        case fault::FaultKind::Panic:
+            bear_panic("injected fault at ", site);
+        case fault::FaultKind::Alloc:
+            throw std::bad_alloc();
+        case fault::FaultKind::Stall:
+        case fault::FaultKind::TraceIo:
+            bear_warn("BEAR_FAULT: ", fault::faultKindName(*kind),
+                      " fired at connection site ", site,
+                      "; only serve.job.run honours it");
+            return std::nullopt;
+        }
+    } catch (const ContainedFailure &failure) {
+        return ServeError{ServeErrorKind::Internal,
+                          detail::format("connection failed "
+                                         "[contained] at ",
+                                         site, ": ", failure.message)};
+    } catch (const std::bad_alloc &) {
+        return ServeError{
+            ServeErrorKind::Internal,
+            detail::format("allocation failed at ", site)};
+    } catch (const std::exception &e) {
+        return ServeError{ServeErrorKind::Internal,
+                          detail::format("connection failed at ", site,
+                                         ": ", e.what())};
+    }
+    return std::nullopt;
+}
+
+/**
+ * Evaluate the serve.job.run site and act exactly like the runner's
+ * job-level sites: throwing kinds unwind into runSession's containment
+ * layer, a stall burns wall-clock without advancing progress until the
+ * serve watchdog (or a drain past its grace) cancels the job.
+ */
+void
+checkJobFault(const char *site, const std::string &scope,
+              JobControl &control)
+{
+    auto &inj = fault::injector();
+    if (!inj.armed())
+        return;
+    const auto kind = inj.evaluate(site, scope);
+    if (!kind)
+        return;
+    switch (*kind) {
+    case fault::FaultKind::Throw:
+        throw std::runtime_error(
+            detail::format("injected fault at ", site));
+    case fault::FaultKind::Panic:
+        bear_panic("injected fault at ", site);
+    case fault::FaultKind::Alloc:
+        throw std::bad_alloc();
+    case fault::FaultKind::Stall:
+        control.setPhase("stalled");
+        while (control.cancelReason() == CancelReason::None)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        throw JobCancelled{
+            control.cancelReason(),
+            detail::format("stalled by injected fault at ", site)};
+    case fault::FaultKind::TraceIo:
+        bear_warn("BEAR_FAULT: trace-io fired at serve site ", site,
+                  "; only trace.* sites honour it");
+        break;
+    }
+}
+
 } // namespace
+
+Expected<ServerOptions, EnvError>
+ServerOptions::tryFromEnv()
+{
+    ServerOptions options;
+    auto run = RunnerOptions::tryFromEnv();
+    if (!run.hasValue())
+        return unexpected(run.error());
+    options.run = std::move(*run);
+
+    {
+        auto r = envNonEmptyString("BEAR_SERVE_SOCKET",
+                                   options.socketPath);
+        if (!r.hasValue())
+            return unexpected(r.error());
+    }
+    std::uint64_t u64 = 0;
+    {
+        auto r = envU64InRange("BEAR_SERVE_SHARDS", u64, 1, 64);
+        if (!r.hasValue())
+            return unexpected(r.error());
+        if (*r)
+            options.shards = static_cast<std::uint32_t>(u64);
+    }
+    {
+        auto r = envU64InRange("BEAR_SERVE_QUEUE", u64, 1, 1024);
+        if (!r.hasValue())
+            return unexpected(r.error());
+        if (*r)
+            options.queueDepth = static_cast<std::uint32_t>(u64);
+    }
+    {
+        auto r = envU64InRange("BEAR_SERVE_RETRY_MS", u64, 1, 60000);
+        if (!r.hasValue())
+            return unexpected(r.error());
+        if (*r)
+            options.busyRetryMs = static_cast<std::uint32_t>(u64);
+    }
+    {
+        auto r = envU64InRange("BEAR_SERVE_RECV_TIMEOUT_MS", u64, 10,
+                               60000);
+        if (!r.hasValue())
+            return unexpected(r.error());
+        if (*r)
+            options.recvTimeoutMs = static_cast<std::uint32_t>(u64);
+    }
+    {
+        auto r = envU64InRange("BEAR_SERVE_MIN_RATE", u64, 0,
+                               std::uint64_t{1} << 30);
+        if (!r.hasValue())
+            return unexpected(r.error());
+        if (*r)
+            options.minUploadBytesPerSec = u64;
+    }
+    {
+        auto r = envSecondsInRange("BEAR_SERVE_IDLE_TIMEOUT",
+                                   options.idleTimeoutSeconds, 0.0,
+                                   3600.0);
+        if (!r.hasValue())
+            return unexpected(r.error());
+    }
+    {
+        auto r = envSecondsInRange("BEAR_SERVE_DRAIN_GRACE",
+                                   options.drainGraceSeconds, 0.0,
+                                   3600.0);
+        if (!r.hasValue())
+            return unexpected(r.error());
+    }
+    return options;
+}
 
 /** One fully-uploaded session in flight between threads. */
 struct Server::SessionJob
@@ -113,6 +279,10 @@ struct Server::SessionJob
     std::vector<std::vector<MemRef>> coreRecords;
     std::uint64_t tenantId = 0;
     double enqueuedAt = 0.0;
+
+    /** Cancellation/progress channel between the shard worker running
+     *  this job and the serve watchdog. */
+    JobControl control;
 
     // Written by the shard worker, read back after `done`.
     Mutex mutex;
@@ -137,6 +307,41 @@ struct Server::Shard
     std::uint64_t jobsRun GUARDED_BY(mutex) = 0;
     bool stop GUARDED_BY(mutex) = false;
     std::thread worker;
+};
+
+/** One running tenant simulation as the serve watchdog sees it. */
+struct Server::WatchedJob
+{
+    JobControl *control = nullptr;
+    std::uint64_t lastProgress = 0;
+    std::chrono::steady_clock::time_point lastAdvance =
+        std::chrono::steady_clock::now();
+};
+
+/** RAII registration of a running session with the watchdog. */
+class Server::WatchGuard
+{
+  public:
+    WatchGuard(Server &server, JobControl &control) : server_(server)
+    {
+        job_.control = &control;
+        MutexLock lock(server_.active_mutex_);
+        server_.active_.push_back(&job_);
+    }
+
+    ~WatchGuard()
+    {
+        MutexLock lock(server_.active_mutex_);
+        auto &v = server_.active_;
+        v.erase(std::remove(v.begin(), v.end(), &job_), v.end());
+    }
+
+    WatchGuard(const WatchGuard &) = delete;
+    WatchGuard &operator=(const WatchGuard &) = delete;
+
+  private:
+    Server &server_;
+    WatchedJob job_;
 };
 
 Server::Server(ServerOptions options) : options_(std::move(options))
@@ -205,6 +410,24 @@ Server::start()
                 + std::strerror(err)});
     }
 
+    // Arm the fault plan (BEAR_FAULT with serve.* sites) only once
+    // the socket is live, so a bind failure cannot leave a stale plan
+    // armed process-wide.
+    if (!options_.run.faultSpec.empty()) {
+        auto plan = fault::parseFaultSpec(options_.run.faultSpec);
+        if (!plan.hasValue()) {
+            ::close(fd);
+            ::unlink(options_.socketPath.c_str());
+            return unexpected(ServeError{
+                ServeErrorKind::Internal,
+                "BEAR_FAULT=\"" + options_.run.faultSpec
+                    + "\": " + plan.error()});
+        }
+        plan->seed = options_.run.seed;
+        fault::injector().arm(std::move(*plan));
+        fault_armed_ = true;
+    }
+
     listen_fd_ = fd;
     started_.store(true);
     for (auto &shard : shards_) {
@@ -212,6 +435,8 @@ Server::start()
         s->worker = std::thread([this, s] { shardLoop(*s); });
     }
     accept_thread_ = std::thread([this] { acceptLoop(); });
+    stop_monitor_.store(false);
+    monitor_ = std::thread([this] { monitorLoop(); });
     return true;
 }
 
@@ -265,9 +490,64 @@ Server::serve()
             shard->worker.join();
     }
 
+    // The watchdog outlives the workers (it is what cancels a wedged
+    // job so the joins above can finish); stop it last.
+    {
+        MutexLock lock(monitor_cv_mutex_);
+        stop_monitor_.store(true);
+    }
+    monitor_cv_.notifyAll();
+    if (monitor_.joinable())
+        monitor_.join();
+
+    if (fault_armed_) {
+        fault::injector().disarm();
+        fault_armed_ = false;
+    }
+
     ::unlink(options_.socketPath.c_str());
     started_.store(false);
     return drain_reason_.load() == CancelReason::Interrupt ? 130 : 0;
+}
+
+void
+Server::monitorLoop()
+{
+    const double timeout = options_.run.jobTimeoutSeconds;
+    MutexLock lk(monitor_cv_mutex_);
+    while (!stop_monitor_.load(std::memory_order_relaxed)) {
+        monitor_cv_.waitFor(lk, kMonitorTick, [this] {
+            return stop_monitor_.load(std::memory_order_relaxed);
+        });
+        if (stop_monitor_.load(std::memory_order_relaxed))
+            return;
+
+        // A drain past its grace window cancels every in-flight
+        // simulation: SIGTERM must win even against a stalled tenant,
+        // or one wedged job holds the whole shutdown hostage.
+        const bool drain_expired = draining()
+            && wallSeconds() - drain_started_.load()
+                > options_.drainGraceSeconds;
+        const auto now = std::chrono::steady_clock::now();
+        MutexLock guard(active_mutex_);
+        for (WatchedJob *job : active_) {
+            if (drain_expired)
+                job->control->requestCancel(CancelReason::Interrupt);
+            if (timeout <= 0.0)
+                continue;
+            const std::uint64_t p =
+                job->control->progress.load(std::memory_order_relaxed);
+            if (p != job->lastProgress) {
+                job->lastProgress = p;
+                job->lastAdvance = now;
+                continue;
+            }
+            const std::chrono::duration<double> stalled =
+                now - job->lastAdvance;
+            if (stalled.count() > timeout)
+                job->control->requestCancel(CancelReason::Timeout);
+        }
+    }
 }
 
 void
@@ -296,7 +576,9 @@ Server::acceptLoop()
             break;
         }
         timeval timeout{};
-        timeout.tv_usec = kRecvTimeoutMs * 1000;
+        const long ms = static_cast<long>(options_.recvTimeoutMs);
+        timeout.tv_sec = ms / 1000;
+        timeout.tv_usec = (ms % 1000) * 1000;
         ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
                      sizeof(timeout));
         MutexLock lock(conn_mutex_);
@@ -309,6 +591,16 @@ Server::acceptLoop()
 void
 Server::connectionLoop(int fd)
 {
+    // serve.accept: an injected accept-path fault is contained before
+    // any session state exists — the would-be tenant still gets a
+    // structured Error frame, and the listener keeps accepting.
+    if (auto fault = connectionFault("serve.accept", "daemon")) {
+        sendFrameBestEffort(fd, FrameType::Error, buildError(*fault));
+        bear_warn("beard: ", fault->message());
+        ::close(fd);
+        return;
+    }
+
     enum class State : std::uint8_t
     {
         AwaitHello,
@@ -325,6 +617,11 @@ Server::connectionLoop(int fd)
     TenantEntry entry;
     double hello_at = 0.0;
     bool settled = false; // stats entry recorded for this session
+
+    // Liveness accounting for idle/slow-loris reaping.
+    double last_byte_at = wallSeconds();
+    double upload_started = 0.0;
+    std::uint64_t wire_bytes = 0;
 
     // Every abnormal exit funnels here: the peer gets the reason as
     // an Error frame (best effort) and the daemon logs it; other
@@ -397,6 +694,42 @@ Server::connectionLoop(int fd)
         ok.shard = target.index;
         sendFrameBestEffort(fd, FrameType::HelloOk, buildHelloOk(ok));
         state = State::Upload;
+        upload_started = wallSeconds();
+    };
+
+    // Idle/slow-loris reaping: a half-open connection or a client
+    // dripping one byte per tick must not pin an admission slot (or a
+    // pre-admission connection thread) forever.  Checked on every
+    // receive-timeout tick and after every successful read.
+    const auto checkLiveness = [&]() {
+        const double idle = options_.idleTimeoutSeconds;
+        if (idle <= 0.0 || state == State::Closed)
+            return;
+        const double now = wallSeconds();
+        if (now - last_byte_at > idle) {
+            bail(ServeError{
+                ServeErrorKind::Idle,
+                detail::format("session sent no bytes for ", idle,
+                               "s; reaped to free its slot")});
+            return;
+        }
+        // Past the idle window a session must also have averaged the
+        // minimum upload rate — resetting the idle timer with a
+        // drip-feed cannot beat the average.
+        const std::uint64_t rate = options_.minUploadBytesPerSec;
+        if (state != State::Upload || rate == 0)
+            return;
+        const double elapsed = now - upload_started;
+        if (elapsed > idle
+            && static_cast<double>(wire_bytes)
+                < static_cast<double>(rate) * elapsed) {
+            bail(ServeError{
+                ServeErrorKind::Idle,
+                detail::format("upload too slow: ", wire_bytes,
+                               " bytes in ", elapsed, "s (floor ",
+                               rate,
+                               " bytes/s); reaped to free its slot")});
+        }
     };
 
     const auto onTraceDone = [&]() {
@@ -450,6 +783,15 @@ Server::connectionLoop(int fd)
             bail(job_error);
             return;
         }
+        // serve.reply: the simulation succeeded but delivering the
+        // report fails — the tenant hears that, attributed, instead
+        // of a silent close.
+        if (auto fault = connectionFault(
+                "serve.reply",
+                "tenant-" + std::to_string(entry.tenantId))) {
+            bail(*fault);
+            return;
+        }
         sendFrameBestEffort(fd, FrameType::Report, report);
         entry.ok = true;
         entry.serviceMicros =
@@ -483,6 +825,17 @@ Server::connectionLoop(int fd)
         // State::Upload
         switch (frame.type) {
         case FrameType::TraceData: {
+            // serve.decode: evaluated once per session (on its first
+            // trace frame), so p-mode clauses pick victims per tenant
+            // rather than per 64KiB chunk.
+            if (entry.frames == 0) {
+                if (auto fault = connectionFault(
+                        "serve.decode",
+                        "tenant-" + std::to_string(entry.tenantId))) {
+                    bail(*fault);
+                    return;
+                }
+            }
             const double t0 = wallSeconds();
             auto fed = decoder.feed(frame.payload.data(),
                                     frame.payload.size());
@@ -530,7 +883,9 @@ Server::connectionLoop(int fd)
                             "daemon drained before the upload "
                             "finished"});
                     }
+                    continue;
                 }
+                checkLiveness();
                 continue;
             }
             bail(ServeError{ServeErrorKind::Io,
@@ -548,6 +903,9 @@ Server::connectionLoop(int fd)
             }
             break;
         }
+        last_byte_at = wallSeconds();
+        wire_bytes += static_cast<std::uint64_t>(n);
+        checkLiveness();
         frames.ingest(buffer, static_cast<std::size_t>(n));
         while (state != State::Closed) {
             auto next = frames.next();
@@ -673,17 +1031,22 @@ void
 Server::runSession(SessionJob &job)
 {
     const double started = wallSeconds();
+    const std::string scope =
+        "tenant-" + std::to_string(job.tenantId);
     std::string report;
     ServeError error;
     bool ok = false;
     double run_seconds = 0.0;
 
-    // One tenant's panic (a checker fatal, an allocation failure)
-    // must stay that tenant's problem: contain it, answer with an
-    // Error frame, keep serving everyone else.
+    // One tenant's failure — a panic deep in a checker, an allocation
+    // failure, an injected fault, a stall — must stay that tenant's
+    // problem: contain it, attribute it (kind + phase), answer with
+    // an Error frame, keep serving everyone else.  The WatchGuard
+    // puts the job under the serve watchdog for the duration, so a
+    // stall becomes a Deadline failure instead of a wedged shard.
+    WatchGuard watch(*this, job.control);
     ContainmentScope contain;
     try {
-        JobControl control;
         SingleRunSpec spec;
         spec.config.design = job.design;
         spec.config.cores = job.meta.coreCount;
@@ -694,7 +1057,7 @@ Server::runSession(SessionJob &job)
         spec.config.totalBanks = options_.run.totalBanks;
         spec.config.seed = options_.run.seed;
         spec.config.traceCapacity = options_.run.traceCapacity;
-        spec.config.control = &control;
+        spec.config.control = &job.control;
         spec.warmupRefsPerCore = options_.run.warmupRefsPerCore;
         spec.measureRefsPerCore = options_.run.measureRefsPerCore;
         spec.workload = job.meta.workload;
@@ -708,24 +1071,50 @@ Server::runSession(SessionJob &job)
                     std::move(job.coreRecords[c])));
         }
 
+        checkJobFault("serve.job.run", scope, job.control);
         const RunResult result =
             runSingleTenant(spec, std::move(streams));
         report = runResultToJson(result);
         run_seconds = wallSeconds() - started;
         ok = true;
     } catch (const ContainedFailure &failure) {
-        error = ServeError{ServeErrorKind::Internal,
-                           "simulation failed: " + failure.message};
+        error = ServeError{
+            ServeErrorKind::Internal,
+            detail::format("simulation failed [contained] during ",
+                           job.control.phaseName(), ": ",
+                           failure.message)};
     } catch (const JobCancelled &cancelled) {
-        error = ServeError{ServeErrorKind::Internal,
-                           "simulation cancelled"
-                               + (cancelled.diagnostics.empty()
-                                      ? std::string()
-                                      : ": " + cancelled.diagnostics)};
+        if (cancelled.reason == CancelReason::Timeout) {
+            error = ServeError{
+                ServeErrorKind::Deadline,
+                detail::format(
+                    "watchdog: no forward progress within ",
+                    options_.run.jobTimeoutSeconds, "s during ",
+                    job.control.phaseName(),
+                    cancelled.diagnostics.empty()
+                        ? std::string()
+                        : ": " + cancelled.diagnostics)};
+        } else {
+            error = ServeError{
+                ServeErrorKind::Draining,
+                detail::format(
+                    "daemon drained mid-simulation during ",
+                    job.control.phaseName(),
+                    cancelled.diagnostics.empty()
+                        ? std::string()
+                        : ": " + cancelled.diagnostics)};
+        }
+    } catch (const std::bad_alloc &) {
+        error = ServeError{
+            ServeErrorKind::Internal,
+            detail::format("simulation failed [alloc] during ",
+                           job.control.phaseName(),
+                           ": allocation failure")};
     } catch (const std::exception &e) {
-        error = ServeError{ServeErrorKind::Internal,
-                           std::string("simulation failed: ")
-                               + e.what()};
+        error = ServeError{
+            ServeErrorKind::Internal,
+            detail::format("simulation failed during ",
+                           job.control.phaseName(), ": ", e.what())};
     }
 
     {

@@ -59,11 +59,49 @@ struct ServerOptions
     /** Retry hint carried in Busy replies. */
     std::uint32_t busyRetryMs = 25;
 
-    /** After a drain request, mid-upload sessions get this long. */
+    /**
+     * Per-connection receive timeout in milliseconds: the tick that
+     * bounds how late a connection notices a drain request or an
+     * idle/slow-loris reap.  BEAR_SERVE_RECV_TIMEOUT_MS.
+     */
+    std::uint32_t recvTimeoutMs = 200;
+
+    /**
+     * Reap a session after this many seconds without a byte from the
+     * peer — a half-open connection must not pin its admission slot.
+     * 0 disables reaping.  BEAR_SERVE_IDLE_TIMEOUT.
+     */
+    double idleTimeoutSeconds = 60.0;
+
+    /**
+     * Slow-loris floor: once a session is older than the idle
+     * timeout, its average upload rate must reach this many bytes
+     * per second or it is reaped — dripping one byte per tick resets
+     * the idle timer but cannot beat the average.  0 disables the
+     * rate check.  BEAR_SERVE_MIN_RATE.
+     */
+    std::uint64_t minUploadBytesPerSec = 4096;
+
+    /** After a drain request, mid-upload sessions get this long.
+     *  BEAR_SERVE_DRAIN_GRACE. */
     double drainGraceSeconds = 5.0;
 
     /** Simulation knobs shared by every tenant (budgets, seed, ...). */
     RunnerOptions run;
+
+    /**
+     * Parse the daemon's environment overrides strictly, the same
+     * contract as RunnerOptions::tryFromEnv (which this calls for
+     * `run`): BEAR_SERVE_SOCKET, BEAR_SERVE_SHARDS (1..64),
+     * BEAR_SERVE_QUEUE (1..1024), BEAR_SERVE_RETRY_MS (1..60000),
+     * BEAR_SERVE_RECV_TIMEOUT_MS (10..60000), BEAR_SERVE_IDLE_TIMEOUT
+     * (seconds, 0..3600; 0 disables), BEAR_SERVE_MIN_RATE (bytes/s,
+     * 0..2^30; 0 disables), BEAR_SERVE_DRAIN_GRACE (seconds,
+     * 0..3600).  A set-but-malformed variable is an EnvError naming
+     * the variable and the accepted range — never a silent fallback.
+     */
+    [[nodiscard]] static Expected<ServerOptions, EnvError>
+    tryFromEnv();
 };
 
 /** One finished tenant session, as the STATS report lists it. */
@@ -125,10 +163,13 @@ class Server
   private:
     struct Shard;
     struct SessionJob;
+    struct WatchedJob;
+    class WatchGuard;
 
     void acceptLoop();
     void connectionLoop(int fd);
     void shardLoop(Shard &shard);
+    void monitorLoop();
 
     /** Run one admitted, fully-uploaded session on a shard worker. */
     void runSession(SessionJob &job);
@@ -147,6 +188,23 @@ class Server
 
     std::vector<std::unique_ptr<Shard>> shards_;
     std::thread accept_thread_;
+
+    /** Armed a BEAR_FAULT plan in start(); disarm on serve() exit. */
+    bool fault_armed_ = false;
+
+    /**
+     * The serve-side watchdog (mirrors Runner::monitorLoop): watches
+     * every running tenant simulation for forward progress, cancels
+     * stalls as Timeout after run.jobTimeoutSeconds, and cancels all
+     * in-flight jobs as Interrupt once a drain outlives its grace
+     * window — SIGTERM wins even against a wedged tenant.
+     */
+    Mutex active_mutex_;
+    std::vector<WatchedJob *> active_ GUARDED_BY(active_mutex_);
+    std::atomic<bool> stop_monitor_{false};
+    Mutex monitor_cv_mutex_;
+    CondVar monitor_cv_;
+    std::thread monitor_;
 
     Mutex conn_mutex_;
     std::vector<std::thread> connections_ GUARDED_BY(conn_mutex_);

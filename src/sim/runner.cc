@@ -106,34 +106,14 @@ envOverride(const char *name, T &out, Parse parse,
 Expected<bool, EnvError>
 envBoundedU64(const char *name, std::uint64_t &out, std::uint64_t max)
 {
-    const char *text = std::getenv(name);
-    if (!text)
-        return false;
-    std::uint64_t parsed = 0;
-    const char *why = parseU64(text, parsed);
-    if (!why && parsed > max)
-        why = "out of range";
-    if (why) {
-        return unexpected(EnvError{
-            name, text,
-            std::string(why) + " (accepted range 0.."
-                + std::to_string(max) + ")"});
-    }
-    out = parsed;
-    return true;
+    return envU64InRange(name, out, 0, max);
 }
 
 /** String override; set-but-empty is a config error, not "unset". */
 Expected<bool, EnvError>
 envString(const char *name, std::string &out)
 {
-    const char *text = std::getenv(name);
-    if (!text)
-        return false;
-    if (*text == '\0')
-        return unexpected(EnvError{name, text, "empty value"});
-    out = text;
-    return true;
+    return envNonEmptyString(name, out);
 }
 
 /**
@@ -220,6 +200,59 @@ std::string
 EnvError::message() const
 {
     return variable + "=\"" + value + "\": " + reason;
+}
+
+Expected<bool, EnvError>
+envU64InRange(const char *name, std::uint64_t &out, std::uint64_t lo,
+              std::uint64_t hi)
+{
+    const char *text = std::getenv(name);
+    if (!text)
+        return false;
+    std::uint64_t parsed = 0;
+    const char *why = parseU64(text, parsed);
+    if (!why && (parsed < lo || parsed > hi))
+        why = "out of range";
+    if (why) {
+        return unexpected(EnvError{
+            name, text,
+            detail::format(why, " (accepted range ", lo, "..", hi,
+                           ")")});
+    }
+    out = parsed;
+    return true;
+}
+
+Expected<bool, EnvError>
+envSecondsInRange(const char *name, double &out, double lo, double hi)
+{
+    const char *text = std::getenv(name);
+    if (!text)
+        return false;
+    double parsed = 0.0;
+    const char *why = parseDouble(text, parsed);
+    if (!why && (parsed < lo || parsed > hi))
+        why = "out of range";
+    if (why) {
+        return unexpected(EnvError{
+            name, text,
+            detail::format(why, " (accepted range ", lo, "..", hi,
+                           " seconds)")});
+    }
+    out = parsed;
+    return true;
+}
+
+Expected<bool, EnvError>
+envNonEmptyString(const char *name, std::string &out)
+{
+    const char *text = std::getenv(name);
+    if (!text)
+        return false;
+    if (*text == '\0')
+        return unexpected(EnvError{name, text, "empty value"});
+    out = text;
+    return true;
 }
 
 const char *

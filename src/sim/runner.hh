@@ -59,6 +59,26 @@ struct EnvError
     std::string message() const;
 };
 
+/**
+ * Strict environment-override helpers (the BEAR_* parsing
+ * discipline): an unset variable leaves @p out untouched and returns
+ * false; a set-but-malformed or out-of-range value is an EnvError
+ * naming the variable, the rejected text, and the accepted range —
+ * never a silent fallback to the default or a silent truncation.
+ * RunnerOptions::tryFromEnv is built on these, and the serve layer
+ * reuses them for its BEAR_SERVE_* knobs.
+ */
+[[nodiscard]] Expected<bool, EnvError>
+envU64InRange(const char *name, std::uint64_t &out, std::uint64_t lo,
+              std::uint64_t hi);
+
+[[nodiscard]] Expected<bool, EnvError>
+envSecondsInRange(const char *name, double &out, double lo, double hi);
+
+/** String override; set-but-empty is a config error, not "unset". */
+[[nodiscard]] Expected<bool, EnvError>
+envNonEmptyString(const char *name, std::string &out);
+
 /** Knobs shared by every run of a bench binary. */
 struct RunnerOptions
 {

@@ -21,10 +21,12 @@
  * the reference half of the byte-identity check ci.sh step 10 pins.
  *
  * Simulation knobs come from the BEAR_* environment (BEAR_WARMUP,
- * BEAR_MEASURE, BEAR_SCALE, ...); the daemon adds BEAR_SERVE_SOCKET,
- * BEAR_SERVE_SHARDS (1..64) and BEAR_SERVE_QUEUE (1..1024), each
- * overridable by the corresponding flag.  A set-but-malformed
- * variable is a startup error naming the variable — never a silent
+ * BEAR_MEASURE, BEAR_SCALE, ...); the daemon adds the BEAR_SERVE_*
+ * family (socket, shards, queue, busy-retry hint, receive timeout,
+ * idle/slow-loris reaping, drain grace — see
+ * ServerOptions::tryFromEnv), socket/shards/queue each overridable by
+ * the corresponding flag.  A set-but-malformed variable is a startup
+ * error naming the variable and its accepted range — never a silent
  * fallback.
  */
 
@@ -61,31 +63,6 @@ const char *const kUsage =
     "  --offline  replay a .beartrace through the batch runner and\n"
     "             print the report a served session would produce\n"
     "  --design   design roster name for --offline (default BEAR)\n";
-
-/**
- * Strict bounded env override: unset leaves @p value alone; a set but
- * malformed or out-of-range value is a startup error naming the
- * variable, mirroring RunnerOptions::tryFromEnv.
- */
-void
-envServeU32(const char *name, std::uint32_t &value, std::uint32_t lo,
-            std::uint32_t hi)
-{
-    const char *text = std::getenv(name);
-    if (!text)
-        return;
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(text, &end, 10);
-    if (*text == '\0' || *text == '-' || end == text || *end != '\0'
-        || errno == ERANGE || v < lo || v > hi) {
-        std::fprintf(stderr,
-                     "beard: %s=\"%s\": want an integer in %u..%u\n",
-                     name, text, lo, hi);
-        std::exit(2);
-    }
-    value = static_cast<std::uint32_t>(v);
-}
 
 /** Parse a design name or exit(2) naming the roster failure. */
 bear::DesignKind
@@ -238,13 +215,13 @@ main(int argc, char **argv)
     if (!offline.empty())
         return runOffline(offline, args.stringOr("design", "BEAR"));
 
-    bear::serve::ServerOptions options;
-    options.run = bear::RunnerOptions::fromEnv();
-    const char *socket_env = std::getenv("BEAR_SERVE_SOCKET");
-    if (socket_env)
-        options.socketPath = socket_env;
-    envServeU32("BEAR_SERVE_SHARDS", options.shards, 1, 64);
-    envServeU32("BEAR_SERVE_QUEUE", options.queueDepth, 1, 1024);
+    auto parsed = bear::serve::ServerOptions::tryFromEnv();
+    if (!parsed.hasValue()) {
+        std::fprintf(stderr, "beard: %s\n",
+                     parsed.error().message().c_str());
+        return 2;
+    }
+    bear::serve::ServerOptions options = std::move(*parsed);
 
     options.socketPath = args.stringOr("socket", options.socketPath);
     const std::uint64_t shards = args.u64Or("shards", options.shards);

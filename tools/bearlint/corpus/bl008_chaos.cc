@@ -1,0 +1,34 @@
+// Golden corpus: the PR 10 temptations.  A chaos/soak harness wants
+// to hand-roll a slow-loris client (raw socket + drip-fed send) and
+// coordinate its tenant waves with a naked std::mutex — exactly the
+// code test_serve.cc must NOT contain.  The sanctioned seams are
+// serve::Channel (sendRaw lives in src/serve, where BL008 permits
+// sockets) and common/lock.hh's Mutex/CondVar wrappers.
+
+#include <mutex> // line 8: banned include (BL003)
+
+extern "C" {
+int socket(int, int, int);
+int connect(int, const void *, unsigned);
+long send(int, const void *, unsigned long, int);
+int setsockopt(int, int, int, const void *, unsigned);
+int close(int);
+}
+
+struct WaveGate
+{
+    std::mutex m; // line 20: naked std::mutex (BL003)
+};
+
+int
+dripFeedTenant(WaveGate &gate)
+{
+    std::lock_guard<std::mutex> hold(gate.m); // line 26: BL003
+    const int fd = socket(1, 1, 0);           // line 27: BL008
+    ::connect(fd, nullptr, 0);                // line 28: BL008
+    setsockopt(fd, 1, 20, nullptr, 0);        // line 29: BL008
+    const char byte = 0x42;
+    for (int i = 0; i < 64; ++i)
+        send(fd, &byte, 1, 0);                // line 32: BL008
+    return close(fd);
+}

@@ -13,8 +13,13 @@
  * see backpressure engage.
  *
  *   bearload <socket> <trace> [--tenants N] [--design D]
- *            [--report PATH]
+ *            [--report PATH] [--tolerate-faults 1]
  *   bearload --selftest
+ *
+ * --tolerate-faults turns bearload into the client half of a chaos
+ * soak (ci.sh step 11): tenants that receive a structured Error frame
+ * from a fault-injected daemon are counted rather than fatal, while
+ * the surviving tenants' reports must still agree byte-for-byte.
  *
  * The self-test is the full loop in one process: record a tiny trace,
  * serve it from an in-process daemon on a private socket, run
@@ -44,13 +49,42 @@ namespace
 
 const char *const kUsage =
     "usage: bearload <socket> <trace> [--tenants N] [--design D]\n"
-    "                [--report PATH]\n"
+    "                [--report PATH] [--tolerate-faults 1]\n"
     "       bearload --selftest\n"
     "  --tenants  concurrent tenant sessions (default 8, max 4096)\n"
     "  --design   design roster name every tenant runs (default "
     "BEAR)\n"
     "  --report   write the (identical) report here instead of "
-    "stdout\n";
+    "stdout\n"
+    "  --tolerate-faults 1\n"
+    "             chaos mode: tenants answered with a structured\n"
+    "             server-side Error frame (internal, deadline, idle,\n"
+    "             draining, bad-trace, busy) count as faulted instead\n"
+    "             of failing the run; at least one tenant must stay\n"
+    "             healthy and all healthy reports must still be\n"
+    "             byte-identical.  Transport/protocol breakage (io,\n"
+    "             truncated, bad-crc, ...) always fails.\n";
+
+/** Chaos mode: may this structured failure be tolerated? */
+bool
+tolerableFault(bear::serve::ServeErrorKind kind)
+{
+    using bear::serve::ServeErrorKind;
+    switch (kind) {
+    case ServeErrorKind::Internal:
+    case ServeErrorKind::Deadline:
+    case ServeErrorKind::Idle:
+    case ServeErrorKind::Draining:
+    case ServeErrorKind::BadTrace:
+    case ServeErrorKind::Busy:
+        return true;
+    default:
+        // A crashed connection or a corrupt frame is never an
+        // acceptable chaos outcome: the daemon's contract is that
+        // even a faulted tenant hears a well-formed Error frame.
+        return false;
+    }
+}
 
 /** Read a whole file as bytes; empty optional-style failure → exit. */
 std::vector<std::uint8_t>
@@ -68,10 +102,12 @@ readFileOrDie(const std::string &path)
     return std::vector<std::uint8_t>(data.begin(), data.end());
 }
 
-/** One tenant's thread: session outcome or the error message. */
+/** One tenant's thread: session outcome or the structured failure. */
 struct TenantSlot
 {
     bool ok = false;
+    bear::serve::ServeErrorKind errorKind =
+        bear::serve::ServeErrorKind::Io;
     std::string report;
     std::string error;
     std::uint32_t busyRetries = 0;
@@ -80,14 +116,18 @@ struct TenantSlot
 /**
  * Run @p tenants concurrent sessions of @p trace_bytes against
  * @p socket_path.  Returns true when every session completed and all
- * reports are byte-identical; the shared report and the Busy tally
- * come back through the out-parameters.
+ * reports are byte-identical; with @p tolerate_faults, sessions that
+ * received a tolerable structured Error frame (see tolerableFault)
+ * are counted in @p faulted_total instead of failing the run, and at
+ * least one tenant must still complete.  The shared healthy report
+ * and the Busy tally come back through the out-parameters.
  */
 bool
 runTenants(const std::string &socket_path,
            const std::vector<std::uint8_t> &trace_bytes,
            const std::string &design, std::uint32_t tenants,
-           std::string &report, std::uint64_t &busy_total)
+           bool tolerate_faults, std::string &report,
+           std::uint64_t &busy_total, std::uint64_t &faulted_total)
 {
     std::vector<TenantSlot> slots(tenants);
     std::vector<std::thread> threads;
@@ -100,6 +140,7 @@ runTenants(const std::string &socket_path,
             auto outcome =
                 bear::serve::Client::runSession(options, trace_bytes);
             if (!outcome.hasValue()) {
+                slots[i].errorKind = outcome.error().kind;
                 slots[i].error = outcome.error().message();
                 return;
             }
@@ -113,11 +154,22 @@ runTenants(const std::string &socket_path,
 
     bool ok = true;
     busy_total = 0;
+    faulted_total = 0;
     for (std::uint32_t i = 0; i < tenants; ++i) {
         if (!slots[i].ok) {
-            std::fprintf(stderr, "bearload: tenant %u failed: %s\n",
-                         i, slots[i].error.c_str());
-            ok = false;
+            if (tolerate_faults
+                && tolerableFault(slots[i].errorKind)) {
+                ++faulted_total;
+                std::fprintf(stderr,
+                             "bearload: tenant %u faulted "
+                             "(tolerated): %s\n",
+                             i, slots[i].error.c_str());
+            } else {
+                std::fprintf(stderr,
+                             "bearload: tenant %u failed: %s\n", i,
+                             slots[i].error.c_str());
+                ok = false;
+            }
             continue;
         }
         busy_total += slots[i].busyRetries;
@@ -126,13 +178,18 @@ runTenants(const std::string &socket_path,
         } else if (report != slots[i].report) {
             std::fprintf(stderr,
                          "bearload: tenant %u report diverges from "
-                         "tenant 0 (same trace, same design — "
-                         "server bug)\n",
+                         "the first healthy tenant (same trace, same "
+                         "design — server bug)\n",
                          i);
             ok = false;
         }
     }
-    return ok && !report.empty();
+    if (report.empty()) {
+        std::fprintf(stderr,
+                     "bearload: no tenant completed healthily\n");
+        return false;
+    }
+    return ok;
 }
 
 /** Record a tiny deterministic 2-core trace for the self-test. */
@@ -219,8 +276,9 @@ selftest()
         check(started.hasValue(), "in-process daemon starts");
         if (started.hasValue()) {
             std::uint64_t busy = 0;
+            std::uint64_t faulted = 0;
             check(runTenants(socket_path, readFileOrDie(trace_path),
-                             "BEAR", 4, served, busy),
+                             "BEAR", 4, false, served, busy, faulted),
                   "4 concurrent tenants all complete identically");
             server.requestDrain(bear::CancelReason::None);
             check(server.serve() == 0, "drain exits 0");
@@ -252,7 +310,8 @@ int
 main(int argc, char **argv)
 {
     const bear::tools::ToolArgs args(
-        argc, argv, {"tenants", "design", "report"}, kUsage);
+        argc, argv,
+        {"tenants", "design", "report", "tolerate-faults"}, kUsage);
     if (args.selftest())
         return selftest();
     if (args.positional().size() != 2)
@@ -264,21 +323,24 @@ main(int argc, char **argv)
     if (tenants < 1 || tenants > 4096)
         args.fail("--tenants wants 1..4096");
     const std::string design = args.stringOr("design", "BEAR");
+    const bool tolerate = args.u64Or("tolerate-faults", 0) != 0;
 
     const std::vector<std::uint8_t> trace_bytes =
         readFileOrDie(trace_path);
     std::string report;
     std::uint64_t busy = 0;
+    std::uint64_t faulted = 0;
     if (!runTenants(socket_path, trace_bytes, design,
-                    static_cast<std::uint32_t>(tenants), report,
-                    busy)) {
+                    static_cast<std::uint32_t>(tenants), tolerate,
+                    report, busy, faulted)) {
         std::fprintf(stderr, "bearload: FAILED\n");
         return 1;
     }
     std::fprintf(stderr,
-                 "bearload: %llu tenants completed, %llu busy "
-                 "retries\n",
-                 static_cast<unsigned long long>(tenants),
+                 "bearload: %llu healthy tenants, %llu faulted, "
+                 "%llu busy retries\n",
+                 static_cast<unsigned long long>(tenants - faulted),
+                 static_cast<unsigned long long>(faulted),
                  static_cast<unsigned long long>(busy));
 
     const std::string report_path = args.stringOr("report", "");

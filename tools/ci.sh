@@ -34,6 +34,12 @@
 #      serves a recorded mcf trace to 8 concurrent bearload tenants;
 #      the served report must diff clean against beard --offline on
 #      the same trace, and SIGTERM must drain the daemon to exit 130
+#  11. chaos serve (DESIGN.md §17, under the sanitizer build): the
+#      chaos_serve soak plus a fault-injected beard serving 16
+#      bearload tenants in chaos mode — healthy tenants must stay
+#      byte-identical to the unfaulted offline reference, faulted
+#      tenants must receive structured attributed Error frames, and
+#      SIGTERM landing mid-chaos must still drain the daemon to 130
 #
 #   tools/ci.sh [jobs]
 set -euo pipefail
@@ -41,12 +47,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs="${1:-$(nproc)}"
 
-echo "=== [1/10] tier-1 build + tests"
+echo "=== [1/11] tier-1 build + tests"
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
-echo "=== [2/10] observability smoke (trace_stats + traced run)"
+echo "=== [2/11] observability smoke (trace_stats + traced run)"
 build/tools/trace_stats --selftest
 report="$(mktemp)"
 workdir="$(mktemp -d)"
@@ -55,7 +61,7 @@ BEAR_JSON="${report}" BEAR_TRACE=1024 BEAR_WARMUP=10000 \
     BEAR_MEASURE=5000 build/examples/latency_profile mcf BEAR >/dev/null
 build/tools/trace_stats "${report}" >/dev/null
 
-echo "=== [3/10] trace round-trip smoke (record, dump, replay, diff)"
+echo "=== [3/11] trace round-trip smoke (record, dump, replay, diff)"
 trace="${workdir}/mcf.beartrace"
 BEAR_WARMUP=10000 BEAR_MEASURE=5000 \
     build/tools/trace_record mcf "${trace}" >/dev/null
@@ -68,12 +74,12 @@ BEAR_JSON="${workdir}/replay.jsonl" BEAR_WARMUP=10000 \
 # The replayed report must be byte-identical to the live one.
 diff "${workdir}/live.jsonl" "${workdir}/replay.jsonl"
 
-echo "=== [4/10] ASan+UBSan build + tests"
+echo "=== [4/11] ASan+UBSan build + tests"
 cmake -B build-san -S . -DBEAR_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j "${jobs}"
 ctest --test-dir build-san --output-on-failure -j "${jobs}"
 
-echo "=== [5/10] chaos smoke (faulted sweep -> partial -> resume)"
+echo "=== [5/11] chaos smoke (faulted sweep -> partial -> resume)"
 chaos_env=(BEAR_WARMUP=10000 BEAR_MEASURE=5000)
 journal="${workdir}/chaos.journal"
 
@@ -104,7 +110,7 @@ env "${chaos_env[@]}" BEAR_JOURNAL="${journal}" \
     build-san/tools/chaos_sweep >/dev/null
 diff "${workdir}/chaos-clean.jsonl" "${workdir}/chaos-final.jsonl"
 
-echo "=== [6/10] ThreadSanitizer (threaded sweep + chaos contract)"
+echo "=== [6/11] ThreadSanitizer (threaded sweep + chaos contract)"
 cmake -B build-tsan -S . -DBEAR_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${jobs}"
 # Drive the worker pool with real contention: every design of the
@@ -130,10 +136,10 @@ BEAR_WORKERS=4 BEAR_WARMUP=2000 BEAR_MEASURE=1000 \
     BEAR_JSON="${workdir}/tsan-chaos-final.jsonl" \
     build-tsan/tools/chaos_sweep >/dev/null
 
-echo "=== [7/10] static analysis (bearlint + clang-tidy)"
+echo "=== [7/11] static analysis (bearlint + clang-tidy)"
 tools/lint.sh build
 
-echo "=== [8/10] strict thread-safety build (clang)"
+echo "=== [8/11] strict thread-safety build (clang)"
 if command -v clang++ >/dev/null 2>&1; then
     cmake -B build-strict -S . -DCMAKE_CXX_COMPILER=clang++ \
         -DBEAR_STRICT_WARNINGS=ON >/dev/null
@@ -143,7 +149,7 @@ else
          "-analysis build" >&2
 fi
 
-echo "=== [9/10] benchmark snapshots (Release micro + fig12)"
+echo "=== [9/11] benchmark snapshots (Release micro + fig12)"
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-rel -j "${jobs}"
 # Stash the committed micro snapshot before the bench run overwrites
@@ -187,7 +193,7 @@ else
     echo "bench: no committed BENCH_micro.json baseline; gate skipped"
 fi
 
-echo "=== [10/10] serve smoke under ASan/UBSan (beard + bearload)"
+echo "=== [10/11] serve smoke under ASan/UBSan (beard + bearload)"
 serve_trace="${workdir}/serve-mcf.beartrace"
 serve_sock="${workdir}/beard.sock"
 serve_env=(BEAR_WARMUP=4000 BEAR_MEASURE=2000 BEAR_SCALE=0.015625)
@@ -221,6 +227,54 @@ wait "${beard_pid}" || rc=$?
 if [[ "${rc}" -ne 130 ]]; then
     echo "serve: beard drained with exit ${rc}, expected 130" >&2
     cat "${workdir}/beard.log" >&2
+    exit 1
+fi
+
+echo "=== [11/11] chaos serve under ASan/UBSan (fault injection)"
+# In-process soak first: concurrent tenant waves against injected
+# serve.* faults.  chaos_serve itself asserts the PR 10 invariant —
+# healthy tenants byte-identical to the offline reference, faulted
+# tenants handed structured attributed Error frames, at least one
+# fault actually fired, and a drain arriving mid-chaos exits 130.
+build-san/tools/chaos_serve --tenants 16 --rounds 2 >/dev/null
+
+# Then the real daemon: beard restarted with BEAR_FAULT naming
+# serve.* sites, 16 bearload tenants in chaos mode.  The healthy
+# tenants' shared report must still equal the unfaulted offline
+# reference computed in step 10.
+chaos_sock="${workdir}/beard-chaos.sock"
+env "${serve_env[@]}" BEAR_SEED=48879 \
+    BEAR_FAULT='panic@serve.job.run:p=0.25,alloc@serve.decode:p=0.15' \
+    build-san/tools/beard --socket "${chaos_sock}" \
+    --shards 2 --queue 16 >"${workdir}/beard-chaos.log" 2>&1 &
+chaos_pid=$!
+for _ in $(seq 1 100); do
+    [[ -S "${chaos_sock}" ]] && break
+    sleep 0.1
+done
+[[ -S "${chaos_sock}" ]] || {
+    echo "chaos serve: beard never bound ${chaos_sock}" >&2
+    cat "${workdir}/beard-chaos.log" >&2
+    exit 1
+}
+build-san/tools/bearload "${chaos_sock}" "${serve_trace}" \
+    --tenants 16 --tolerate-faults 1 \
+    --report "${workdir}/chaos-served.json"
+diff "${workdir}/chaos-served.json" "${workdir}/offline.json"
+# SIGTERM mid-chaos: land the drain while a second tenant wave is
+# still in flight; the daemon must still exit 130, and the wave's
+# stragglers must hear Draining, not a hangup (tolerated above).
+build-san/tools/bearload "${chaos_sock}" "${serve_trace}" \
+    --tenants 8 --tolerate-faults 1 >/dev/null 2>&1 &
+wave_pid=$!
+sleep 0.3
+kill -TERM "${chaos_pid}"
+rc=0
+wait "${chaos_pid}" || rc=$?
+wait "${wave_pid}" || true
+if [[ "${rc}" -ne 130 ]]; then
+    echo "chaos serve: beard drained with exit ${rc}, expected 130" >&2
+    cat "${workdir}/beard-chaos.log" >&2
     exit 1
 fi
 
